@@ -1,0 +1,141 @@
+// Command charz characterizes a library cell into a JSON macromodel file:
+// single-input delay/transition models, dual-input proximity tables, the
+// step-input correction and optional glitch models. The resulting file can
+// be loaded for table-only evaluation with no simulator in the loop.
+//
+//	charz -gate nand3 -o nand3.json
+//	charz -gate nand2 -fast -glitch a:b -o nand2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/vtc"
+)
+
+func main() {
+	var (
+		gateName = flag.String("gate", "nand3", "cell: inv, nandN, norN")
+		out      = flag.String("o", "", "output JSON path (default <gate>.json)")
+		fast     = flag.Bool("fast", false, "coarse characterization grids")
+		glitch   = flag.String("glitch", "", "comma-separated fall:rise pin pairs for glitch models, e.g. a:b")
+		matrix   = flag.Bool("matrix", false, "characterize the full n(n-1) dual-input pair matrix")
+		loadFF   = flag.Float64("cl", 100, "output load in fF")
+	)
+	flag.Parse()
+	if err := run(*gateName, *out, *fast, *glitch, *matrix, *loadFF); err != nil {
+		fmt.Fprintf(os.Stderr, "charz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(gateName, outPath string, fast bool, glitch string, matrix bool, loadFF float64) error {
+	kind, n, err := parseGate(gateName)
+	if err != nil {
+		return err
+	}
+	geom := cells.DefaultGeometry()
+	geom.CLoad = loadFF * 1e-15
+	cell, err := cells.New(kind, n, cells.DefaultProcess(), geom)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "charz: extracting VTC family of %s...\n", gateName)
+	fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.01)
+	if err != nil {
+		return err
+	}
+	sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+
+	spec := macromodel.DefaultCharSpec()
+	if fast {
+		spec = macromodel.CoarseCharSpec()
+	}
+	if matrix {
+		spec.Pairs = macromodel.FullMatrix
+	}
+	t0 := time.Now()
+	fmt.Fprintf(os.Stderr, "charz: characterizing (fast=%v, matrix=%v)...\n", fast, matrix)
+	model, err := macromodel.CharacterizeGate(sim, spec)
+	if err != nil {
+		return err
+	}
+	if n >= 2 {
+		calc := core.NewCalculator(model)
+		if err := core.CalibrateCorrection(calc, sim); err != nil {
+			return err
+		}
+	}
+	if glitch != "" {
+		grid := macromodel.DefaultGlitchGrid()
+		if fast {
+			grid.TausFall = grid.TausFall[:2]
+			grid.TausRise = grid.TausRise[:2]
+		}
+		for _, pair := range strings.Split(glitch, ",") {
+			fp, rp, err := parsePair(pair, n)
+			if err != nil {
+				return err
+			}
+			gm, err := sim.CharacterizeGlitch(fp, rp, grid)
+			if err != nil {
+				return err
+			}
+			model.Glitches = append(model.Glitches, gm)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "charz: done in %.1fs (%d singles, %d duals, %d glitches)\n",
+		time.Since(t0).Seconds(), len(model.Singles), len(model.Duals), len(model.Glitches))
+
+	if outPath == "" {
+		outPath = gateName + ".json"
+	}
+	if err := model.Save(outPath); err != nil {
+		return err
+	}
+	info, err := os.Stat(outPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("charz: wrote %s (%d bytes)\n", outPath, info.Size())
+	return nil
+}
+
+// parsePair parses "a:b" into pin indices.
+func parsePair(s string, n int) (fall, rise int, err error) {
+	fields := strings.Split(strings.TrimSpace(s), ":")
+	if len(fields) != 2 || len(fields[0]) != 1 || len(fields[1]) != 1 {
+		return 0, 0, fmt.Errorf("bad glitch pair %q (want fall:rise, e.g. a:b)", s)
+	}
+	fall = int(fields[0][0] - 'a')
+	rise = int(fields[1][0] - 'a')
+	if fall < 0 || fall >= n || rise < 0 || rise >= n || fall == rise {
+		return 0, 0, fmt.Errorf("glitch pair %q out of range for %d-input gate", s, n)
+	}
+	return fall, rise, nil
+}
+
+// parseGate resolves nandN/norN names.
+func parseGate(name string) (cells.Kind, int, error) {
+	if name == "inv" {
+		return cells.Inv, 1, nil
+	}
+	for prefix, kind := range map[string]cells.Kind{"nand": cells.Nand, "nor": cells.Nor} {
+		if strings.HasPrefix(name, prefix) {
+			n, err := strconv.Atoi(strings.TrimPrefix(name, prefix))
+			if err == nil && n >= 2 && n <= 8 {
+				return kind, n, nil
+			}
+		}
+	}
+	return 0, 0, fmt.Errorf("unknown gate %q (want inv, nandN, norN with 2<=N<=8)", name)
+}

@@ -1,0 +1,219 @@
+// Command proxsim runs the built-in transistor-level simulator on a library
+// cell with piecewise-linear input stimuli and writes the node waveforms as
+// CSV, plus delay/transition measurements to stderr.
+//
+// Examples:
+//
+//	proxsim -gate nand3 -stim a:fall:500:0,b:fall:100:120 -o waves.csv
+//	proxsim -gate nor2 -stim a:rise:300:0,b:rise:300:50
+//
+// Stimulus syntax: pin:dir:tt_ps:cross_ps where pin is a letter, dir is
+// rise|fall, tt_ps the full-swing ramp duration and cross_ps the time the
+// ramp crosses its measurement threshold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/deck"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+func main() {
+	var (
+		gateName = flag.String("gate", "nand3", "cell: inv, nand2..nand4, nor2..nor4")
+		stims    = flag.String("stim", "a:fall:500:0", "comma-separated pin:dir:tt_ps:cross_ps stimuli")
+		out      = flag.String("o", "", "CSV output file (default stdout)")
+		load     = flag.Float64("cl", 100, "output load in fF")
+		deckPath = flag.String("deck", "", "simulate a SPICE-flavored deck instead of a library cell")
+	)
+	flag.Parse()
+
+	var err error
+	if *deckPath != "" {
+		err = runDeck(*deckPath, *out)
+	} else {
+		err = run(*gateName, *stims, *out, *load)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "proxsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runDeck parses and simulates a text deck, dumping every node voltage.
+func runDeck(path, outPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := deck.Parse(f)
+	if err != nil {
+		return err
+	}
+	if d.TranStop <= 0 {
+		return fmt.Errorf("deck has no .tran directive")
+	}
+	eng, err := spice.New(d.Circuit, spice.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	res, err := eng.Transient(spice.TranSpec{Stop: d.TranStop, Breakpoints: d.Breakpoints})
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if outPath != "" {
+		out, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		w = out
+	}
+	ckt := d.Circuit
+	fmt.Fprintf(w, "t_ps")
+	for id := 1; id < ckt.NumNodes(); id++ {
+		fmt.Fprintf(w, ",%s_V", ckt.NodeName(circuit.NodeID(id)))
+	}
+	fmt.Fprintln(w)
+	for i, t := range res.Time {
+		fmt.Fprintf(w, "%.3f", t*1e12)
+		for id := 1; id < ckt.NumNodes(); id++ {
+			fmt.Fprintf(w, ",%.5f", res.V[id][i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ParseGate resolves names like "nand3" into a cell kind and input count.
+func ParseGate(name string) (cells.Kind, int, error) {
+	switch {
+	case name == "inv":
+		return cells.Inv, 1, nil
+	case strings.HasPrefix(name, "nand"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "nand"))
+		if err != nil || n < 2 {
+			return 0, 0, fmt.Errorf("bad gate name %q", name)
+		}
+		return cells.Nand, n, nil
+	case strings.HasPrefix(name, "nor"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "nor"))
+		if err != nil || n < 2 {
+			return 0, 0, fmt.Errorf("bad gate name %q", name)
+		}
+		return cells.Nor, n, nil
+	}
+	return 0, 0, fmt.Errorf("unknown gate %q (want inv, nandN, norN)", name)
+}
+
+// ParseStims parses the -stim flag.
+func ParseStims(s string, numPins int) ([]macromodel.PinStim, error) {
+	var out []macromodel.PinStim
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("stimulus %q: want pin:dir:tt_ps:cross_ps", part)
+		}
+		if len(fields[0]) != 1 || fields[0][0] < 'a' || fields[0][0] > 'z' {
+			return nil, fmt.Errorf("stimulus %q: bad pin %q", part, fields[0])
+		}
+		pin := int(fields[0][0] - 'a')
+		if pin >= numPins {
+			return nil, fmt.Errorf("stimulus %q: pin %q out of range for %d-input gate", part, fields[0], numPins)
+		}
+		var dir waveform.Direction
+		switch fields[1] {
+		case "rise", "r":
+			dir = waveform.Rising
+		case "fall", "f":
+			dir = waveform.Falling
+		default:
+			return nil, fmt.Errorf("stimulus %q: bad direction %q", part, fields[1])
+		}
+		tt, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || tt <= 0 {
+			return nil, fmt.Errorf("stimulus %q: bad transition time %q", part, fields[2])
+		}
+		cross, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("stimulus %q: bad crossing time %q", part, fields[3])
+		}
+		out = append(out, macromodel.PinStim{Pin: pin, Dir: dir, TT: tt * 1e-12, Cross: cross * 1e-12})
+	}
+	return out, nil
+}
+
+func run(gateName, stimSpec, outPath string, loadFF float64) error {
+	kind, n, err := ParseGate(gateName)
+	if err != nil {
+		return err
+	}
+	geom := cells.DefaultGeometry()
+	geom.CLoad = loadFF * 1e-15
+	cell, err := cells.New(kind, n, cells.DefaultProcess(), geom)
+	if err != nil {
+		return err
+	}
+	stims, err := ParseStims(stimSpec, n)
+	if err != nil {
+		return err
+	}
+	fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
+	if err != nil {
+		return fmt.Errorf("thresholds: %w", err)
+	}
+	sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+	res, err := sim.Run(stims)
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	// CSV: time plus the output and every stimulated input (shifted frame).
+	fmt.Fprintf(w, "t_ps,out_V")
+	for _, st := range stims {
+		fmt.Fprintf(w, ",%c_V", 'a'+st.Pin)
+	}
+	fmt.Fprintln(w)
+	for i, t := range res.Out.T {
+		fmt.Fprintf(w, "%.3f,%.5f", t*1e12, res.Out.V[i])
+		for k := range stims {
+			fmt.Fprintf(w, ",%.5f", res.PWLs[k].Eval(t))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Measurements to stderr so the CSV stays clean.
+	fmt.Fprintf(os.Stderr, "thresholds: Vil=%.3f Vih=%.3f\n", fam.Thresholds.Vil, fam.Thresholds.Vih)
+	for k, st := range stims {
+		if d, err := res.DelayFrom(k); err == nil {
+			fmt.Fprintf(os.Stderr, "delay from %c: %.1f ps\n", 'a'+st.Pin, d*1e12)
+		}
+	}
+	if tt, err := res.OutputTT(); err == nil {
+		fmt.Fprintf(os.Stderr, "output transition time: %.1f ps (%v)\n", tt*1e12, res.OutDir)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/waveform"
+)
+
+func TestParseGate(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind cells.Kind
+		n    int
+		ok   bool
+	}{
+		{"inv", cells.Inv, 1, true},
+		{"nand2", cells.Nand, 2, true},
+		{"nand4", cells.Nand, 4, true},
+		{"nor3", cells.Nor, 3, true},
+		{"nand1", 0, 0, false},
+		{"xor2", 0, 0, false},
+		{"nandx", 0, 0, false},
+	}
+	for _, c := range cases {
+		kind, n, err := ParseGate(c.in)
+		if c.ok && (err != nil || kind != c.kind || n != c.n) {
+			t.Errorf("ParseGate(%q) = %v,%d,%v", c.in, kind, n, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseGate(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestParseStims(t *testing.T) {
+	stims, err := ParseStims("a:fall:500:0, b:r:100:120", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stims) != 2 {
+		t.Fatalf("parsed %d stims", len(stims))
+	}
+	if stims[0].Pin != 0 || stims[0].Dir != waveform.Falling || stims[0].TT != 500e-12 {
+		t.Errorf("stim 0 = %+v", stims[0])
+	}
+	if stims[1].Pin != 1 || stims[1].Dir != waveform.Rising || stims[1].Cross != 120e-12 {
+		t.Errorf("stim 1 = %+v", stims[1])
+	}
+}
+
+func TestParseStimsErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"short":        "a:fall:500",
+		"bad pin":      "9:fall:500:0",
+		"out of range": "d:fall:500:0",
+		"bad dir":      "a:x:500:0",
+		"bad tt":       "a:fall:x:0",
+		"zero tt":      "a:fall:0:0",
+		"bad cross":    "a:fall:500:x",
+	} {
+		if _, err := ParseStims(in, 3); err == nil {
+			t.Errorf("%s: ParseStims(%q) accepted", name, in)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation from this repository's implementation:
+//
+//	repro -fig 1-2     delay / transition time vs. input separation (NAND3)
+//	repro -fig 2-1     VTC family and threshold table
+//	repro -fig 3-3     dominance crossover sweep (model vs. simulation)
+//	repro -fig 4-2     macromodel storage complexity
+//	repro -table 5-1   random-configuration validation summary
+//	repro -fig 5-1     validation error histograms
+//	repro -fig 6-1     glitch magnitude vs. separation + inertial delay
+//	repro -table baseline   inverter-collapse baseline comparison
+//	repro -all         everything above
+//
+// -fast switches to coarse characterization grids; -cache FILE reuses a
+// characterized model across runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate (1-2, 2-1, 3-3, 4-2, 5-1, 6-1)")
+		table = flag.String("table", "", "table to regenerate (5-1, baseline)")
+		all   = flag.Bool("all", false, "regenerate everything")
+		fast  = flag.Bool("fast", false, "use coarse characterization grids")
+		cache = flag.String("cache", "", "model cache file (JSON); created if absent")
+		n     = flag.Int("n", 100, "validation sample count for Table 5-1 / Fig 5-1 / baseline")
+		ext   = flag.String("ext", "", "extension experiment (cascade, cgaas, nor, analytic, current, pulse, pairs, corners, aoi)")
+	)
+	flag.Parse()
+
+	if !*all && *fig == "" && *table == "" && *ext == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rig, err := buildRig(*fast, *cache)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("\n================ %s ================\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(kind, id string) bool {
+		if *all {
+			return true
+		}
+		return (kind == "fig" && *fig == id) || (kind == "table" && *table == id) ||
+			(kind == "ext" && *ext == id)
+	}
+
+	if want("fig", "2-1") {
+		run("Figure 2-1: VTC family and thresholds", rig.figure21)
+	}
+	if want("fig", "1-2") {
+		run("Figure 1-2: delay and transition time vs. separation", rig.figure12)
+	}
+	if want("fig", "3-3") {
+		run("Figure 3-3: dominance crossover", rig.figure33)
+	}
+	if want("fig", "4-2") {
+		run("Figure 4-2: storage complexity", rig.figure42)
+	}
+	if want("table", "5-1") {
+		run("Table 5-1: model vs. simulation", func() error { return rig.table51(*n, false) })
+	}
+	if want("fig", "5-1") {
+		run("Figure 5-1: error distributions", func() error { return rig.table51(*n, true) })
+	}
+	if want("fig", "6-1") {
+		run("Figure 6-1: glitch magnitude and inertial delay", rig.figure61)
+	}
+	if want("table", "baseline") {
+		run("Baseline: inverter-collapse comparison", func() error { return rig.baseline(*n) })
+	}
+	if want("ext", "cascade") {
+		run("Extension: proximity-aware STA vs. composed simulation", rig.extCascade)
+	}
+	if want("ext", "cgaas") {
+		run("Extension: technology portability (CGaAs process)", func() error { return rig.extTechnology(min(*n, 40)) })
+	}
+	if want("ext", "nor") {
+		run("Extension: NOR3 validation (both directions)", func() error { return rig.extNOR(min(*n, 40)) })
+	}
+	if want("ext", "analytic") {
+		run("Extension: closed-form analytic macromodels", func() error { return rig.extAnalytic(min(*n, 40)) })
+	}
+	if want("ext", "current") {
+		run("Extension: peak supply current vs. proximity", rig.extCurrent)
+	}
+	if want("ext", "pulse") {
+		run("Extension: minimum transmittable pulse width", rig.extPulse)
+	}
+	if want("ext", "aoi") {
+		run("Extension: complex-gate (AOI21) pair proximity", rig.extAOI)
+	}
+	if want("ext", "corners") {
+		run("Extension: process-corner robustness", func() error { return rig.extCorners(min(*n, 25)) })
+	}
+	if want("ext", "pairs") {
+		run("Extension: per-reference vs. full-matrix dual models", func() error { return rig.extPairs(min(*n, 40)) })
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+// rig bundles the characterized NAND3 all experiments share.
+type rig struct {
+	cell  *cells.Cell
+	fam   *vtc.Family
+	th    waveform.Thresholds
+	sim   *macromodel.GateSim
+	model *macromodel.GateModel
+	calc  *core.Calculator
+	fast  bool
+}
+
+// buildRig constructs the paper's Figure 1-1 gate (3-input NAND), extracts
+// thresholds, and characterizes (or loads) the macromodels.
+func buildRig(fast bool, cachePath string) (*rig, error) {
+	proc := cells.DefaultProcess()
+	geom := cells.DefaultGeometry()
+	cell, err := cells.New(cells.Nand, 3, proc, geom)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "repro: extracting VTC family...\n")
+	fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.01)
+	if err != nil {
+		return nil, err
+	}
+	sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+
+	var model *macromodel.GateModel
+	if cachePath != "" {
+		if m, err := macromodel.Load(cachePath); err == nil {
+			fmt.Fprintf(os.Stderr, "repro: loaded model cache %s\n", cachePath)
+			model = m
+		}
+	}
+	if model == nil {
+		spec := macromodel.DefaultCharSpec()
+		if fast {
+			spec = macromodel.CoarseCharSpec()
+		}
+		fmt.Fprintf(os.Stderr, "repro: characterizing gate (fast=%v)...\n", fast)
+		t0 := time.Now()
+		model, err = macromodel.CharacterizeGate(sim, spec)
+		if err != nil {
+			return nil, err
+		}
+		calc := core.NewCalculator(model)
+		if err := core.CalibrateCorrection(calc, sim); err != nil {
+			return nil, err
+		}
+		// Glitch model for the Section-6 pair (a falls, b rises).
+		gg := macromodel.DefaultGlitchGrid()
+		if fast {
+			gg.TausFall = gg.TausFall[:2]
+			gg.TausRise = gg.TausRise[:2]
+		}
+		gm, err := sim.CharacterizeGlitch(0, 1, gg)
+		if err != nil {
+			return nil, err
+		}
+		model.Glitches = append(model.Glitches, gm)
+		fmt.Fprintf(os.Stderr, "repro: characterization done in %.1fs\n", time.Since(t0).Seconds())
+		if cachePath != "" {
+			if err := model.Save(cachePath); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: warning: cannot save cache: %v\n", err)
+			}
+		}
+	}
+	return &rig{
+		cell:  cell,
+		fam:   fam,
+		th:    fam.Thresholds,
+		sim:   sim,
+		model: model,
+		calc:  core.NewCalculator(model),
+		fast:  fast,
+	}, nil
+}
+
+// ps formats seconds as picoseconds.
+func ps(t float64) float64 { return t * 1e12 }

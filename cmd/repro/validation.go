@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/collapse"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/validate"
+	"repro/internal/waveform"
+)
+
+// table51 reproduces Table 5-1 (and, with histograms=true, Figure 5-1):
+// n random NAND3 configurations, model vs. transistor-level simulation.
+// Both dual-input backends are reported: the characterized tables and the
+// paper's direct-simulation methodology.
+func (r *rig) table51(n int, histograms bool) error {
+	spec := validate.DefaultSpec()
+	spec.N = n
+
+	type variant struct {
+		name string
+		calc *core.Calculator
+	}
+	variants := []variant{
+		{"table-backed dual model", r.calc},
+		{"simulation-backed dual model (paper §5 methodology)",
+			&core.Calculator{Model: r.model, Dual: core.NewSimBackend(r.sim.Clone())}},
+	}
+
+	for _, v := range variants {
+		cmp, err := validate.Run(v.calc, r.sim, spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", v.name, err)
+		}
+		ds := cmp.DelaySummary()
+		ts := cmp.TTSummary()
+		fmt.Printf("\n%s (n=%d):\n", v.name, n)
+		fmt.Printf("%-12s %10s %10s\n", "Quantity", "Delay", "Rise time")
+		fmt.Printf("%-12s %9.2f%% %9.2f%%\n", "Mean error", ds.Mean, ts.Mean)
+		fmt.Printf("%-12s %9.2f%% %9.2f%%\n", "Std-dev", ds.StdDev, ts.StdDev)
+		fmt.Printf("%-12s %9.2f%% %9.2f%%\n", "Max error", ds.Max, ts.Max)
+		fmt.Printf("%-12s %9.2f%% %9.2f%%\n", "Min error", ds.Min, ts.Min)
+		if histograms {
+			hd, err := stats.NewHistogram(cmp.DelayErrors(), -15, 15, 12)
+			if err != nil {
+				return err
+			}
+			ht, err := stats.NewHistogram(cmp.TTErrors(), -20, 20, 12)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n%s\n", hd.Render("Delay error distribution (%)"))
+			fmt.Printf("%s\n", ht.Render("Rise-time error distribution (%)"))
+		}
+	}
+	fmt.Printf("\nPaper's Table 5-1 for reference: delay mean 1.4%%, std 2.46%%, max 8.54%%, min -6.94%%;\n")
+	fmt.Printf("rise time mean -1.33%%, std 4.82%%, max 11.51%%, min -13.15%%.\n")
+	return nil
+}
+
+// baseline compares the proximity model against the series-parallel
+// inverter-collapse baseline on the same random configurations.
+func (r *rig) baseline(n int) error {
+	spec := validate.DefaultSpec()
+	spec.N = n
+	cmp, err := validate.Run(r.calc, r.sim, spec)
+	if err != nil {
+		return err
+	}
+
+	coll := collapse.New(r.cell, r.sim.Opt, r.th)
+	var proxErr, collErr []float64
+	for _, s := range cmp.Samples {
+		stims := make([]macromodel.PinStim, len(s.TTs))
+		refIdx := 0
+		for p := range s.TTs {
+			stims[p] = macromodel.PinStim{Pin: p, Dir: spec.Dir, TT: s.TTs[p], Cross: s.Seps[p]}
+			if p == s.Dominant {
+				refIdx = p
+			}
+		}
+		cd, _, err := coll.PredictDelayFrom(stims, refIdx)
+		if err != nil {
+			return fmt.Errorf("collapse predict: %w", err)
+		}
+		if s.ActualDelay != 0 {
+			proxErr = append(proxErr, s.DelayErrPct)
+			collErr = append(collErr, (cd-s.ActualDelay)/s.ActualDelay*100)
+		}
+	}
+	ps := stats.Summarize(proxErr)
+	cs := stats.Summarize(collErr)
+	fmt.Printf("Delay error vs. golden simulation over %d random NAND3 configurations:\n\n", n)
+	fmt.Printf("%-44s %8s %8s %8s %8s\n", "method", "mean%", "std%", "max%", "min%")
+	fmt.Printf("%-44s %8.2f %8.2f %8.2f %8.2f\n", "proximity model (this paper)", ps.Mean, ps.StdDev, ps.Max, ps.Min)
+	fmt.Printf("%-44s %8.2f %8.2f %8.2f %8.2f\n", "series-parallel inverter collapse [8]/[13]", cs.Mean, cs.StdDev, cs.Max, cs.Min)
+	fmt.Printf("\n(The paper's motivation: collapse-based methods 'give significant errors'\n for delay and output transition time; the compositional model does not.)\n")
+	return nil
+}
+
+// figure61 reproduces Figure 6-1(b): glitch magnitude versus separation for
+// a falling (τ=500 ps) against b rising (τ in {100, 500, 1000} ps), plus the
+// derived minimum separation (inertial delay).
+func (r *rig) figure61() error {
+	const ttFall = 500e-12
+	fmt.Printf("Minimum output voltage vs. separation s (fall of a measured from rise of b);\n")
+	fmt.Printf("Vil threshold = %.3f V — below it the output transition is complete.\n\n", r.th.Vil)
+
+	seps := table.LinSpace(-1.5e-9, 1.0e-9, 21)
+	fmt.Printf("%10s", "s (ps)")
+	rises := []float64{100e-12, 500e-12, 1000e-12}
+	for _, tr := range rises {
+		fmt.Printf(" %14s", fmt.Sprintf("τb=%.0fps", ps(tr)))
+	}
+	fmt.Println()
+	for _, s := range seps {
+		fmt.Printf("%10.0f", ps(s))
+		for _, tr := range rises {
+			v, err := r.sim.RunGlitch(0, 1, ttFall, tr, s)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %14.3f", v)
+		}
+		fmt.Println()
+	}
+
+	// Inertial delay from the characterized glitch model.
+	fmt.Printf("\nInertial delay (minimum separation for a complete transition, from the\ncharacterized glitch macromodel):\n")
+	for _, tr := range rises {
+		sep, ok, err := core.InertialDelay(r.model, 0, 1, ttFall, tr)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Printf("  τb=%4.0fps: no separation in the characterized range completes the transition\n", ps(tr))
+			continue
+		}
+		fmt.Printf("  τb=%4.0fps: s_min = %.0f ps\n", ps(tr), ps(sep))
+	}
+	_ = waveform.Rising
+	return nil
+}

@@ -1,0 +1,206 @@
+// Command sta runs proximity-aware static timing analysis on a gate-level
+// netlist, using the paper's delay model for gates whose inputs switch in
+// close temporal proximity.
+//
+//	sta -netlist adder.net -event a:rise:300:0,b:rise:250:30 -mode both
+//
+// Gate types referenced by the netlist are characterized on the fly
+// (-char nand2,inv — coarse grids unless -full) or loaded from JSON model
+// files produced by charz (-model nand2=nand2.json).
+//
+// Netlist format:
+//
+//	input a b cin
+//	gate g1 nand2 n1 a b
+//	gate g2 inv   n2 n1
+//	output n2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/sta"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+func main() {
+	var (
+		netlist = flag.String("netlist", "", "netlist file (required)")
+		events  = flag.String("event", "", "primary-input events net:dir:tt_ps:time_ps,... (required)")
+		char    = flag.String("char", "nand2,inv", "gate types to characterize on the fly")
+		models  = flag.String("model", "", "pre-characterized models type=file.json,...")
+		mode    = flag.String("mode", "both", "analysis mode: prox, conv or both")
+		full    = flag.Bool("full", false, "use full characterization grids")
+		loadFF  = flag.Float64("cl", 100, "characterization load in fF")
+		reqPS   = flag.Float64("required", 0, "required time at primary outputs in ps (0 = no slack report)")
+	)
+	flag.Parse()
+	if *netlist == "" || *events == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS); err != nil {
+		fmt.Fprintf(os.Stderr, "sta: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64) error {
+	lib := sta.NewLibrary()
+
+	// Load pre-characterized models.
+	if modelList != "" {
+		for _, kv := range strings.Split(modelList, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -model entry %q (want type=file.json)", kv)
+			}
+			m, err := macromodel.Load(parts[1])
+			if err != nil {
+				return fmt.Errorf("model %s: %w", parts[0], err)
+			}
+			lib.Add(parts[0], core.NewCalculator(m))
+		}
+	}
+
+	// Characterize remaining types.
+	if charList != "" {
+		for _, name := range strings.Split(charList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" || lib.Get(name) != nil {
+				continue
+			}
+			calc, err := characterize(name, full, loadFF)
+			if err != nil {
+				return fmt.Errorf("characterize %s: %w", name, err)
+			}
+			lib.Add(name, calc)
+			fmt.Fprintf(os.Stderr, "sta: characterized %s\n", name)
+		}
+	}
+
+	f, err := os.Open(netPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := sta.ParseNetlist(f, lib)
+	if err != nil {
+		return err
+	}
+	evs, err := sta.ParseEvents(c, eventSpec)
+	if err != nil {
+		return err
+	}
+
+	modes := map[string][]sta.Mode{
+		"prox": {sta.Proximity},
+		"conv": {sta.Conventional},
+		"both": {sta.Conventional, sta.Proximity},
+	}[mode]
+	if modes == nil {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	for _, m := range modes {
+		res, err := c.Analyze(evs, m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n== %s analysis ==\n", m)
+		for _, name := range c.NetsByName() {
+			n := c.Net(name)
+			for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+				if a, ok := res.Arrival(n, dir); ok {
+					fmt.Printf("%-12s %-8v t=%8.1f ps  tt=%7.1f ps\n",
+						name, dir, a.Time*1e12, a.TT*1e12)
+				}
+			}
+		}
+		for _, po := range c.POs {
+			arr, ok := res.Latest(po)
+			if !ok {
+				continue
+			}
+			path, err := res.CriticalPath(po, arr.Dir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("critical path to %s (%v @ %.1f ps):", po.Name, arr.Dir, arr.Time*1e12)
+			for _, st := range path {
+				fmt.Printf(" %s", st.Net.Name)
+				if st.Arrival.UsedInputs > 1 {
+					fmt.Printf("[prox:%d]", st.Arrival.UsedInputs)
+				}
+			}
+			fmt.Println()
+		}
+		if reqPS > 0 {
+			slack, at, warr, ok := res.WorstSlack(c.POs, reqPS*1e-12)
+			if ok {
+				status := "MET"
+				if slack < 0 {
+					status = "VIOLATED"
+				}
+				fmt.Printf("worst slack vs %.1f ps required: %.1f ps at %s (%v) — %s\n",
+					reqPS, slack*1e12, at.Name, warr.Dir, status)
+			}
+		}
+	}
+	return nil
+}
+
+// characterize builds a calculator for a named gate type (inv, nandN, norN).
+func characterize(name string, full bool, loadFF float64) (*core.Calculator, error) {
+	var kind cells.Kind
+	var n int
+	switch {
+	case name == "inv":
+		kind, n = cells.Inv, 1
+	case strings.HasPrefix(name, "nand"):
+		kind = cells.Nand
+		fmt.Sscanf(strings.TrimPrefix(name, "nand"), "%d", &n)
+	case strings.HasPrefix(name, "nor"):
+		kind = cells.Nor
+		fmt.Sscanf(strings.TrimPrefix(name, "nor"), "%d", &n)
+	default:
+		return nil, fmt.Errorf("unknown gate type (want inv, nandN, norN)")
+	}
+	if n < 1 || n > 8 {
+		return nil, fmt.Errorf("bad input count %d", n)
+	}
+	geom := cells.DefaultGeometry()
+	geom.CLoad = loadFF * 1e-15
+	cell, err := cells.New(kind, n, cells.DefaultProcess(), geom)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
+	if err != nil {
+		return nil, err
+	}
+	sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+	spec := macromodel.CoarseCharSpec()
+	if full {
+		spec = macromodel.DefaultCharSpec()
+	}
+	model, err := macromodel.CharacterizeGate(sim, spec)
+	if err != nil {
+		return nil, err
+	}
+	calc := core.NewCalculator(model)
+	if n >= 2 {
+		if err := core.CalibrateCorrection(calc, sim); err != nil {
+			return nil, err
+		}
+	}
+	return calc, nil
+}

@@ -1,0 +1,102 @@
+// Command vtcdump extracts the VTC family of a library cell (Figure 2-1 of
+// the paper) and prints the critical-voltage table plus the Section-2
+// threshold selection. With -curves the full transfer curves are emitted as
+// CSV.
+//
+//	vtcdump -gate nand3
+//	vtcdump -gate nor2 -curves -o vtc.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cells"
+	"repro/internal/spice"
+	"repro/internal/vtc"
+)
+
+func main() {
+	var (
+		gateName = flag.String("gate", "nand3", "cell: inv, nand2..nand4, nor2..nor4")
+		step     = flag.Float64("step", 0.01, "DC sweep step in volts")
+		curves   = flag.Bool("curves", false, "emit full transfer curves as CSV")
+		out      = flag.String("o", "", "CSV output file for -curves (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*gateName, *step, *curves, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "vtcdump: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(gateName string, step float64, curves bool, outPath string) error {
+	kind, n, err := parseGate(gateName)
+	if err != nil {
+		return err
+	}
+	cell, err := cells.New(kind, n, cells.DefaultProcess(), cells.DefaultGeometry())
+	if err != nil {
+		return err
+	}
+	fam, err := vtc.Extract(cell, spice.DefaultOptions(), step)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("VTC family of %s (%d curves):\n\n", gateName, len(fam.Curves))
+	fmt.Printf("%-10s %8s %8s %8s\n", "switching", "Vil (V)", "Vih (V)", "Vm (V)")
+	for _, c := range fam.Curves {
+		fmt.Printf("%-10s %8.3f %8.3f %8.3f\n", "{"+vtc.SubsetName(c.Subset)+"}", c.Vil, c.Vih, c.Vm)
+	}
+	fmt.Printf("\nselected thresholds (min Vil / max Vih): Vil=%.3f V, Vih=%.3f V\n",
+		fam.Thresholds.Vil, fam.Thresholds.Vih)
+
+	if !curves {
+		return nil
+	}
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	fmt.Fprintf(w, "vin_V")
+	for _, c := range fam.Curves {
+		fmt.Fprintf(w, ",vout_%s_V", vtc.SubsetName(c.Subset))
+	}
+	fmt.Fprintln(w)
+	for i := range fam.Curves[0].In {
+		fmt.Fprintf(w, "%.4f", fam.Curves[0].In[i])
+		for _, c := range fam.Curves {
+			fmt.Fprintf(w, ",%.5f", c.Out[i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// parseGate mirrors cmd/proxsim's naming.
+func parseGate(name string) (cells.Kind, int, error) {
+	switch name {
+	case "inv":
+		return cells.Inv, 1, nil
+	case "nand2":
+		return cells.Nand, 2, nil
+	case "nand3":
+		return cells.Nand, 3, nil
+	case "nand4":
+		return cells.Nand, 4, nil
+	case "nor2":
+		return cells.Nor, 2, nil
+	case "nor3":
+		return cells.Nor, 3, nil
+	case "nor4":
+		return cells.Nor, 4, nil
+	}
+	return 0, 0, fmt.Errorf("unknown gate %q", name)
+}

@@ -1,0 +1,75 @@
+// Characterization flow example: extract a cell's VTC family, build its
+// macromodels, inspect the paper's dimensionless single-input form
+// (equations 3.7/3.8), save the model to JSON, and reload it for
+// table-only evaluation (no simulator needed downstream).
+//
+//	go run ./examples/characterize
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	prox "repro"
+	"repro/internal/vtc"
+)
+
+func main() {
+	gate, err := prox.BuildGate(prox.NAND, 2, prox.DefaultProcess(), prox.DefaultGeometry())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The VTC family behind the threshold choice (Section 2).
+	fmt.Println("VTC family of the NAND2:")
+	for _, c := range gate.Family.Curves {
+		fmt.Printf("  switching {%-3s}: Vil=%.3f Vih=%.3f Vm=%.3f\n",
+			vtc.SubsetName(c.Subset), c.Vil, c.Vih, c.Vm)
+	}
+	fmt.Printf("chosen thresholds: Vil=%.3f (min), Vih=%.3f (max)\n\n", gate.Th.Vil, gate.Th.Vih)
+
+	model, err := gate.Characterize(prox.FastCharacterization())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's dimensionless single-input macromodel (eq. 3.7): delay/τ
+	// as a function of the normalized load u = CL/(K·Vdd·τ).
+	single := model.Data.Single(0, prox.Falling)
+	u, dOverTau := single.NormalizedDelay()
+	fmt.Println("dimensionless single-input delay model D(1) (pin a, falling):")
+	fmt.Printf("%16s %12s\n", "u=CL/(K·Vdd·τ)", "Δ/τ")
+	for i := range u {
+		fmt.Printf("%16.4f %12.4f\n", u[i], dOverTau[i])
+	}
+
+	// Persist and reload: the JSON payload carries everything needed for
+	// evaluation, so deployment needs no circuit simulation.
+	dir, err := os.MkdirTemp("", "proxmodel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "nand2.json")
+	if err := model.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("\nsaved model to %s (%d bytes)\n", path, info.Size())
+
+	loaded, err := prox.LoadModel(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := loaded.Delay([]prox.Transition{
+		{Pin: 0, Dir: prox.Falling, TT: 400 * prox.Picosecond, At: 0},
+		{Pin: 1, Dir: prox.Falling, TT: 150 * prox.Picosecond, At: 80 * prox.Picosecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded model evaluation: delay %.1f ps, output transition %.1f ps (dominant %c)\n",
+		res.Delay/prox.Picosecond, res.OutTT/prox.Picosecond, 'a'+rune(res.Dominant))
+}

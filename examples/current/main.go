@@ -1,0 +1,81 @@
+// Peak supply-current example: the proximity of input transitions sets not
+// only the delay but also the peak Vdd current a gate draws — the quantity
+// the inverter-collapse literature (the paper's reference [13]) was built
+// for. This example sweeps the separation of two falling NAND3 inputs and
+// reports the peak current and the delay side by side, then shows the same
+// circuit expressed as a SPICE-flavored text deck driving the simulator
+// directly.
+//
+//	go run ./examples/current
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	prox "repro"
+	"repro/internal/deck"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+)
+
+func main() {
+	gate, err := prox.BuildGate(prox.NAND, 3, prox.DefaultProcess(), prox.DefaultGeometry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := gate.Sim()
+
+	fmt.Println("NAND3: a falls 500ps, b falls 100ps, c at Vdd — sweep separation s:")
+	fmt.Printf("%10s %14s %16s\n", "s (ps)", "delay (ps)", "peak I(Vdd) (mA)")
+	for _, s := range []float64{-400, -200, 0, 150, 300, 500, 800} {
+		res, err := sim.Run([]macromodel.PinStim{
+			{Pin: 0, Dir: prox.Falling, TT: 500 * prox.Picosecond, Cross: 0},
+			{Pin: 1, Dir: prox.Falling, TT: 100 * prox.Picosecond, Cross: s * prox.Picosecond},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := res.DelayFrom(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		peak, _ := res.PeakSupplyCurrent()
+		fmt.Printf("%10.0f %14.1f %16.3f\n", s, d/prox.Picosecond, peak*1e3)
+	}
+
+	// The same physics from a plain text deck (see internal/deck).
+	const invDeck = `
+* inverter driven by a slow ramp
+Vdd vdd 0 5
+Vin in  0 PWL(0 0 0.3n 0 1.3n 5)
+M1  out in vdd vdd pmos W=8u L=1u
+M2  out in 0   0   nmos W=8u L=1u
+C1  out 0 100f
+.model nmos nmos KP=60u VTO=0.8 LAMBDA=0.05 GAMMA=0.4 PHI=0.65
+.model pmos pmos KP=25u VTO=-0.9 LAMBDA=0.05 GAMMA=0.5 PHI=0.65
+.tran 4n
+.end
+`
+	d, err := deck.Parse(strings.NewReader(invDeck))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := spice.New(d.Circuit, spice.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := eng.Transient(spice.TranSpec{Stop: d.TranStop, Breakpoints: d.Breakpoints})
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak, at, err := tr.PeakSourceCurrent(d.Sources["Vdd"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeck-driven inverter: output settles at %.2f V; peak supply current %.3f mA at %.0f ps\n",
+		tr.TraceName("out").Final(), peak*1e3, at/prox.Picosecond)
+	fmt.Println("(the slow input ramp keeps both devices conducting — the crowbar current")
+	fmt.Println(" spike lands mid-transition, exactly where proximity analysis looks)")
+}

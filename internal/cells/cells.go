@@ -1,0 +1,373 @@
+// Package cells builds transistor-level CMOS logic cells (inverter, NAND-n,
+// NOR-n) over a process definition, reproducing the kind of gate the paper
+// characterizes (its Figure 1-1 three-input NAND).
+//
+// Cells expose their input pins as driven circuit nodes so experiments can
+// attach piecewise-linear stimuli, and carry the parasitic capacitances that
+// make proximity physics visible: series-stack internal-node junction caps
+// and gate-drain overlap (Miller) caps.
+package cells
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+// Process is the fabrication-process model card shared by all cells.
+type Process struct {
+	Name string
+	Vdd  float64
+	// NMOS and PMOS are the per-type device model cards.
+	NMOS device.Params
+	PMOS device.Params
+	// CjPerWidth is the source/drain junction capacitance per meter of
+	// channel width (F/m), lumped onto stack nodes.
+	CjPerWidth float64
+	// CgoPerWidth is the gate overlap capacitance per meter of width (F/m)
+	// applied gate-drain and gate-source; the gate-drain instance is the
+	// Miller capacitor responsible for output coupling bumps.
+	CgoPerWidth float64
+	// CgatePerArea is the gate-oxide channel capacitance per square meter
+	// (F/m^2), lumped half to source and half to drain. It is inert on
+	// ideal driven inputs but loads the driving stage when cells are
+	// composed into multi-gate circuits (internal/chain).
+	CgatePerArea float64
+}
+
+// DefaultProcess returns a 5V, 1995-era CMOS process in the spirit of the
+// paper's (unpublished) deck: Vdd = 5V with thresholds placed so the
+// extracted NAND3 Vil/Vih land near the paper's 1.25V / 3.37V.
+func DefaultProcess() Process {
+	return Process{
+		Name: "generic-5v-cmos",
+		Vdd:  5.0,
+		NMOS: device.Params{
+			Kind:   device.Level1,
+			Vt0:    0.8,
+			KP:     60e-6,
+			Lambda: 0.05,
+			Gamma:  0.40,
+			Phi:    0.65,
+			Alpha:  1.5,
+		},
+		PMOS: device.Params{
+			Kind:   device.Level1,
+			Vt0:    -0.9,
+			KP:     25e-6,
+			Lambda: 0.05,
+			Gamma:  0.50,
+			Phi:    0.65,
+			Alpha:  1.5,
+		},
+		CjPerWidth:   1.0e-9, // 1.0 fF/um
+		CgoPerWidth:  0.3e-9, // 0.3 fF/um
+		CgatePerArea: 1.5e-3, // 1.5 fF/um^2
+	}
+}
+
+// CGaAsProcess returns a complementary-GaAs-flavored process (the paper's
+// stated future target, reference [1]): lower supply, lower thresholds,
+// higher electron mobility relative to holes. It exercises the claim that
+// the proximity methodology is not CMOS-specific.
+func CGaAsProcess() Process {
+	return Process{
+		Name: "cgaas-2v",
+		Vdd:  2.0,
+		NMOS: device.Params{
+			Kind: device.Level1, Vt0: 0.25, KP: 180e-6,
+			Lambda: 0.08, Gamma: 0.15, Phi: 0.6, Alpha: 1.2,
+		},
+		PMOS: device.Params{
+			Kind: device.Level1, Vt0: -0.35, KP: 40e-6,
+			Lambda: 0.08, Gamma: 0.2, Phi: 0.6, Alpha: 1.2,
+		},
+		CjPerWidth:   0.6e-9,
+		CgoPerWidth:  0.2e-9,
+		CgatePerArea: 1.0e-3,
+	}
+}
+
+// Corner derives a process-corner variant: KP scaled by kpScale (carrier
+// mobility / oxide variation) and threshold magnitudes by vtScale. Classic
+// corners: slow (0.8, 1.1), typical (1, 1), fast (1.2, 0.9).
+func (p Process) Corner(name string, kpScale, vtScale float64) Process {
+	c := p
+	c.Name = p.Name + "-" + name
+	c.NMOS.KP *= kpScale
+	c.PMOS.KP *= kpScale
+	c.NMOS.Vt0 *= vtScale
+	c.PMOS.Vt0 *= vtScale
+	return c
+}
+
+// AlphaPowerProcess returns DefaultProcess with both device cards switched
+// to the Sakurai–Newton alpha-power model (ablation backend).
+func AlphaPowerProcess() Process {
+	p := DefaultProcess()
+	p.NMOS.Kind = device.AlphaPower
+	p.PMOS.Kind = device.AlphaPower
+	return p
+}
+
+// Kind labels the logic function of a cell.
+type Kind int
+
+const (
+	Inv Kind = iota
+	Nand
+	Nor
+	// Complex is a series-parallel network gate built with NewComplex.
+	Complex
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Inv:
+		return "inv"
+	case Nand:
+		return "nand"
+	case Nor:
+		return "nor"
+	case Complex:
+		return "complex"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Geometry sets cell transistor sizing and output load.
+type Geometry struct {
+	WN, WP, L float64 // meters
+	CLoad     float64 // farads
+}
+
+// DefaultGeometry matches the delay scale of the paper's experiments
+// (hundreds of ps with input transition times of 50–2000 ps).
+func DefaultGeometry() Geometry {
+	return Geometry{WN: 8e-6, WP: 8e-6, L: 1e-6, CLoad: 100e-15}
+}
+
+// InputCapacitance estimates the capacitance one input pin presents to its
+// driver: the overlap and channel capacitances of the pin's NMOS and PMOS
+// gates. Used to size library-characterization loads to match composed
+// multi-gate circuits (internal/chain).
+func InputCapacitance(proc Process, geom Geometry) float64 {
+	covN := proc.CgoPerWidth*geom.WN + 0.5*proc.CgatePerArea*geom.WN*geom.L
+	covP := proc.CgoPerWidth*geom.WP + 0.5*proc.CgatePerArea*geom.WP*geom.L
+	return 2*covN + 2*covP
+}
+
+// Cell is a constructed logic cell with its netlist.
+type Cell struct {
+	Ckt    *circuit.Circuit
+	Proc   Process
+	Geom   Geometry
+	Kind   Kind
+	Inputs []circuit.NodeID // pin order a, b, c, ...
+	Output circuit.NodeID
+	VddN   circuit.NodeID
+
+	loadCap *circuit.Capacitor
+	// network is the pull-down expression for Complex cells.
+	network *Network
+}
+
+// pinNames generates a, b, c, ... for up to 26 inputs.
+func pinName(i int) string { return string(rune('a' + i)) }
+
+// New builds a cell of the given kind with n inputs.
+//
+// NAND topology: n PMOS in parallel Vdd->out; n NMOS in series out->gnd with
+// input 0 ("a") at the TOP of the stack (drain on the output) and input n-1
+// closest to ground. NOR is the dual. All inputs start driven at the
+// non-controlling level; experiments re-drive the pins they exercise.
+func New(kind Kind, n int, proc Process, geom Geometry) (*Cell, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cells: need at least one input, got %d", n)
+	}
+	if kind == Inv && n != 1 {
+		return nil, fmt.Errorf("cells: inverter takes exactly one input, got %d", n)
+	}
+	if n > 26 {
+		return nil, fmt.Errorf("cells: at most 26 inputs supported, got %d", n)
+	}
+	ckt := circuit.New()
+	c := &Cell{Ckt: ckt, Proc: proc, Geom: geom, Kind: kind}
+	c.VddN = ckt.DriveName("vdd", circuit.DC(proc.Vdd))
+	c.Output = ckt.Node("out")
+	for i := 0; i < n; i++ {
+		pin := ckt.DriveName(pinName(i), circuit.DC(c.NonControlling()))
+		c.Inputs = append(c.Inputs, pin)
+	}
+
+	if err := Instantiate(ckt, kind, proc, geom, c.Inputs, c.Output, c.VddN, ""); err != nil {
+		return nil, err
+	}
+	c.loadCap = ckt.AddCapacitor("cload", c.Output, circuit.Ground, geom.CLoad)
+	return c, nil
+}
+
+// Instantiate adds the transistors and parasitic capacitances of one gate to
+// an existing circuit, wiring the given input, output and supply nodes.
+// prefix namespaces device and internal-node names so several instances can
+// share one circuit (see internal/chain). No load capacitor is added.
+func Instantiate(ckt *circuit.Circuit, kind Kind, proc Process, geom Geometry,
+	inputs []circuit.NodeID, output, vddNode circuit.NodeID, prefix string) error {
+
+	n := len(inputs)
+	if n < 1 {
+		return fmt.Errorf("cells: instantiate needs at least one input")
+	}
+	if kind == Inv && n != 1 {
+		return fmt.Errorf("cells: inverter takes exactly one input, got %d", n)
+	}
+	junction := func(node circuit.NodeID, width float64) {
+		ckt.AddCapacitor(fmt.Sprintf("%scj_%s", prefix, ckt.NodeName(node)), node, circuit.Ground,
+			proc.CjPerWidth*width)
+	}
+	nm := func(i int) device.MOSFET {
+		return device.MOSFET{Name: fmt.Sprintf("%smn%s", prefix, pinName(i)), Type: device.NMOS,
+			W: geom.WN, L: geom.L, Model: proc.NMOS}
+	}
+	pm := func(i int) device.MOSFET {
+		return device.MOSFET{Name: fmt.Sprintf("%smp%s", prefix, pinName(i)), Type: device.PMOS,
+			W: geom.WP, L: geom.L, Model: proc.PMOS}
+	}
+	firstDevice := len(ckt.MOSFETs)
+
+	switch kind {
+	case Inv:
+		ckt.AddMOSFET(nm(0), output, inputs[0], circuit.Ground, circuit.Ground)
+		ckt.AddMOSFET(pm(0), output, inputs[0], vddNode, vddNode)
+		junction(output, geom.WN+geom.WP)
+	case Nand:
+		// Parallel PMOS pull-up.
+		for i := 0; i < n; i++ {
+			ckt.AddMOSFET(pm(i), output, inputs[i], vddNode, vddNode)
+		}
+		// Series NMOS pull-down: out -> x1 -> ... -> gnd, input 0 on top.
+		top := output
+		for i := 0; i < n; i++ {
+			var bottom circuit.NodeID
+			if i == n-1 {
+				bottom = circuit.Ground
+			} else {
+				bottom = ckt.Node(fmt.Sprintf("%sx%d", prefix, i+1))
+			}
+			ckt.AddMOSFET(nm(i), top, inputs[i], bottom, circuit.Ground)
+			if bottom != circuit.Ground {
+				junction(bottom, 2*geom.WN) // source of i + drain of i+1
+			}
+			top = bottom
+		}
+		junction(output, float64(n)*geom.WP+geom.WN)
+	case Nor:
+		// Parallel NMOS pull-down.
+		for i := 0; i < n; i++ {
+			ckt.AddMOSFET(nm(i), output, inputs[i], circuit.Ground, circuit.Ground)
+		}
+		// Series PMOS pull-up: vdd -> y1 -> ... -> out, input 0 at the TOP
+		// (next to Vdd), input n-1 on the output.
+		top := vddNode
+		for i := 0; i < n; i++ {
+			var bottom circuit.NodeID
+			if i == n-1 {
+				bottom = output
+			} else {
+				bottom = ckt.Node(fmt.Sprintf("%sy%d", prefix, i+1))
+			}
+			// For PMOS in the stack the source is the node nearer Vdd.
+			ckt.AddMOSFET(pm(i), bottom, inputs[i], top, vddNode)
+			if bottom != output {
+				junction(bottom, 2*geom.WP)
+			}
+			top = bottom
+		}
+		junction(output, float64(n)*geom.WN+geom.WP)
+	default:
+		return fmt.Errorf("cells: unknown kind %v", kind)
+	}
+
+	// Gate capacitances for this instance's devices: overlap (Miller)
+	// gate-drain/gate-source plus half the channel oxide capacitance to
+	// each side. Instances between two driven nodes are inert but kept for
+	// netlist fidelity; on internal nets they load the driving stage.
+	for _, m := range ckt.MOSFETs[firstDevice:] {
+		cov := proc.CgoPerWidth*m.W + 0.5*proc.CgatePerArea*m.W*m.L
+		ckt.AddCapacitor("cgd_"+m.Name, m.G, m.D, cov)
+		ckt.AddCapacitor("cgs_"+m.Name, m.G, m.S, cov)
+	}
+	return nil
+}
+
+// MustNew is New that panics on error, for tests and examples with literal
+// arguments.
+func MustNew(kind Kind, n int, proc Process, geom Geometry) *Cell {
+	c, err := New(kind, n, proc, geom)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the number of input pins.
+func (c *Cell) N() int { return len(c.Inputs) }
+
+// NonControlling returns the stable input level that lets other inputs
+// drive the output: Vdd for NAND/INV-style pull-down logic, 0 for NOR.
+func (c *Cell) NonControlling() float64 {
+	if c.Kind == Nor {
+		return 0
+	}
+	return c.Proc.Vdd
+}
+
+// Controlling returns the input level that forces the output on its own.
+func (c *Cell) Controlling() float64 {
+	if c.Kind == Nor {
+		return c.Proc.Vdd
+	}
+	return 0
+}
+
+// OutputDirection gives the output transition caused by inputs switching in
+// direction d with all other inputs non-controlling (both NAND and NOR are
+// inverting).
+func (c *Cell) OutputDirection(d waveform.Direction) waveform.Direction {
+	return d.Opposite()
+}
+
+// SetLoad updates the output load capacitance.
+func (c *Cell) SetLoad(farads float64) { c.loadCap.C = farads }
+
+// Load returns the output load capacitance.
+func (c *Cell) Load() float64 { return c.loadCap.C }
+
+// DrivePin attaches a PWL stimulus to input pin i.
+func (c *Cell) DrivePin(i int, w *waveform.PWL) {
+	c.Ckt.Drive(c.Inputs[i], w.Eval)
+}
+
+// HoldPin pins input i at a constant level.
+func (c *Cell) HoldPin(i int, level float64) {
+	c.Ckt.Drive(c.Inputs[i], circuit.DC(level))
+}
+
+// HoldAllNonControlling parks every input at the non-controlling level.
+func (c *Cell) HoldAllNonControlling() {
+	for i := range c.Inputs {
+		c.HoldPin(i, c.NonControlling())
+	}
+}
+
+// Engine builds a spice engine for the cell's current drive configuration.
+func (c *Cell) Engine(opt spice.Options) (*spice.Engine, error) {
+	return spice.New(c.Ckt, opt)
+}
+
+// PinName returns the canonical name of pin i ("a", "b", ...).
+func (c *Cell) PinName(i int) string { return pinName(i) }

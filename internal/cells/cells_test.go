@@ -1,0 +1,188 @@
+package cells
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+func TestNewValidation(t *testing.T) {
+	proc, geom := DefaultProcess(), DefaultGeometry()
+	if _, err := New(Nand, 0, proc, geom); err == nil {
+		t.Error("0-input gate accepted")
+	}
+	if _, err := New(Inv, 2, proc, geom); err == nil {
+		t.Error("2-input inverter accepted")
+	}
+	if _, err := New(Nand, 27, proc, geom); err == nil {
+		t.Error("27-input gate accepted")
+	}
+}
+
+func TestInverterTopology(t *testing.T) {
+	c := MustNew(Inv, 1, DefaultProcess(), DefaultGeometry())
+	if len(c.Ckt.MOSFETs) != 2 {
+		t.Fatalf("inverter has %d transistors", len(c.Ckt.MOSFETs))
+	}
+	if err := c.Ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNANDTopology(t *testing.T) {
+	n := 3
+	c := MustNew(Nand, n, DefaultProcess(), DefaultGeometry())
+	if got := len(c.Ckt.MOSFETs); got != 2*n {
+		t.Fatalf("NAND%d has %d transistors, want %d", n, got, 2*n)
+	}
+	// n PMOS all drain on output, source on vdd.
+	pmos, nmos := 0, 0
+	for _, m := range c.Ckt.MOSFETs {
+		if m.Type.String() == "pmos" {
+			pmos++
+			if m.D != c.Output || m.S != c.VddN {
+				t.Errorf("PMOS %s not wired Vdd->out", m.Name)
+			}
+		} else {
+			nmos++
+		}
+	}
+	if pmos != n || nmos != n {
+		t.Errorf("pmos=%d nmos=%d", pmos, nmos)
+	}
+	// The NMOS stack chains out -> x1 -> x2 -> gnd with input 0 on top.
+	top := c.Ckt.MOSFETs[n] // first NMOS added after n PMOS
+	if top.D != c.Output {
+		t.Error("stack-top NMOS drain should be the output")
+	}
+	bottom := c.Ckt.MOSFETs[2*n-1]
+	if bottom.S != circuit.Ground {
+		t.Error("stack-bottom NMOS source should be ground")
+	}
+}
+
+func TestNORTopology(t *testing.T) {
+	n := 2
+	c := MustNew(Nor, n, DefaultProcess(), DefaultGeometry())
+	if got := len(c.Ckt.MOSFETs); got != 2*n {
+		t.Fatalf("NOR%d has %d transistors", n, got)
+	}
+	// NMOS in parallel on the output.
+	for _, m := range c.Ckt.MOSFETs[:n] {
+		if m.D != c.Output || m.S != circuit.Ground {
+			t.Errorf("NOR NMOS %s not wired out->gnd", m.Name)
+		}
+	}
+}
+
+func TestControllingLevels(t *testing.T) {
+	nand := MustNew(Nand, 2, DefaultProcess(), DefaultGeometry())
+	if nand.NonControlling() != 5.0 || nand.Controlling() != 0 {
+		t.Error("NAND levels wrong")
+	}
+	nor := MustNew(Nor, 2, DefaultProcess(), DefaultGeometry())
+	if nor.NonControlling() != 0 || nor.Controlling() != 5.0 {
+		t.Error("NOR levels wrong")
+	}
+}
+
+func TestOutputDirectionInverting(t *testing.T) {
+	c := MustNew(Nand, 2, DefaultProcess(), DefaultGeometry())
+	if c.OutputDirection(waveform.Rising) != waveform.Falling {
+		t.Error("rising inputs should fall the output")
+	}
+	if c.OutputDirection(waveform.Falling) != waveform.Rising {
+		t.Error("falling inputs should raise the output")
+	}
+}
+
+func TestSetLoad(t *testing.T) {
+	c := MustNew(Inv, 1, DefaultProcess(), DefaultGeometry())
+	c.SetLoad(42e-15)
+	if c.Load() != 42e-15 {
+		t.Errorf("Load = %g", c.Load())
+	}
+}
+
+func TestPinNames(t *testing.T) {
+	c := MustNew(Nand, 3, DefaultProcess(), DefaultGeometry())
+	for i, want := range []string{"a", "b", "c"} {
+		if got := c.PinName(i); got != want {
+			t.Errorf("PinName(%d) = %q", i, got)
+		}
+		if got := c.Ckt.NodeName(c.Inputs[i]); got != want {
+			t.Errorf("input node %d named %q", i, got)
+		}
+	}
+}
+
+func TestHoldAllNonControlling(t *testing.T) {
+	c := MustNew(Nand, 2, DefaultProcess(), DefaultGeometry())
+	c.DrivePin(0, waveform.FallingRamp(0, 1e-9, 5))
+	c.HoldAllNonControlling()
+	for _, pin := range c.Inputs {
+		if got := c.Ckt.DriveValue(pin, 99); got != 5.0 {
+			t.Errorf("pin %s at %g after HoldAllNonControlling", c.Ckt.NodeName(pin), got)
+		}
+	}
+}
+
+func TestInternalStackNodesExist(t *testing.T) {
+	c := MustNew(Nand, 4, DefaultProcess(), DefaultGeometry())
+	// NAND4 has 3 internal stack nodes x1..x3, all unknowns.
+	unknowns := c.Ckt.Unknowns()
+	if len(unknowns) != 4 { // out + x1 + x2 + x3
+		t.Errorf("NAND4 unknowns = %d, want 4", len(unknowns))
+	}
+}
+
+func TestProcessCorner(t *testing.T) {
+	base := DefaultProcess()
+	fast := base.Corner("fast", 1.2, 0.9)
+	if fast.Name != "generic-5v-cmos-fast" {
+		t.Errorf("corner name = %q", fast.Name)
+	}
+	if fast.NMOS.KP <= base.NMOS.KP || fast.PMOS.KP <= base.PMOS.KP {
+		t.Error("fast corner should raise KP")
+	}
+	if fast.NMOS.Vt0 >= base.NMOS.Vt0 {
+		t.Error("fast corner should lower |Vtn|")
+	}
+	if fast.PMOS.Vt0 <= base.PMOS.Vt0 {
+		t.Error("fast corner should shrink |Vtp| (less negative)")
+	}
+	// Base process untouched (value semantics).
+	if base.NMOS.KP != DefaultProcess().NMOS.KP {
+		t.Error("corner mutated the base process")
+	}
+}
+
+func TestInputCapacitancePositive(t *testing.T) {
+	c := InputCapacitance(DefaultProcess(), DefaultGeometry())
+	if c <= 0 || c > 1e-12 {
+		t.Errorf("pin capacitance %g F implausible", c)
+	}
+}
+
+func TestCGaAsProcessBuildable(t *testing.T) {
+	c := MustNew(Nand, 2, CGaAsProcess(), Geometry{WN: 6e-6, WP: 6e-6, L: 0.8e-6, CLoad: 60e-15})
+	if err := c.Ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NonControlling() != 2.0 {
+		t.Errorf("CGaAs NAND non-controlling = %g, want Vdd=2", c.NonControlling())
+	}
+}
+
+func TestAlphaPowerProcess(t *testing.T) {
+	p := AlphaPowerProcess()
+	if p.NMOS.Kind.String() != "alpha-power" || p.PMOS.Kind.String() != "alpha-power" {
+		t.Error("AlphaPowerProcess did not switch model kinds")
+	}
+	// Still buildable and valid.
+	c := MustNew(Nand, 2, p, DefaultGeometry())
+	if err := c.Ckt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+package cells
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+)
+
+// Network is a series-parallel transistor-network expression describing a
+// CMOS gate's pull-down network; the pull-up is its structural dual. It
+// generalizes the NAND/NOR factory to complex gates (AOI/OAI), which the
+// paper's method covers implicitly — the proximity model is defined per
+// sensitized input pair, not per gate shape.
+type Network struct {
+	// Pin is the input index for a leaf; composite nodes use -1.
+	Pin int
+	// Series selects series composition of Children (AND of conduction);
+	// false means parallel (OR).
+	Series   bool
+	Children []*Network
+}
+
+// PinNet returns a leaf referencing one input pin.
+func PinNet(pin int) *Network { return &Network{Pin: pin} }
+
+// SeriesNet composes children in series (all must conduct).
+func SeriesNet(children ...*Network) *Network {
+	return &Network{Pin: -1, Series: true, Children: children}
+}
+
+// ParallelNet composes children in parallel (any may conduct).
+func ParallelNet(children ...*Network) *Network {
+	return &Network{Pin: -1, Series: false, Children: children}
+}
+
+// AOI21 returns the pull-down network of an AND-OR-INVERT gate:
+// out = !((a AND b) OR c) with pins a=0, b=1, c=2.
+func AOI21() *Network {
+	return ParallelNet(SeriesNet(PinNet(0), PinNet(1)), PinNet(2))
+}
+
+// OAI21 returns the pull-down network of an OR-AND-INVERT gate:
+// out = !((a OR b) AND c).
+func OAI21() *Network {
+	return SeriesNet(ParallelNet(PinNet(0), PinNet(1)), PinNet(2))
+}
+
+// leaf reports whether the node is a pin reference.
+func (n *Network) leaf() bool { return n.Pin >= 0 }
+
+// validate checks structure and collects the referenced pins.
+func (n *Network) validate(numPins int, seen map[int]bool) error {
+	if n.leaf() {
+		if n.Pin >= numPins {
+			return fmt.Errorf("cells: network references pin %d beyond %d inputs", n.Pin, numPins)
+		}
+		if seen[n.Pin] {
+			return fmt.Errorf("cells: network references pin %d twice", n.Pin)
+		}
+		seen[n.Pin] = true
+		return nil
+	}
+	if len(n.Children) < 2 {
+		return fmt.Errorf("cells: composite network node needs at least two children")
+	}
+	for _, c := range n.Children {
+		if err := c.validate(numPins, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conducts evaluates whether the network conducts for the given input
+// levels (true = input high, which turns an NMOS on).
+func (n *Network) Conducts(high []bool) bool {
+	if n.leaf() {
+		return high[n.Pin]
+	}
+	if n.Series {
+		for _, c := range n.Children {
+			if !c.Conducts(high) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.Children {
+		if c.Conducts(high) {
+			return true
+		}
+	}
+	return false
+}
+
+// dual returns the structural dual (series <-> parallel), the pull-up shape.
+func (n *Network) dual() *Network {
+	if n.leaf() {
+		return PinNet(n.Pin)
+	}
+	kids := make([]*Network, len(n.Children))
+	for i, c := range n.Children {
+		kids[i] = c.dual()
+	}
+	return &Network{Pin: -1, Series: !n.Series, Children: kids}
+}
+
+// NewComplex builds a static CMOS complex gate whose pull-down network is
+// the given expression (pull-up is the dual). Pins 0..numPins-1 must all be
+// referenced exactly once. All inputs start driven at ground; experiments
+// must set stable levels via SensitizeFor/HoldPin before simulating.
+func NewComplex(pulldown *Network, numPins int, proc Process, geom Geometry) (*Cell, error) {
+	if numPins < 1 || numPins > 12 {
+		return nil, fmt.Errorf("cells: complex gate supports 1..12 inputs, got %d", numPins)
+	}
+	seen := map[int]bool{}
+	if err := pulldown.validate(numPins, seen); err != nil {
+		return nil, err
+	}
+	if len(seen) != numPins {
+		return nil, fmt.Errorf("cells: network references %d of %d pins", len(seen), numPins)
+	}
+	ckt := circuit.New()
+	c := &Cell{Ckt: ckt, Proc: proc, Geom: geom, Kind: Complex, network: pulldown}
+	c.VddN = ckt.DriveName("vdd", circuit.DC(proc.Vdd))
+	c.Output = ckt.Node("out")
+	for i := 0; i < numPins; i++ {
+		c.Inputs = append(c.Inputs, ckt.DriveName(pinName(i), circuit.DC(0)))
+	}
+
+	nodeSeq := 0
+	fresh := func(prefix string) circuit.NodeID {
+		nodeSeq++
+		id := ckt.Node(fmt.Sprintf("%s%d", prefix, nodeSeq))
+		c.junctionCap(id, 2*geom.WN)
+		return id
+	}
+	var buildN func(n *Network, top, bottom circuit.NodeID)
+	buildN = func(n *Network, top, bottom circuit.NodeID) {
+		if n.leaf() {
+			m := device.MOSFET{Name: fmt.Sprintf("mn%s_%d", pinName(n.Pin), nodeSeq), Type: device.NMOS,
+				W: geom.WN, L: geom.L, Model: proc.NMOS}
+			ckt.AddMOSFET(m, top, c.Inputs[n.Pin], bottom, circuit.Ground)
+			return
+		}
+		if n.Series {
+			cur := top
+			for i, child := range n.Children {
+				next := bottom
+				if i < len(n.Children)-1 {
+					next = fresh("xn")
+				}
+				buildN(child, cur, next)
+				cur = next
+			}
+			return
+		}
+		for _, child := range n.Children {
+			buildN(child, top, bottom)
+		}
+	}
+	var buildP func(n *Network, top, bottom circuit.NodeID)
+	buildP = func(n *Network, top, bottom circuit.NodeID) {
+		if n.leaf() {
+			m := device.MOSFET{Name: fmt.Sprintf("mp%s_%d", pinName(n.Pin), nodeSeq), Type: device.PMOS,
+				W: geom.WP, L: geom.L, Model: proc.PMOS}
+			// Source toward Vdd (top), drain toward the output (bottom).
+			ckt.AddMOSFET(m, bottom, c.Inputs[n.Pin], top, c.VddN)
+			return
+		}
+		if n.Series {
+			cur := top
+			for i, child := range n.Children {
+				next := bottom
+				if i < len(n.Children)-1 {
+					next = fresh("xp")
+				}
+				buildP(child, cur, next)
+				cur = next
+			}
+			return
+		}
+		for _, child := range n.Children {
+			buildP(child, top, bottom)
+		}
+	}
+	buildN(pulldown, c.Output, circuit.Ground)
+	buildP(pulldown.dual(), c.VddN, c.Output)
+	c.junctionCap(c.Output, geom.WN+geom.WP)
+
+	for _, m := range ckt.MOSFETs {
+		cov := proc.CgoPerWidth*m.W + 0.5*proc.CgatePerArea*m.W*m.L
+		ckt.AddCapacitor("cgd_"+m.Name, m.G, m.D, cov)
+		ckt.AddCapacitor("cgs_"+m.Name, m.G, m.S, cov)
+	}
+	c.loadCap = ckt.AddCapacitor("cload", c.Output, circuit.Ground, geom.CLoad)
+	return c, nil
+}
+
+// junctionCap lumps a junction capacitance onto a node (complex-gate path).
+func (c *Cell) junctionCap(node circuit.NodeID, width float64) {
+	c.Ckt.AddCapacitor(fmt.Sprintf("cj_%s", c.Ckt.NodeName(node)), node, circuit.Ground,
+		c.Proc.CjPerWidth*width)
+}
+
+// Network exposes the pull-down expression of a complex cell (nil for
+// NAND/NOR/INV).
+func (c *Cell) Network() *Network { return c.network }
+
+// OutputHigh evaluates the gate's logic function: true when the output is
+// high for the given input-high pattern.
+func (c *Cell) OutputHigh(high []bool) bool {
+	switch c.Kind {
+	case Complex:
+		return !c.network.Conducts(high)
+	case Nor:
+		for _, h := range high {
+			if h {
+				return false
+			}
+		}
+		return true
+	default: // Nand, Inv
+		for _, h := range high {
+			if !h {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// SensitizeFor returns stable levels (volts) for every pin NOT in the given
+// switching subset, such that the subset controls the output: with all
+// subset pins low the output must differ from all subset pins high. For
+// NAND-family gates this is the non-controlling Vdd; for NOR, ground;
+// for complex gates the assignment is found by search. The returned slice
+// has one entry per pin; entries for subset pins carry their "all low"
+// start level (0) and are ignored by callers that drive those pins.
+func (c *Cell) SensitizeFor(subset []int) ([]float64, error) {
+	n := c.N()
+	inSubset := make([]bool, n)
+	for _, p := range subset {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("cells: pin %d out of range", p)
+		}
+		inSubset[p] = true
+	}
+	levels := make([]float64, n)
+	switch c.Kind {
+	case Nor:
+		return levels, nil // all stable pins at 0
+	case Nand, Inv:
+		for i := range levels {
+			if !inSubset[i] {
+				levels[i] = c.Proc.Vdd
+			}
+		}
+		return levels, nil
+	}
+	// Complex: brute-force the stable pins.
+	var stable []int
+	for i := 0; i < n; i++ {
+		if !inSubset[i] {
+			stable = append(stable, i)
+		}
+	}
+	high := make([]bool, n)
+	for mask := 0; mask < 1<<len(stable); mask++ {
+		for bi, p := range stable {
+			high[p] = mask&(1<<bi) != 0
+		}
+		// The endpoints must flip the output...
+		for _, p := range subset {
+			high[p] = false
+		}
+		low := c.OutputHigh(high)
+		for _, p := range subset {
+			high[p] = true
+		}
+		if c.OutputHigh(high) == low {
+			continue
+		}
+		// ...and every subset pin must be relevant under this assignment:
+		// some state of the other subset pins lets the pin toggle the
+		// output (otherwise the "pair" degenerates to fewer inputs).
+		if !c.subsetAllRelevant(subset, high) {
+			continue
+		}
+		for bi, p := range stable {
+			if mask&(1<<bi) != 0 {
+				levels[p] = c.Proc.Vdd
+			}
+		}
+		return levels, nil
+	}
+	return nil, fmt.Errorf("cells: subset %v cannot be sensitized", subset)
+}
+
+// subsetAllRelevant checks that each subset pin can toggle the output for
+// some assignment of the other subset pins; high carries the stable-pin
+// assignment (subset entries are scratch space).
+func (c *Cell) subsetAllRelevant(subset []int, high []bool) bool {
+	for _, p := range subset {
+		relevant := false
+		for mask := 0; mask < 1<<len(subset) && !relevant; mask++ {
+			for bi, q := range subset {
+				high[q] = mask&(1<<bi) != 0
+			}
+			high[p] = false
+			lo := c.OutputHigh(high)
+			high[p] = true
+			if c.OutputHigh(high) != lo {
+				relevant = true
+			}
+		}
+		if !relevant {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetCausation classifies how a sensitized switching subset combines for
+// inputs moving in direction dir (with stable pins at the given levels):
+// FirstCauseSubset when a single subset pin completing its transition
+// already produces the output transition (OR-like), LastCauseSubset when
+// every subset pin must complete (AND-like), MixedSubset otherwise.
+func (c *Cell) SubsetCausation(subset []int, levels []float64, rising bool) SubsetKind {
+	n := c.N()
+	high := make([]bool, n)
+	for i := range high {
+		high[i] = levels[i] > c.Proc.Vdd/2
+	}
+	// Start state: subset at the pre-transition level.
+	for _, p := range subset {
+		high[p] = !rising
+	}
+	start := c.OutputHigh(high)
+	// End state: all switched.
+	for _, p := range subset {
+		high[p] = rising
+	}
+	if c.OutputHigh(high) == start {
+		return MixedSubset // subset does not flip the output at all
+	}
+	// Single-pin probes.
+	anySingle, allSingle := false, true
+	for _, p := range subset {
+		for _, q := range subset {
+			high[q] = !rising
+		}
+		high[p] = rising
+		if c.OutputHigh(high) != start {
+			anySingle = true
+		} else {
+			allSingle = false
+		}
+	}
+	switch {
+	case allSingle:
+		return FirstCauseSubset
+	case !anySingle:
+		return LastCauseSubset
+	default:
+		return MixedSubset
+	}
+}
+
+// SubsetKind classifies a switching subset's combination behaviour.
+type SubsetKind int
+
+const (
+	FirstCauseSubset SubsetKind = iota
+	LastCauseSubset
+	MixedSubset
+)
+
+func (k SubsetKind) String() string {
+	switch k {
+	case FirstCauseSubset:
+		return "first-cause (OR-like)"
+	case LastCauseSubset:
+		return "last-cause (AND-like)"
+	default:
+		return "mixed"
+	}
+}

@@ -1,0 +1,180 @@
+package cells
+
+import (
+	"repro/internal/spice"
+
+	"testing"
+)
+
+func TestNetworkValidation(t *testing.T) {
+	proc, geom := DefaultProcess(), DefaultGeometry()
+	if _, err := NewComplex(ParallelNet(PinNet(0), PinNet(3)), 3, proc, geom); err == nil {
+		t.Error("out-of-range pin accepted")
+	}
+	if _, err := NewComplex(ParallelNet(PinNet(0), PinNet(0)), 1, proc, geom); err == nil {
+		t.Error("duplicate pin accepted")
+	}
+	if _, err := NewComplex(ParallelNet(PinNet(0), PinNet(1)), 3, proc, geom); err == nil {
+		t.Error("unreferenced pin accepted")
+	}
+	if _, err := NewComplex(&Network{Pin: -1, Series: true, Children: []*Network{PinNet(0)}}, 1, proc, geom); err == nil {
+		t.Error("single-child composite accepted")
+	}
+}
+
+func TestAOI21Logic(t *testing.T) {
+	c, err := NewComplex(AOI21(), 3, DefaultProcess(), DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out = !((a AND b) OR c)
+	cases := []struct {
+		a, b, cc bool
+		out      bool
+	}{
+		{false, false, false, true},
+		{true, false, false, true},
+		{true, true, false, false},
+		{false, false, true, false},
+		{true, true, true, false},
+	}
+	for _, k := range cases {
+		if got := c.OutputHigh([]bool{k.a, k.b, k.cc}); got != k.out {
+			t.Errorf("AOI21(%v,%v,%v) = %v, want %v", k.a, k.b, k.cc, got, k.out)
+		}
+	}
+	// 3 NMOS + 3 PMOS.
+	if len(c.Ckt.MOSFETs) != 6 {
+		t.Errorf("AOI21 has %d transistors, want 6", len(c.Ckt.MOSFETs))
+	}
+}
+
+func TestOAI21Logic(t *testing.T) {
+	c, err := NewComplex(OAI21(), 3, DefaultProcess(), DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// out = !((a OR b) AND c)
+	cases := []struct {
+		a, b, cc bool
+		out      bool
+	}{
+		{false, false, true, true},
+		{true, false, false, true},
+		{true, false, true, false},
+		{false, true, true, false},
+	}
+	for _, k := range cases {
+		if got := c.OutputHigh([]bool{k.a, k.b, k.cc}); got != k.out {
+			t.Errorf("OAI21(%v,%v,%v) = %v, want %v", k.a, k.b, k.cc, got, k.out)
+		}
+	}
+}
+
+func TestSensitizeForComplex(t *testing.T) {
+	c, err := NewComplex(AOI21(), 3, DefaultProcess(), DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin a needs b high (series partner on) and c low (parallel branch off).
+	lv, err := c.SensitizeFor([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv[1] != 5.0 || lv[2] != 0 {
+		t.Errorf("sensitize {a}: levels = %v, want b=Vdd c=0", lv)
+	}
+	// Pair {a,b}: c must be low.
+	lv, err = c.SensitizeFor([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv[2] != 0 {
+		t.Errorf("sensitize {a,b}: c = %g, want 0", lv[2])
+	}
+	// Pair {a,c}: b must be high.
+	lv, err = c.SensitizeFor([]int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv[1] != 5.0 {
+		t.Errorf("sensitize {a,c}: b = %g, want Vdd", lv[1])
+	}
+}
+
+func TestSensitizeForClassicGates(t *testing.T) {
+	nand := MustNew(Nand, 3, DefaultProcess(), DefaultGeometry())
+	lv, err := nand.SensitizeFor([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv[0] != 5.0 || lv[2] != 5.0 {
+		t.Errorf("NAND sensitize = %v", lv)
+	}
+	nor := MustNew(Nor, 2, DefaultProcess(), DefaultGeometry())
+	lv, err = nor.SensitizeFor([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lv[1] != 0 {
+		t.Errorf("NOR sensitize = %v", lv)
+	}
+}
+
+func TestSubsetCausationAOI21(t *testing.T) {
+	c, err := NewComplex(AOI21(), 3, DefaultProcess(), DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {a,b} rising with c=0: both series NMOS must turn on -> AND-like.
+	lvAB, _ := c.SensitizeFor([]int{0, 1})
+	if k := c.SubsetCausation([]int{0, 1}, lvAB, true); k != LastCauseSubset {
+		t.Errorf("AOI21 {a,b} rising = %v, want last-cause", k)
+	}
+	// {a,b} falling with c=0: pull-up is parallel(a,b) in series with c'...
+	// the pull-up dual: series(parallel(a',b'), c'). With c=0 its PMOS is
+	// on; output rises when EITHER a or b PMOS turns on -> OR-like.
+	if k := c.SubsetCausation([]int{0, 1}, lvAB, false); k != FirstCauseSubset {
+		t.Errorf("AOI21 {a,b} falling = %v, want first-cause", k)
+	}
+	// {a,c} rising with b=1: either branch conducts -> OR-like.
+	lvAC, _ := c.SensitizeFor([]int{0, 2})
+	if k := c.SubsetCausation([]int{0, 2}, lvAC, true); k != FirstCauseSubset {
+		t.Errorf("AOI21 {a,c} rising = %v, want first-cause", k)
+	}
+	// {a,c} falling with b=1: both branches must cut -> AND-like.
+	if k := c.SubsetCausation([]int{0, 2}, lvAC, false); k != LastCauseSubset {
+		t.Errorf("AOI21 {a,c} falling = %v, want last-cause", k)
+	}
+}
+
+// TestComplexGateDCLevels: the transistor netlist agrees with the logic
+// model at static input corners.
+func TestComplexGateDCLevels(t *testing.T) {
+	c, err := NewComplex(AOI21(), 3, DefaultProcess(), DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := c.Engine(spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 8; mask++ {
+		high := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		for p := 0; p < 3; p++ {
+			v := 0.0
+			if high[p] {
+				v = 5.0
+			}
+			c.HoldPin(p, v)
+		}
+		op, err := eng.OP(0, nil)
+		if err != nil {
+			t.Fatalf("OP at %v: %v", high, err)
+		}
+		got := op.At(c.Output) > 2.5
+		if got != c.OutputHigh(high) {
+			t.Errorf("DC at %v: output %.2fV disagrees with logic %v", high, op.At(c.Output), c.OutputHigh(high))
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package chain composes several logic cells into ONE transistor-level
+// circuit so that multi-stage timing can be simulated end-to-end. It is the
+// golden reference for the proximity-aware static timing analyzer
+// (internal/sta): the STA propagates (crossing time, transition time) pairs
+// gate by gate through macromodels, while chain simulates the entire cascade
+// with the circuit simulator, including the real loading of each stage by
+// the next stage's gate capacitance.
+package chain
+
+import (
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+// GateSpec declares one gate instance in the cascade.
+type GateSpec struct {
+	Name   string
+	Kind   cells.Kind
+	Geom   cells.Geometry
+	Inputs []string // net names; primary inputs are nets no gate drives
+	Output string
+	// ExtraLoad is an additional capacitance on the output net (wire load);
+	// the gate capacitance of fanout stages is modeled automatically.
+	ExtraLoad float64
+}
+
+// Netlist is the composed circuit.
+type Netlist struct {
+	Ckt   *circuit.Circuit
+	Proc  cells.Process
+	Gates []GateSpec
+	// PrimaryInputs maps net name -> driven node for nets no gate drives.
+	PrimaryInputs map[string]circuit.NodeID
+	// Nets maps every net name to its node.
+	Nets map[string]circuit.NodeID
+	// driverKind maps an internal net to the kind of gate driving it (for
+	// choosing measurement conventions).
+	driverKind map[string]cells.Kind
+}
+
+// Build composes the gates into one circuit. Nets that appear only as gate
+// inputs become primary inputs, initially held at the non-controlling level
+// of the first gate that consumes them.
+func Build(proc cells.Process, gates []GateSpec) (*Netlist, error) {
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("chain: no gates")
+	}
+	ckt := circuit.New()
+	vdd := ckt.DriveName("vdd", circuit.DC(proc.Vdd))
+
+	nl := &Netlist{
+		Ckt:           ckt,
+		Proc:          proc,
+		Gates:         append([]GateSpec(nil), gates...),
+		PrimaryInputs: map[string]circuit.NodeID{},
+		Nets:          map[string]circuit.NodeID{},
+		driverKind:    map[string]cells.Kind{},
+	}
+
+	driven := map[string]string{} // net -> gate name
+	for _, g := range gates {
+		if g.Output == "" || g.Name == "" {
+			return nil, fmt.Errorf("chain: gate needs a name and an output net")
+		}
+		if prev, ok := driven[g.Output]; ok {
+			return nil, fmt.Errorf("chain: net %s driven by both %s and %s", g.Output, prev, g.Name)
+		}
+		driven[g.Output] = g.Name
+		nl.driverKind[g.Output] = g.Kind
+	}
+
+	node := func(name string) circuit.NodeID {
+		id := ckt.Node(name)
+		nl.Nets[name] = id
+		return id
+	}
+
+	for _, g := range gates {
+		inputs := make([]circuit.NodeID, len(g.Inputs))
+		for i, in := range g.Inputs {
+			inputs[i] = node(in)
+			if _, isDriven := driven[in]; !isDriven {
+				if _, seen := nl.PrimaryInputs[in]; !seen {
+					nl.PrimaryInputs[in] = inputs[i]
+					// Park primary inputs at this gate's non-controlling
+					// level until a stimulus is attached.
+					level := proc.Vdd
+					if g.Kind == cells.Nor {
+						level = 0
+					}
+					ckt.Drive(inputs[i], circuit.DC(level))
+				}
+			}
+		}
+		out := node(g.Output)
+		if err := cells.Instantiate(ckt, g.Kind, proc, g.Geom, inputs, out, vdd, g.Name+"_"); err != nil {
+			return nil, fmt.Errorf("chain: gate %s: %w", g.Name, err)
+		}
+		if g.ExtraLoad > 0 {
+			ckt.AddCapacitor(g.Name+"_cw", out, circuit.Ground, g.ExtraLoad)
+		}
+	}
+	return nl, nil
+}
+
+// Stimulus is one primary-input transition (same conventions as
+// macromodel.PinStim: Cross is the measurement-level crossing time).
+type Stimulus struct {
+	Net   string
+	Dir   waveform.Direction
+	TT    float64
+	Cross float64
+}
+
+// Result carries the composed-transient outcome.
+type Result struct {
+	Tran  *spice.TranResult
+	Th    waveform.Thresholds
+	PWLs  map[string]*waveform.PWL
+	Shift float64
+	nl    *Netlist
+}
+
+// Run drives the primary inputs and simulates the whole cascade. th supplies
+// the measurement levels used to place the stimuli (typically the threshold
+// set of the first-stage gate model). Undriven primary inputs stay parked.
+func (nl *Netlist) Run(stims []Stimulus, th waveform.Thresholds, opt spice.Options, settle float64) (*Result, error) {
+	if settle <= 0 {
+		settle = 5e-9
+	}
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	// Reset all primary inputs to their parked levels... they keep their
+	// current drives; stimulated nets get PWLs below.
+	const margin = 0.3e-9
+	minStart := 0.0
+	type placed struct {
+		s     Stimulus
+		start float64
+	}
+	pl := make([]placed, len(stims))
+	for i, s := range stims {
+		if _, ok := nl.PrimaryInputs[s.Net]; !ok {
+			return nil, fmt.Errorf("chain: %s is not a primary input", s.Net)
+		}
+		if s.TT <= 0 {
+			return nil, fmt.Errorf("chain: non-positive transition time on %s", s.Net)
+		}
+		frac := th.Vil / th.Vdd
+		if s.Dir == waveform.Falling {
+			frac = (th.Vdd - th.Vih) / th.Vdd
+		}
+		start := s.Cross - s.TT*frac
+		if start < minStart {
+			minStart = start
+		}
+		pl[i] = placed{s: s, start: start}
+	}
+	shift := margin - minStart
+
+	pwls := map[string]*waveform.PWL{}
+	var bps []*waveform.PWL
+	maxEnd := 0.0
+	for _, p := range pl {
+		var w *waveform.PWL
+		if p.s.Dir == waveform.Rising {
+			w = waveform.Ramp(p.start+shift, p.s.TT, 0, nl.Proc.Vdd)
+		} else {
+			w = waveform.Ramp(p.start+shift, p.s.TT, nl.Proc.Vdd, 0)
+		}
+		pwls[p.s.Net] = w
+		bps = append(bps, w)
+		nl.Ckt.Drive(nl.PrimaryInputs[p.s.Net], w.Eval)
+		if e := p.start + shift + p.s.TT; e > maxEnd {
+			maxEnd = e
+		}
+	}
+
+	eng, err := spice.New(nl.Ckt, opt)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Transient(spice.TranSpec{Stop: maxEnd + settle, Breakpoints: waveform.Breakpoints(bps...)})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tran: res, Th: th, PWLs: pwls, Shift: shift, nl: nl}, nil
+}
+
+// Trace returns the simulated waveform of a net.
+func (r *Result) Trace(net string) (*waveform.Trace, error) {
+	id, ok := r.nl.Nets[net]
+	if !ok {
+		return nil, fmt.Errorf("chain: unknown net %s", net)
+	}
+	return r.Tran.Trace(id), nil
+}
+
+// CrossTime measures when a net completes a transition in direction d (last
+// crossing of the measurement level), in the original (unshifted) frame.
+func (r *Result) CrossTime(net string, d waveform.Direction) (float64, error) {
+	tr, err := r.Trace(net)
+	if err != nil {
+		return 0, err
+	}
+	t, err := r.Th.OutputCross(tr, d)
+	if err != nil {
+		return 0, fmt.Errorf("chain: net %s: %w", net, err)
+	}
+	return t - r.Shift, nil
+}
+
+// TransitionTime measures a net's transition time in direction d.
+func (r *Result) TransitionTime(net string, d waveform.Direction) (float64, error) {
+	tr, err := r.Trace(net)
+	if err != nil {
+		return 0, err
+	}
+	return r.Th.TransitionTime(tr, d)
+}
+
+// InputGateSim builds a single-cell measurement harness with the same
+// geometry as the named gate, used when characterizing library models that
+// should match this netlist's stages.
+func (nl *Netlist) InputGateSim(gate GateSpec, th waveform.Thresholds, opt spice.Options) (*macromodel.GateSim, error) {
+	cell, err := cells.New(gate.Kind, len(gate.Inputs), nl.Proc, gate.Geom)
+	if err != nil {
+		return nil, err
+	}
+	return macromodel.NewGateSim(cell, opt, th), nil
+}

@@ -1,0 +1,218 @@
+// Package circuit represents transistor-level netlists for the simulator in
+// internal/spice.
+//
+// A circuit is a set of named nodes connected by devices. Node 0 is always
+// ground. A node may be *driven*, meaning its voltage is imposed by an ideal
+// source as a function of time — gate input pins are driven nodes, matching
+// the paper's assumption of piecewise-linear ideal input waveforms. All other
+// non-ground nodes are *unknowns* solved by nodal analysis.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+)
+
+// NodeID identifies a node within one Circuit. Ground is always 0.
+type NodeID int
+
+// Ground is the reference node; its voltage is identically zero.
+const Ground NodeID = 0
+
+// DriveFunc gives the voltage of a driven node as a function of time in
+// seconds. For DC analyses it is evaluated at the analysis time (default 0).
+type DriveFunc func(t float64) float64
+
+// DC returns a DriveFunc pinned at a constant voltage.
+func DC(v float64) DriveFunc { return func(float64) float64 { return v } }
+
+// MOSFETInst is a transistor instance wired into the circuit.
+type MOSFETInst struct {
+	device.MOSFET
+	D, G, S, B NodeID
+}
+
+// Capacitor is a linear two-terminal capacitor.
+type Capacitor struct {
+	Name string
+	A, B NodeID
+	C    float64 // farads
+}
+
+// Resistor is a linear two-terminal resistor.
+type Resistor struct {
+	Name string
+	A, B NodeID
+	R    float64 // ohms
+}
+
+// Circuit is a mutable netlist.
+type Circuit struct {
+	names  []string
+	byName map[string]NodeID
+	drives map[NodeID]DriveFunc
+
+	MOSFETs    []*MOSFETInst
+	Capacitors []*Capacitor
+	Resistors  []*Resistor
+}
+
+// New returns an empty circuit containing only the ground node, which is
+// reachable under the names "0" and "gnd".
+func New() *Circuit {
+	c := &Circuit{
+		names:  []string{"0"},
+		byName: map[string]NodeID{"0": Ground, "gnd": Ground},
+		drives: map[NodeID]DriveFunc{},
+	}
+	return c
+}
+
+// Node returns the NodeID for name, creating the node if necessary.
+func (c *Circuit) Node(name string) NodeID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.names))
+	c.names = append(c.names, name)
+	c.byName[name] = id
+	return id
+}
+
+// NodeName returns the canonical name of a node.
+func (c *Circuit) NodeName(id NodeID) string {
+	if int(id) < 0 || int(id) >= len(c.names) {
+		return fmt.Sprintf("node#%d", int(id))
+	}
+	return c.names[id]
+}
+
+// NumNodes returns the number of nodes including ground.
+func (c *Circuit) NumNodes() int { return len(c.names) }
+
+// Drive marks a node as driven by an ideal voltage source.
+func (c *Circuit) Drive(id NodeID, f DriveFunc) {
+	if id == Ground {
+		panic("circuit: cannot drive ground")
+	}
+	c.drives[id] = f
+}
+
+// DriveName is Drive keyed by node name (creating the node if needed).
+func (c *Circuit) DriveName(name string, f DriveFunc) NodeID {
+	id := c.Node(name)
+	c.Drive(id, f)
+	return id
+}
+
+// DriveFuncOf returns the source attached to a driven node (nil if none).
+func (c *Circuit) DriveFuncOf(id NodeID) DriveFunc { return c.drives[id] }
+
+// Undrive removes the source on a node, returning it to the unknown set.
+func (c *Circuit) Undrive(id NodeID) { delete(c.drives, id) }
+
+// IsDriven reports whether the node voltage is imposed by a source.
+func (c *Circuit) IsDriven(id NodeID) bool {
+	_, ok := c.drives[id]
+	return ok
+}
+
+// DriveValue evaluates the source on a driven node at time t.
+// It panics if the node is not driven.
+func (c *Circuit) DriveValue(id NodeID, t float64) float64 {
+	f, ok := c.drives[id]
+	if !ok {
+		panic(fmt.Sprintf("circuit: node %s is not driven", c.NodeName(id)))
+	}
+	return f(t)
+}
+
+// DrivenNodes returns the driven node IDs in ascending order.
+func (c *Circuit) DrivenNodes() []NodeID {
+	out := make([]NodeID, 0, len(c.drives))
+	for id := range c.drives {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Unknowns returns the non-ground, non-driven node IDs in ascending order.
+// These are the variables of the nodal-analysis system.
+func (c *Circuit) Unknowns() []NodeID {
+	out := make([]NodeID, 0, len(c.names))
+	for i := 1; i < len(c.names); i++ {
+		id := NodeID(i)
+		if !c.IsDriven(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// AddMOSFET wires a transistor between the given nodes and returns it.
+func (c *Circuit) AddMOSFET(m device.MOSFET, d, g, s, b NodeID) *MOSFETInst {
+	inst := &MOSFETInst{MOSFET: m, D: d, G: g, S: s, B: b}
+	c.MOSFETs = append(c.MOSFETs, inst)
+	return inst
+}
+
+// AddCapacitor adds a linear capacitor between nodes a and b.
+func (c *Circuit) AddCapacitor(name string, a, b NodeID, farads float64) *Capacitor {
+	if farads < 0 {
+		panic("circuit: negative capacitance")
+	}
+	cap := &Capacitor{Name: name, A: a, B: b, C: farads}
+	c.Capacitors = append(c.Capacitors, cap)
+	return cap
+}
+
+// AddResistor adds a linear resistor between nodes a and b.
+func (c *Circuit) AddResistor(name string, a, b NodeID, ohms float64) *Resistor {
+	if ohms <= 0 {
+		panic("circuit: resistance must be positive")
+	}
+	r := &Resistor{Name: name, A: a, B: b, R: ohms}
+	c.Resistors = append(c.Resistors, r)
+	return r
+}
+
+// Validate performs basic sanity checks and returns a descriptive error for
+// malformed netlists (dangling device terminals, non-positive geometry).
+func (c *Circuit) Validate() error {
+	check := func(id NodeID, what string) error {
+		if int(id) < 0 || int(id) >= len(c.names) {
+			return fmt.Errorf("circuit: %s references undefined node %d", what, int(id))
+		}
+		return nil
+	}
+	for _, m := range c.MOSFETs {
+		for _, n := range []NodeID{m.D, m.G, m.S, m.B} {
+			if err := check(n, "mosfet "+m.Name); err != nil {
+				return err
+			}
+		}
+		if m.W <= 0 || m.L <= 0 {
+			return fmt.Errorf("circuit: mosfet %s has non-positive geometry W=%g L=%g", m.Name, m.W, m.L)
+		}
+	}
+	for _, cp := range c.Capacitors {
+		if err := check(cp.A, "capacitor "+cp.Name); err != nil {
+			return err
+		}
+		if err := check(cp.B, "capacitor "+cp.Name); err != nil {
+			return err
+		}
+	}
+	for _, r := range c.Resistors {
+		if err := check(r.A, "resistor "+r.Name); err != nil {
+			return err
+		}
+		if err := check(r.B, "resistor "+r.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestNodeCreationAndDedup(t *testing.T) {
+	c := New()
+	a := c.Node("a")
+	if a2 := c.Node("a"); a2 != a {
+		t.Errorf("node a created twice: %d vs %d", a, a2)
+	}
+	if g := c.Node("0"); g != Ground {
+		t.Errorf("\"0\" = %d, want ground", g)
+	}
+	if g := c.Node("gnd"); g != Ground {
+		t.Errorf("\"gnd\" = %d, want ground", g)
+	}
+	if c.NodeName(a) != "a" {
+		t.Errorf("NodeName = %q", c.NodeName(a))
+	}
+	if c.NumNodes() != 2 { // ground + a
+		t.Errorf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+func TestDriveAndUnknowns(t *testing.T) {
+	c := New()
+	in := c.DriveName("in", DC(5))
+	out := c.Node("out")
+	mid := c.Node("mid")
+	if !c.IsDriven(in) || c.IsDriven(out) {
+		t.Error("drive bookkeeping wrong")
+	}
+	if got := c.DriveValue(in, 0); got != 5 {
+		t.Errorf("DriveValue = %g", got)
+	}
+	unk := c.Unknowns()
+	if len(unk) != 2 || unk[0] != out || unk[1] != mid {
+		t.Errorf("Unknowns = %v, want [out mid]", unk)
+	}
+	c.Undrive(in)
+	if c.IsDriven(in) {
+		t.Error("Undrive failed")
+	}
+	if len(c.Unknowns()) != 3 {
+		t.Error("undriven node missing from unknowns")
+	}
+}
+
+func TestDriveGroundPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("driving ground should panic")
+		}
+	}()
+	c.Drive(Ground, DC(1))
+}
+
+func TestDriveValueOnUndrivenPanics(t *testing.T) {
+	c := New()
+	n := c.Node("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("DriveValue on undriven node should panic")
+		}
+	}()
+	c.DriveValue(n, 0)
+}
+
+func TestDriveFuncOfAndTimeDependence(t *testing.T) {
+	c := New()
+	n := c.DriveName("in", func(tt float64) float64 { return tt * 2 })
+	if got := c.DriveValue(n, 3); got != 6 {
+		t.Errorf("time-dependent drive = %g", got)
+	}
+	f := c.DriveFuncOf(n)
+	if f == nil || f(1) != 2 {
+		t.Error("DriveFuncOf broken")
+	}
+	if c.DriveFuncOf(c.Node("other")) != nil {
+		t.Error("DriveFuncOf on undriven node should be nil")
+	}
+}
+
+func TestAddDevicesAndValidate(t *testing.T) {
+	c := New()
+	vdd := c.DriveName("vdd", DC(5))
+	in := c.DriveName("in", DC(0))
+	out := c.Node("out")
+	m := device.MOSFET{Name: "mn", Type: device.NMOS, W: 1e-6, L: 1e-6,
+		Model: device.Params{Vt0: 0.8, KP: 60e-6}}
+	c.AddMOSFET(m, out, in, Ground, Ground)
+	mp := m
+	mp.Name, mp.Type, mp.Model.Vt0 = "mp", device.PMOS, -0.9
+	c.AddMOSFET(mp, out, in, vdd, vdd)
+	c.AddCapacitor("cl", out, Ground, 1e-13)
+	c.AddResistor("r", out, Ground, 1e6)
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid netlist rejected: %v", err)
+	}
+	if len(c.MOSFETs) != 2 || len(c.Capacitors) != 1 || len(c.Resistors) != 1 {
+		t.Error("device bookkeeping wrong")
+	}
+}
+
+func TestValidateCatchesBadGeometry(t *testing.T) {
+	c := New()
+	m := device.MOSFET{Name: "bad", Type: device.NMOS, W: 0, L: 1e-6}
+	c.AddMOSFET(m, Ground, Ground, Ground, Ground)
+	if err := c.Validate(); err == nil {
+		t.Error("zero-width MOSFET accepted")
+	}
+}
+
+func TestNegativeComponentsPanic(t *testing.T) {
+	c := New()
+	for _, f := range []func(){
+		func() { c.AddCapacitor("c", Ground, Ground, -1) },
+		func() { c.AddResistor("r", Ground, Ground, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid component accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDrivenNodesSorted(t *testing.T) {
+	c := New()
+	c.Node("a")
+	z := c.DriveName("z", DC(1))
+	b := c.DriveName("b", DC(2))
+	dn := c.DrivenNodes()
+	if len(dn) != 2 || dn[0] != z || dn[1] != b {
+		t.Errorf("DrivenNodes = %v, want sorted by id [%d %d]", dn, z, b)
+	}
+}

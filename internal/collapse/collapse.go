@@ -1,0 +1,182 @@
+// Package collapse implements the series-parallel inverter-collapse baseline
+// that the paper argues against (its references [8] Jun et al. and [13]
+// Nabavi-Lishi & Rumin): the multi-input gate is reduced to an equivalent
+// inverter by combining series transistors as 1/K_eq = Σ 1/K and parallel
+// transistors as K_eq = Σ K, and the switching inputs are merged into a
+// single equivalent waveform that drives the inverter.
+//
+// The baseline exists to reproduce the paper's accuracy comparison: the
+// compositional proximity model should beat it, especially when the
+// switching inputs have dissimilar transition times or large separations.
+package collapse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cells"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+// Strategy selects how the switching input waveforms merge into one
+// equivalent waveform.
+type Strategy int
+
+const (
+	// Topological picks the earliest input when the switching inputs
+	// conduct in parallel (they start the output moving) and the latest
+	// when they complete a series path. This is the physically motivated
+	// default.
+	Topological Strategy = iota
+	// Earliest always uses the first input to cross its threshold.
+	Earliest
+	// Latest always uses the last input to cross its threshold.
+	Latest
+	// Average merges crossing times and transition times by arithmetic
+	// mean (the "equivalent waveform" flavor of reference [8]).
+	Average
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Topological:
+		return "topological"
+	case Earliest:
+		return "earliest"
+	case Latest:
+		return "latest"
+	case Average:
+		return "average"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Collapser reduces a cell and predicts composite-input delays.
+type Collapser struct {
+	Cell     *cells.Cell
+	Opt      spice.Options
+	Th       waveform.Thresholds
+	Strategy Strategy
+}
+
+// New builds a collapser with the Topological strategy.
+func New(cell *cells.Cell, opt spice.Options, th waveform.Thresholds) *Collapser {
+	return &Collapser{Cell: cell, Opt: opt, Th: th, Strategy: Topological}
+}
+
+// EquivalentGeometry returns the inverter geometry for m switching inputs of
+// the collapser's n-input cell: the full series stack collapses to W/n, the
+// m conducting parallel devices to m·W.
+func (c *Collapser) EquivalentGeometry(m int) cells.Geometry {
+	g := c.Cell.Geom
+	n := float64(c.Cell.N())
+	eq := g
+	if c.Cell.Kind == cells.Nor {
+		eq.WN = g.WN * float64(m)
+		eq.WP = g.WP / n
+	} else {
+		eq.WN = g.WN / n
+		eq.WP = g.WP * float64(m)
+	}
+	return eq
+}
+
+// equivalentWaveform merges the stimuli into a single (cross, tt) pair.
+func (c *Collapser) equivalentWaveform(stims []macromodel.PinStim) (cross, tt float64) {
+	first, last := 0, 0
+	for i, s := range stims {
+		if s.Cross < stims[first].Cross {
+			first = i
+		}
+		if s.Cross > stims[last].Cross {
+			last = i
+		}
+	}
+	switch c.Strategy {
+	case Earliest:
+		return stims[first].Cross, stims[first].TT
+	case Latest:
+		return stims[last].Cross, stims[last].TT
+	case Average:
+		for _, s := range stims {
+			cross += s.Cross
+			tt += s.TT
+		}
+		n := float64(len(stims))
+		return cross / n, tt / n
+	default: // Topological
+		dir := stims[0].Dir
+		parallel := c.parallelConduction(dir)
+		if parallel {
+			return stims[first].Cross, stims[first].TT
+		}
+		return stims[last].Cross, stims[last].TT
+	}
+}
+
+// parallelConduction reports whether inputs switching in direction dir turn
+// on the parallel network of the cell (e.g. falling inputs on a NAND turn on
+// parallel PMOS pull-ups).
+func (c *Collapser) parallelConduction(dir waveform.Direction) bool {
+	if c.Cell.Kind == cells.Nor {
+		return dir == waveform.Rising // parallel NMOS pull-down
+	}
+	return dir == waveform.Falling // parallel PMOS pull-up
+}
+
+// Predict collapses the gate for the given same-direction stimuli, simulates
+// the equivalent inverter, and returns the absolute output crossing time and
+// the output transition time.
+func (c *Collapser) Predict(stims []macromodel.PinStim) (outCross, outTT float64, err error) {
+	if len(stims) == 0 {
+		return 0, 0, fmt.Errorf("collapse: no stimuli")
+	}
+	dir := stims[0].Dir
+	for _, s := range stims {
+		if s.Dir != dir {
+			return 0, 0, fmt.Errorf("collapse: mixed directions not supported by the baseline")
+		}
+	}
+	eqGeom := c.EquivalentGeometry(len(stims))
+	inv, err := cells.New(cells.Inv, 1, c.Cell.Proc, eqGeom)
+	if err != nil {
+		return 0, 0, fmt.Errorf("collapse: equivalent inverter: %w", err)
+	}
+	cross, tt := c.equivalentWaveform(stims)
+	sim := macromodel.NewGateSim(inv, c.Opt, c.Th)
+	res, err := sim.Run([]macromodel.PinStim{{Pin: 0, Dir: dir, TT: tt, Cross: cross}})
+	if err != nil {
+		return 0, 0, fmt.Errorf("collapse: simulate equivalent inverter: %w", err)
+	}
+	oc, err := c.Th.OutputCross(res.Out, res.OutDir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("collapse: measure: %w", err)
+	}
+	ott, err := res.OutputTT()
+	if err != nil {
+		return 0, 0, fmt.Errorf("collapse: measure transition: %w", err)
+	}
+	// Translate back: the harness shifted the stimulus by res.Shift.
+	return oc - res.Shift, ott, nil
+}
+
+// PredictDelayFrom returns the baseline's delay measured from a chosen
+// reference stimulus (for apples-to-apples comparison with the proximity
+// model's dominant-input reference).
+func (c *Collapser) PredictDelayFrom(stims []macromodel.PinStim, refIdx int) (delay, outTT float64, err error) {
+	if refIdx < 0 || refIdx >= len(stims) {
+		return 0, 0, fmt.Errorf("collapse: reference index %d out of range", refIdx)
+	}
+	oc, ott, err := c.Predict(stims)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := oc - stims[refIdx].Cross
+	if math.IsNaN(d) {
+		return 0, 0, fmt.Errorf("collapse: NaN delay")
+	}
+	return d, ott, nil
+}

@@ -1,0 +1,182 @@
+package core_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/validate"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+// testRig lazily builds a coarsely characterized NAND3 shared by the
+// integration tests (characterization is the expensive part).
+type testRig struct {
+	sim   *macromodel.GateSim
+	model *macromodel.GateModel
+	calc  *core.Calculator
+}
+
+var (
+	rigOnce sync.Once
+	rig     *testRig
+	rigErr  error
+)
+
+func getRig(t *testing.T) *testRig {
+	t.Helper()
+	rigOnce.Do(func() {
+		cell := cells.MustNew(cells.Nand, 3, cells.DefaultProcess(), cells.DefaultGeometry())
+		fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
+		if err != nil {
+			rigErr = err
+			return
+		}
+		sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+		model, err := macromodel.CharacterizeGate(sim, macromodel.CoarseCharSpec())
+		if err != nil {
+			rigErr = err
+			return
+		}
+		calc := core.NewCalculator(model)
+		if err := core.CalibrateCorrection(calc, sim); err != nil {
+			rigErr = err
+			return
+		}
+		rig = &testRig{sim: sim, model: model, calc: calc}
+	})
+	if rigErr != nil {
+		t.Fatalf("rig: %v", rigErr)
+	}
+	return rig
+}
+
+// TestSingleInputModelMatchesSim spot-checks the interpolated single-input
+// model against fresh simulations at off-grid transition times.
+func TestSingleInputModelMatchesSim(t *testing.T) {
+	r := getRig(t)
+	for _, tau := range []float64{90e-12, 400e-12, 1.1e-9} {
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			m := r.model.Single(0, dir)
+			want, wantTT, err := r.sim.RunSingle(0, dir, tau)
+			if err != nil {
+				t.Fatalf("sim single: %v", err)
+			}
+			got := m.DelayAt(tau)
+			if e := math.Abs(got-want) / want; e > 0.06 {
+				t.Errorf("single delay pin0 %v τ=%.0fps: model %.1fps sim %.1fps (err %.1f%%)",
+					dir, tau*1e12, got*1e12, want*1e12, e*100)
+			}
+			gotTT := m.OutTTAt(tau)
+			if e := math.Abs(gotTT-wantTT) / wantTT; e > 0.08 {
+				t.Errorf("single outTT pin0 %v τ=%.0fps: model %.1fps sim %.1fps (err %.1f%%)",
+					dir, tau*1e12, gotTT*1e12, wantTT*1e12, e*100)
+			}
+		}
+	}
+}
+
+// TestProximityReducesRiseDelay reproduces the headline Fig. 1-2(a) shape
+// through the model: for falling inputs on a NAND, delay decreases as the
+// second input approaches the first.
+func TestProximityReducesRiseDelay(t *testing.T) {
+	r := getRig(t)
+	delayAt := func(sep float64) float64 {
+		res, err := r.calc.Evaluate([]core.InputEvent{
+			{Pin: 0, Dir: waveform.Falling, TT: 500e-12, Cross: 0},
+			{Pin: 1, Dir: waveform.Falling, TT: 100e-12, Cross: sep},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Delay
+	}
+	far := delayAt(5e-9)
+	near := delayAt(0)
+	if near >= far {
+		t.Errorf("model should show proximity speedup: near=%.1fps far=%.1fps", near*1e12, far*1e12)
+	}
+}
+
+// TestDominantInputSelection checks the Fig. 3-2 reasoning: with a slow
+// early input and a fast later input, the fast one dominates until the
+// separation exceeds Δa − Δb.
+func TestDominantInputSelection(t *testing.T) {
+	r := getRig(t)
+	da := r.model.Single(0, waveform.Falling).DelayAt(1000e-12)
+	db := r.model.Single(1, waveform.Falling).DelayAt(100e-12)
+	if da <= db {
+		t.Fatalf("test premise: slow input must have larger solo delay (da=%.1fps db=%.1fps)",
+			da*1e12, db*1e12)
+	}
+	boundary := da - db
+	eval := func(sep float64) int {
+		res, err := r.calc.Evaluate([]core.InputEvent{
+			{Pin: 0, Dir: waveform.Falling, TT: 1000e-12, Cross: 0},
+			{Pin: 1, Dir: waveform.Falling, TT: 100e-12, Cross: sep},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Dominant
+	}
+	if got := eval(boundary * 0.8); got != 1 {
+		t.Errorf("below boundary: dominant = pin %d, want 1 (the fast later input)", got)
+	}
+	if got := eval(boundary * 1.2); got != 0 {
+		t.Errorf("above boundary: dominant = pin %d, want 0 (the early input)", got)
+	}
+}
+
+// TestValidationAgainstSim is the coarse Table 5-1: random configurations
+// evaluated by the table-backed model against golden simulation.
+func TestValidationAgainstSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation sweep in -short mode")
+	}
+	r := getRig(t)
+	spec := validate.DefaultSpec()
+	spec.N = 12
+	cmp, err := validate.Run(r.calc, r.sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := cmp.DelaySummary()
+	ts := cmp.TTSummary()
+	t.Logf("delay err%%: mean=%.2f std=%.2f min=%.2f max=%.2f", ds.Mean, ds.StdDev, ds.Min, ds.Max)
+	t.Logf("rise  err%%: mean=%.2f std=%.2f min=%.2f max=%.2f", ts.Mean, ts.StdDev, ts.Min, ts.Max)
+	if math.Abs(ds.Mean) > 8 {
+		t.Errorf("mean delay error %.2f%% too large (paper: 1.4%%)", ds.Mean)
+	}
+	if math.Abs(ds.Max) > 30 || math.Abs(ds.Min) > 30 {
+		t.Errorf("delay error extremes out of range: [%.2f, %.2f]", ds.Min, ds.Max)
+	}
+}
+
+// TestSimBackendMatchesPaperMethodology runs the same validation with the
+// paper's "HSPICE as the dual-input macromodel" backend, which should be at
+// least as accurate as the table backend on the compositional cases.
+func TestSimBackendMatchesPaperMethodology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation sweep in -short mode")
+	}
+	r := getRig(t)
+	calc := &core.Calculator{Model: r.model, Dual: core.NewSimBackend(r.sim.Clone())}
+	spec := validate.DefaultSpec()
+	spec.N = 8
+	cmp, err := validate.Run(calc, r.sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := cmp.DelaySummary()
+	t.Logf("sim-backend delay err%%: mean=%.2f std=%.2f min=%.2f max=%.2f",
+		ds.Mean, ds.StdDev, ds.Min, ds.Max)
+	if math.Abs(ds.Mean) > 8 {
+		t.Errorf("sim-backend mean delay error %.2f%% too large", ds.Mean)
+	}
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// randomEvents draws a random same-direction configuration in the paper's
+// experimental ranges.
+func randomEvents(r *rand.Rand, pins int) []core.InputEvent {
+	dir := waveform.Falling
+	if r.Intn(2) == 0 {
+		dir = waveform.Rising
+	}
+	n := 1 + r.Intn(pins)
+	perm := r.Perm(pins)[:n]
+	evs := make([]core.InputEvent, n)
+	for i, p := range perm {
+		evs[i] = core.InputEvent{
+			Pin:   p,
+			Dir:   dir,
+			TT:    50e-12 + r.Float64()*1950e-12,
+			Cross: -500e-12 + r.Float64()*1000e-12,
+		}
+	}
+	return evs
+}
+
+// TestDelayAlwaysPositiveProperty: the Section-2 threshold policy guarantees
+// the model never produces a non-positive delay or transition time, for any
+// combination of transition times and separations.
+func TestDelayAlwaysPositiveProperty(t *testing.T) {
+	r := getRig(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		evs := randomEvents(rng, 3)
+		res, err := r.calc.Evaluate(evs)
+		if err != nil {
+			t.Logf("evaluate error: %v", err)
+			return false
+		}
+		if res.Delay <= 0 || res.OutTT <= 0 {
+			t.Logf("non-positive result %+v for %+v", res, evs)
+			return false
+		}
+		if math.IsNaN(res.Delay) || math.IsNaN(res.OutTT) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEventOrderInvarianceProperty: the evaluation must not depend on the
+// order events are listed (dominance ordering is internal).
+func TestEventOrderInvarianceProperty(t *testing.T) {
+	r := getRig(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		evs := randomEvents(rng, 3)
+		res1, err := r.calc.Evaluate(evs)
+		if err != nil {
+			return false
+		}
+		// Shuffle.
+		shuffled := append([]core.InputEvent(nil), evs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		res2, err := r.calc.Evaluate(shuffled)
+		if err != nil {
+			return false
+		}
+		return res1.Dominant == res2.Dominant &&
+			math.Abs(res1.Delay-res2.Delay) < 1e-18 &&
+			math.Abs(res1.OutTT-res2.OutTT) < 1e-18 &&
+			math.Abs(res1.OutputCross-res2.OutputCross) < 1e-18
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimeTranslationInvarianceProperty: shifting every event by the same
+// offset shifts the output crossing by that offset and leaves delay and
+// transition time unchanged.
+func TestTimeTranslationInvarianceProperty(t *testing.T) {
+	r := getRig(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		evs := randomEvents(rng, 3)
+		shift := -2e-9 + rng.Float64()*4e-9
+		res1, err := r.calc.Evaluate(evs)
+		if err != nil {
+			return false
+		}
+		moved := make([]core.InputEvent, len(evs))
+		for i, e := range evs {
+			e.Cross += shift
+			moved[i] = e
+		}
+		res2, err := r.calc.Evaluate(moved)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res1.Delay-res2.Delay) < 1e-15 &&
+			math.Abs(res1.OutTT-res2.OutTT) < 1e-15 &&
+			math.Abs((res2.OutputCross-res1.OutputCross)-shift) < 1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFarInputMonotoneIrrelevanceProperty: adding an input far beyond the
+// transition-time proximity window never changes the result.
+func TestFarInputMonotoneIrrelevanceProperty(t *testing.T) {
+	r := getRig(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dir := waveform.Falling
+		tau := 100e-12 + rng.Float64()*1.5e-9
+		base := []core.InputEvent{{Pin: 0, Dir: dir, TT: tau, Cross: 0}}
+		res1, err := r.calc.Evaluate(base)
+		if err != nil {
+			return false
+		}
+		// A second input far outside the window: for first-cause (falling
+		// NAND inputs) that means far LATER than the whole TT window.
+		far := res1.Delay + res1.OutTT + 2e-9 + rng.Float64()*2e-9
+		with := append(base, core.InputEvent{Pin: 1, Dir: dir, TT: 200e-12, Cross: far})
+		res2, err := r.calc.Evaluate(with)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res1.Delay-res2.Delay) < 1e-18 && math.Abs(res1.OutTT-res2.OutTT) < 1e-18
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

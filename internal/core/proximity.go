@@ -1,0 +1,348 @@
+// Package core implements the paper's primary contribution: computing the
+// propagation delay and output transition time of a multi-input gate whose
+// inputs switch in close temporal proximity, by repeated application of a
+// dual-input proximity macromodel (Sections 3 and 4 of the paper).
+//
+// The entry point is Calculator.Evaluate, which runs Algorithm
+// ProximityDelay (Figure 4-1):
+//
+//  1. Order the switching inputs by dominance — input i dominates j when
+//     its solo output response crosses the measurement threshold first
+//     (equivalently, the paper's condition s_ij > Δ(1)_i − Δ(1)_j).
+//  2. Seed the cumulative delay with the most dominant input's Δ(1).
+//  3. For each next input inside the proximity window, represent the inputs
+//     absorbed so far by an equivalent waveform y* (the dominant input
+//     shifted so its solo response crosses the threshold where the
+//     cumulative response would), apply the dual-input macromodel to
+//     (y*, y_i), and update the cumulative delay:
+//     Δ(i) = Δ(i-1) + Δ(1)·(D(2)(τ_y1/Δ(1), τ_yi/Δ(1), s*/Δ(1)) − 1).
+//  4. Add the characterized step-input correction, scaled linearly from
+//     full at s ≤ 0 to zero at the window edge.
+//
+// The output transition time is computed by the same loop with the T(2)
+// tables and the wider transition-time proximity window Δ + τ_out.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/macromodel"
+	"repro/internal/waveform"
+)
+
+// InputEvent is one switching input presented to the calculator.
+type InputEvent struct {
+	Pin int
+	Dir waveform.Direction
+	// TT is the input transition time (full-swing ramp duration).
+	TT float64
+	// Cross is the absolute time the input crosses its measurement level
+	// (Vil rising, Vih falling).
+	Cross float64
+}
+
+// DualBackend supplies the dual-input proximity ratios. The table-backed
+// implementation interpolates characterized grids; the simulation-backed one
+// reproduces the paper's validation methodology ("we used HSPICE as the
+// macromodel for processing the dual-input case").
+type DualBackend interface {
+	// Ratios returns Δ(2)/Δ(1) and τ(2)/τ(1) for reference pin ref and
+	// other pin switching in direction dir with the given physical
+	// parameters. d1 and tt1 are the reference input's single-input delay
+	// and output transition time (the normalizers).
+	Ratios(ref, other int, dir waveform.Direction, tauRef, tauOther, sStar, d1, tt1 float64) (dRatio, tRatio float64, err error)
+}
+
+// Calculator evaluates proximity-aware delays against a characterized gate
+// model.
+type Calculator struct {
+	Model *macromodel.GateModel
+	// Dual overrides the dual-input backend (nil = model tables).
+	Dual DualBackend
+	// DisableCorrection turns off the Section-4 corrective term (ablation).
+	DisableCorrection bool
+	// NaiveOrdering replaces dominance ordering with arrival-time ordering
+	// (ablation of the paper's dominant-input identification).
+	NaiveOrdering bool
+	// CubicTables switches the table backend to cubic Hermite
+	// interpolation (smoother between characterization grid nodes).
+	CubicTables bool
+}
+
+// NewCalculator builds a Calculator over the model's own tables.
+func NewCalculator(m *macromodel.GateModel) *Calculator {
+	return &Calculator{Model: m}
+}
+
+// Result is the outcome of a proximity evaluation.
+type Result struct {
+	// Delay is the propagation delay measured from the dominant input.
+	Delay float64
+	// OutputCross is the absolute time the output crosses its measurement
+	// level.
+	OutputCross float64
+	// OutTT is the output transition time.
+	OutTT float64
+	// Dominant is the pin chosen as the most dominant input.
+	Dominant int
+	// Order lists the event indices in dominance order.
+	Order []int
+	// UsedDelay and UsedTT count inputs inside the delay and
+	// transition-time proximity windows (including the dominant input).
+	UsedDelay, UsedTT int
+	// CorrectionApplied is the correction actually added to Delay.
+	CorrectionApplied float64
+}
+
+// tableBackend adapts the model's characterized grids to DualBackend.
+type tableBackend struct {
+	m     *macromodel.GateModel
+	cubic bool
+}
+
+func (b tableBackend) Ratios(ref, other int, dir waveform.Direction,
+	tauRef, tauOther, sStar, d1, tt1 float64) (float64, float64, error) {
+	dm := b.m.Dual(ref, other, dir)
+	if dm == nil {
+		return 0, 0, fmt.Errorf("core: no dual-input model for ref pin %d %v", ref, dir)
+	}
+	x1 := tauRef / d1
+	x2 := tauOther / d1
+	x3 := sStar / d1
+	if b.cubic {
+		return dm.EvalDelayRatioCubic(x1, x2, x3), dm.EvalTTRatioCubic(x1, x2, x3), nil
+	}
+	return dm.EvalDelayRatio(x1, x2, x3), dm.EvalTTRatio(x1, x2, x3), nil
+}
+
+// backend returns the active dual backend.
+func (c *Calculator) backend() DualBackend {
+	if c.Dual != nil {
+		return c.Dual
+	}
+	return tableBackend{c.Model, c.CubicTables}
+}
+
+// Evaluate runs Algorithm ProximityDelay over the events, which must all
+// switch in the same direction (opposite-direction proximity is the glitch
+// analysis; see InertialDelay).
+func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("core: no switching inputs")
+	}
+	dir := events[0].Dir
+	for _, e := range events {
+		if e.Dir != dir {
+			return nil, fmt.Errorf("core: mixed transition directions; use the glitch model for opposite transitions")
+		}
+		if e.TT <= 0 {
+			return nil, fmt.Errorf("core: non-positive transition time on pin %d", e.Pin)
+		}
+		if c.Model.Single(e.Pin, dir) == nil {
+			return nil, fmt.Errorf("core: pin %d has no single-input model for %v inputs", e.Pin, dir)
+		}
+	}
+
+	// Solo delays and solo output-crossing times.
+	d1 := make([]float64, len(events))
+	tt1 := make([]float64, len(events))
+	solo := make([]float64, len(events))
+	for i, e := range events {
+		s := c.Model.Single(e.Pin, dir)
+		d1[i] = s.DelayAt(e.TT)
+		tt1[i] = s.OutTTAt(e.TT)
+		solo[i] = e.Cross + d1[i]
+	}
+
+	// Step 1: dominance order. For first-cause (parallel-conduction)
+	// networks the earliest solo output crossing dominates — the paper's
+	// pairwise condition s_ij > Δi − Δj. For last-cause (series-completion)
+	// networks the LATEST solo crossing dominates (the paper's "analogous
+	// argument" for rising inputs).
+	caus := c.Model.Causation(dir)
+	order := make([]int, len(events))
+	for i := range order {
+		order[i] = i
+	}
+	switch {
+	case c.NaiveOrdering:
+		sort.SliceStable(order, func(a, b int) bool {
+			return events[order[a]].Cross < events[order[b]].Cross
+		})
+	case caus == macromodel.LastCause:
+		sort.SliceStable(order, func(a, b int) bool {
+			return solo[order[a]] > solo[order[b]]
+		})
+	default:
+		sort.SliceStable(order, func(a, b int) bool {
+			return solo[order[a]] < solo[order[b]]
+		})
+	}
+
+	y1 := order[0]
+	ref := events[y1]
+	refD1 := d1[y1]
+	refTT1 := tt1[y1]
+	be := c.backend()
+
+	// Delay pass. First-cause window: inputs arriving after the cumulative
+	// output crossing (s ≥ Δ(i-1)) cannot influence the delay — the
+	// paper's while-loop condition — and dominance ordering makes later
+	// list entries only further away, so we stop at the first such input.
+	// Last-cause window: an earlier input stops mattering once its ramp
+	// and solo response have completed well before the reference acts
+	// (s ≤ −(τ_i + Δ(1)_i)); τ varies per input, so lapsed inputs are
+	// skipped rather than terminating the loop.
+	cum := refD1
+	usedDelay := 1
+	lastSep := 0.0
+	lastWindow := cum
+	for k := 1; k < len(order); k++ {
+		yi := order[k]
+		s := events[yi].Cross - ref.Cross
+		if caus == macromodel.FirstCause {
+			if s >= cum {
+				break
+			}
+		} else if s <= -(events[yi].TT + d1[yi] + refD1) {
+			continue
+		}
+		sStar := s + refD1 - cum
+		dr, _, err := be.Ratios(ref.Pin, events[yi].Pin, dir, ref.TT, events[yi].TT, sStar, refD1, refTT1)
+		if err != nil {
+			return nil, err
+		}
+		if caus == macromodel.FirstCause {
+			lastWindow = cum
+		} else {
+			lastWindow = events[yi].TT + d1[yi] + refD1
+		}
+		cum += refD1 * (dr - 1)
+		if cum < 1e-15 {
+			cum = 1e-15 // delay stays positive by the threshold policy
+		}
+		usedDelay++
+		lastSep = s
+	}
+
+	// Transition-time pass (window Δ(i-1) + τ(i-1)). Transition-time
+	// perturbation ratios compose multiplicatively: equivalent to the
+	// paper's additive perturbation to first order, but it stays positive
+	// when several inputs each speed the transition up strongly (additive
+	// composition collapses to zero for simultaneous fast inputs).
+	ttCum := refTT1
+	dcum := refD1
+	usedTT := 1
+	lastSepTT := 0.0
+	lastWindowTT := dcum + ttCum
+	for k := 1; k < len(order); k++ {
+		yi := order[k]
+		s := events[yi].Cross - ref.Cross
+		if caus == macromodel.FirstCause {
+			if s >= dcum+ttCum {
+				break
+			}
+			lastWindowTT = dcum + ttCum
+		} else {
+			if s <= -(events[yi].TT + d1[yi] + tt1[yi] + refD1) {
+				continue
+			}
+			lastWindowTT = events[yi].TT + d1[yi] + tt1[yi] + refD1
+		}
+		sStar := s + refD1 - dcum
+		dr, tr, err := be.Ratios(ref.Pin, events[yi].Pin, dir, ref.TT, events[yi].TT, sStar, refD1, refTT1)
+		if err != nil {
+			return nil, err
+		}
+		if tr > 0 {
+			ttCum *= tr
+		}
+		// Track the delay evolution too: the TT window moves with it.
+		if s < dcum {
+			dcum += refD1 * (dr - 1)
+			if dcum < 1e-15 {
+				dcum = 1e-15
+			}
+		}
+		usedTT++
+		lastSepTT = s
+	}
+
+	// Correction (Section 4): full magnitude when the last in-window input
+	// is coincident-or-earlier (s ≤ 0), fading linearly to zero at the
+	// window edge. Only multi-input compositions are corrected; each pass
+	// uses its own window.
+	// away converts a separation into "distance from coincidence in the
+	// fading direction": late arrivals for first-cause networks, early
+	// arrivals for last-cause (where every non-dominant input is early).
+	away := func(sep float64) float64 {
+		if caus == macromodel.LastCause {
+			sep = -sep
+		}
+		if sep < 0 {
+			return 0
+		}
+		return sep
+	}
+	corr := 0.0
+	if !c.DisableCorrection {
+		cc := c.Model.Correction(dir)
+		if usedDelay >= 2 {
+			factor := 1 - away(lastSep)/lastWindow
+			if factor < 0 {
+				factor = 0
+			}
+			corr = cc.Delay * factor
+			cum += corr
+			if cum < 1e-15 {
+				cum = 1e-15
+			}
+		}
+		if usedTT >= 2 {
+			factor := 1 - away(lastSepTT)/lastWindowTT
+			if factor < 0 {
+				factor = 0
+			}
+			ttCum += cc.OutTT * factor
+			if ttCum < 1e-15 {
+				ttCum = 1e-15
+			}
+		}
+	}
+
+	return &Result{
+		Delay:             cum,
+		OutputCross:       ref.Cross + cum,
+		OutTT:             ttCum,
+		Dominant:          ref.Pin,
+		Order:             order,
+		UsedDelay:         usedDelay,
+		UsedTT:            usedTT,
+		CorrectionApplied: corr,
+	}, nil
+}
+
+// SingleDelay returns the single-input delay and output transition time for
+// one pin from the characterized model.
+func (c *Calculator) SingleDelay(pin int, dir waveform.Direction, tau float64) (delay, outTT float64, err error) {
+	s := c.Model.Single(pin, dir)
+	if s == nil {
+		return 0, 0, fmt.Errorf("core: pin %d has no single-input model for %v inputs", pin, dir)
+	}
+	return s.DelayAt(tau), s.OutTTAt(tau), nil
+}
+
+// DelayWindow returns the proximity window within which a second input can
+// still influence the delay caused by (pin, dir, tau): Δ(1).
+func (c *Calculator) DelayWindow(pin int, dir waveform.Direction, tau float64) (float64, error) {
+	d, _, err := c.SingleDelay(pin, dir, tau)
+	return d, err
+}
+
+// TTWindow returns the proximity window for transition-time influence:
+// Δ(1) + τ(1)_out.
+func (c *Calculator) TTWindow(pin int, dir waveform.Direction, tau float64) (float64, error) {
+	d, tt, err := c.SingleDelay(pin, dir, tau)
+	return d + tt, err
+}

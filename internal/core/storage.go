@@ -1,0 +1,68 @@
+package core
+
+import "math"
+
+// StorageOption identifies one of the macromodel storage strategies compared
+// in the paper's Figure 4-2.
+type StorageOption int
+
+const (
+	// FullModel stores n functions of 2n-1 arguments (equation 4.1).
+	FullModel StorageOption = iota
+	// PairMatrix stores n single-input models plus n(n-1) dual-input
+	// models (option 2(a) in Figure 4-2).
+	PairMatrix
+	// PerReference stores n single-input plus n dual-input models — the
+	// paper's observed sufficient set (2n models per quantity).
+	PerReference
+)
+
+func (o StorageOption) String() string {
+	switch o {
+	case FullModel:
+		return "full (n functions of 2n-1 args)"
+	case PairMatrix:
+		return "pair matrix (n single + n(n-1) dual)"
+	case PerReference:
+		return "per-reference (n single + n dual)"
+	default:
+		return "unknown"
+	}
+}
+
+// StorageCost reports the table-entry count of one strategy for an n-input
+// gate with p sample points per table axis, for ONE modeled quantity
+// (delay or transition time; the paper doubles everything for both).
+type StorageCost struct {
+	Option  StorageOption
+	Inputs  int
+	Tables  int
+	Entries float64 // float64: the full model overflows int64 quickly
+}
+
+// StorageComplexity evaluates the Figure 4-2 comparison: entry counts for
+// the three strategies at fan-in n with p points per axis. Single-input
+// models are 1-D tables; dual-input models are 3-D; the full model is one
+// (2n-1)-D table per input.
+func StorageComplexity(n, p int) []StorageCost {
+	pf := float64(p)
+	full := StorageCost{
+		Option:  FullModel,
+		Inputs:  n,
+		Tables:  n,
+		Entries: float64(n) * math.Pow(pf, float64(2*n-1)),
+	}
+	matrix := StorageCost{
+		Option:  PairMatrix,
+		Inputs:  n,
+		Tables:  n + n*(n-1),
+		Entries: float64(n)*pf + float64(n*(n-1))*math.Pow(pf, 3),
+	}
+	perRef := StorageCost{
+		Option:  PerReference,
+		Inputs:  n,
+		Tables:  2 * n,
+		Entries: float64(n)*pf + float64(n)*math.Pow(pf, 3),
+	}
+	return []StorageCost{full, matrix, perRef}
+}

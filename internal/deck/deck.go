@@ -1,0 +1,325 @@
+// Package deck parses a SPICE-flavored circuit description into the
+// simulator's netlist representation, so transistor-level experiments can be
+// written as plain text decks instead of Go code:
+//
+//   - three-input NAND, inputs a,b falling
+//     Vdd vdd 0 5
+//     Va  a   0 PWL(0 5 1n 5 1.5n 0)
+//     Vb  b   0 5
+//     M1  out a vdd vdd pmos W=8u L=1u
+//     M2  out a x1  0   nmos W=8u L=1u
+//     C1  out 0 100f
+//     .model nmos nmos KP=60u VTO=0.8 LAMBDA=0.05 GAMMA=0.4 PHI=0.65
+//     .model pmos pmos KP=25u VTO=-0.9 LAMBDA=0.05 GAMMA=0.5 PHI=0.65
+//     .tran 6n
+//     .end
+//
+// Supported cards: V (DC and PWL sources), M (4-terminal MOSFETs), R, C,
+// .model (level-1 parameters; LEVEL=2 selects the alpha-power model with
+// ALPHA=), .tran, .title, .end. Node 0 is ground. Values accept the usual
+// SPICE suffixes (f p n u m k meg g t, plus engineering exponents).
+package deck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/waveform"
+)
+
+// Deck is a parsed circuit plus its analysis directives.
+type Deck struct {
+	Title   string
+	Circuit *circuit.Circuit
+	// TranStop is the .tran stop time (0 when absent).
+	TranStop float64
+	// Sources maps source names (e.g. "Va") to the driven node, for
+	// result reporting.
+	Sources map[string]circuit.NodeID
+	// Breakpoints collects PWL corner times for the transient engine.
+	Breakpoints []float64
+}
+
+// Parse reads a deck.
+func Parse(r io.Reader) (*Deck, error) {
+	d := &Deck{Circuit: circuit.New(), Sources: map[string]circuit.NodeID{}}
+	models := map[string]device.Params{}
+
+	// First pass: collect lines (handling + continuations), find .model
+	// cards so device lines can reference them regardless of order.
+	var lines []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		raw := strings.TrimRight(sc.Text(), " \t\r")
+		if raw == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "+") && len(lines) > 0 {
+			lines[len(lines)-1] += " " + strings.TrimPrefix(raw, "+")
+			continue
+		}
+		lines = append(lines, raw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	for n, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.HasPrefix(fields[0], "*") {
+			continue
+		}
+		if strings.EqualFold(fields[0], ".model") {
+			if err := parseModel(fields, models); err != nil {
+				return nil, fmt.Errorf("deck: line %d: %w", n+1, err)
+			}
+		}
+	}
+
+	for n, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "*") {
+			continue
+		}
+		head := strings.ToUpper(fields[0])
+		var err error
+		switch {
+		case head == ".MODEL":
+			// handled in the first pass
+		case head == ".TITLE":
+			d.Title = strings.Join(fields[1:], " ")
+		case head == ".TRAN":
+			if len(fields) < 2 {
+				err = fmt.Errorf(".tran needs a stop time")
+			} else {
+				// Accept ".tran stop" or ".tran step stop" (step ignored —
+				// the engine is adaptive).
+				d.TranStop, err = Value(fields[len(fields)-1])
+			}
+		case head == ".END":
+			// done
+		case strings.HasPrefix(head, "V"):
+			err = d.parseSource(fields, line)
+		case strings.HasPrefix(head, "M"):
+			err = d.parseMOSFET(fields, models)
+		case strings.HasPrefix(head, "R"):
+			err = d.parseTwoTerminal(fields, 'R')
+		case strings.HasPrefix(head, "C"):
+			err = d.parseTwoTerminal(fields, 'C')
+		default:
+			err = fmt.Errorf("unsupported card %q", fields[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("deck: line %d: %w", n+1, err)
+		}
+	}
+	sort.Float64s(d.Breakpoints)
+	return d, nil
+}
+
+// parseModel handles .model NAME TYPE key=value...
+func parseModel(fields []string, models map[string]device.Params) error {
+	if len(fields) < 3 {
+		return fmt.Errorf(".model needs a name and a type")
+	}
+	name := strings.ToLower(fields[1])
+	p := device.Params{Kind: device.Level1, Phi: 0.6, Alpha: 2}
+	typ := strings.ToLower(fields[2])
+	if typ != "nmos" && typ != "pmos" {
+		return fmt.Errorf("model type %q (want nmos or pmos)", fields[2])
+	}
+	for _, kv := range fields[3:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad model parameter %q", kv)
+		}
+		v, err := Value(parts[1])
+		if err != nil {
+			return fmt.Errorf("model parameter %s: %w", parts[0], err)
+		}
+		switch strings.ToUpper(parts[0]) {
+		case "KP":
+			p.KP = v
+		case "VTO", "VT0":
+			p.Vt0 = v
+		case "LAMBDA":
+			p.Lambda = v
+		case "GAMMA":
+			p.Gamma = v
+		case "PHI":
+			p.Phi = v
+		case "ALPHA":
+			p.Alpha = v
+		case "LEVEL":
+			if v == 2 {
+				p.Kind = device.AlphaPower
+			}
+		default:
+			return fmt.Errorf("unknown model parameter %q", parts[0])
+		}
+	}
+	models[name] = p
+	return nil
+}
+
+// parseSource handles V<name> node 0 <dc | PWL(...)>.
+func (d *Deck) parseSource(fields []string, line string) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("source needs name, two nodes and a value")
+	}
+	if fields[2] != "0" {
+		return fmt.Errorf("sources must be ground-referenced (got %q)", fields[2])
+	}
+	node := d.Circuit.Node(fields[1])
+	rest := strings.Join(fields[3:], " ")
+	if i := strings.Index(strings.ToUpper(rest), "PWL"); i >= 0 {
+		open := strings.Index(rest, "(")
+		close := strings.LastIndex(rest, ")")
+		if open < 0 || close <= open {
+			return fmt.Errorf("malformed PWL in %q", line)
+		}
+		nums := strings.FieldsFunc(rest[open+1:close], func(r rune) bool {
+			return r == ' ' || r == ',' || r == '\t'
+		})
+		if len(nums) < 4 || len(nums)%2 != 0 {
+			return fmt.Errorf("PWL needs an even number (>=4) of values")
+		}
+		var pts []waveform.Point
+		for k := 0; k+1 < len(nums); k += 2 {
+			t, err := Value(nums[k])
+			if err != nil {
+				return fmt.Errorf("PWL time %q: %w", nums[k], err)
+			}
+			v, err := Value(nums[k+1])
+			if err != nil {
+				return fmt.Errorf("PWL value %q: %w", nums[k+1], err)
+			}
+			pts = append(pts, waveform.Point{T: t, V: v})
+			d.Breakpoints = append(d.Breakpoints, t)
+		}
+		w, err := waveform.NewPWL(pts...)
+		if err != nil {
+			return err
+		}
+		d.Circuit.Drive(node, w.Eval)
+	} else {
+		v, err := Value(fields[3])
+		if err != nil {
+			return fmt.Errorf("source value %q: %w", fields[3], err)
+		}
+		d.Circuit.Drive(node, circuit.DC(v))
+	}
+	d.Sources[fields[0]] = node
+	return nil
+}
+
+// parseMOSFET handles M<name> d g s b model W=.. L=..
+func (d *Deck) parseMOSFET(fields []string, models map[string]device.Params) error {
+	if len(fields) < 6 {
+		return fmt.Errorf("MOSFET needs four nodes and a model")
+	}
+	modelName := strings.ToLower(fields[5])
+	params, ok := models[modelName]
+	if !ok {
+		return fmt.Errorf("unknown model %q", fields[5])
+	}
+	typ := device.NMOS
+	if strings.HasPrefix(modelName, "p") || params.Vt0 < 0 {
+		typ = device.PMOS
+	}
+	m := device.MOSFET{Name: fields[0], Type: typ, Model: params, W: 1e-6, L: 1e-6}
+	for _, kv := range fields[6:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad device parameter %q", kv)
+		}
+		v, err := Value(parts[1])
+		if err != nil {
+			return fmt.Errorf("device parameter %s: %w", parts[0], err)
+		}
+		switch strings.ToUpper(parts[0]) {
+		case "W":
+			m.W = v
+		case "L":
+			m.L = v
+		default:
+			return fmt.Errorf("unknown device parameter %q", parts[0])
+		}
+	}
+	nd := d.Circuit.Node(fields[1])
+	ng := d.Circuit.Node(fields[2])
+	ns := d.Circuit.Node(fields[3])
+	nb := d.Circuit.Node(fields[4])
+	d.Circuit.AddMOSFET(m, nd, ng, ns, nb)
+	return nil
+}
+
+// parseTwoTerminal handles R/C cards.
+func (d *Deck) parseTwoTerminal(fields []string, kind byte) error {
+	if len(fields) < 4 {
+		return fmt.Errorf("%c element needs two nodes and a value", kind)
+	}
+	a := d.Circuit.Node(fields[1])
+	b := d.Circuit.Node(fields[2])
+	v, err := Value(fields[3])
+	if err != nil {
+		return fmt.Errorf("%s value %q: %w", fields[0], fields[3], err)
+	}
+	if kind == 'R' {
+		d.Circuit.AddResistor(fields[0], a, b, v)
+	} else {
+		d.Circuit.AddCapacitor(fields[0], a, b, v)
+	}
+	return nil
+}
+
+// Value parses a SPICE number with optional scale suffix: 100f, 1.5n, 2k,
+// 3meg, 8u, plus plain scientific notation.
+func Value(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	scale := 1.0
+	switch {
+	case strings.HasSuffix(s, "meg"):
+		scale, s = 1e6, s[:len(s)-3]
+	case strings.HasSuffix(s, "mil"):
+		scale, s = 25.4e-6, s[:len(s)-3]
+	default:
+		if n := len(s) - 1; n >= 0 {
+			switch s[n] {
+			case 'f':
+				scale, s = 1e-15, s[:n]
+			case 'p':
+				scale, s = 1e-12, s[:n]
+			case 'n':
+				scale, s = 1e-9, s[:n]
+			case 'u':
+				scale, s = 1e-6, s[:n]
+			case 'm':
+				scale, s = 1e-3, s[:n]
+			case 'k':
+				scale, s = 1e3, s[:n]
+			case 'g':
+				scale, s = 1e9, s[:n]
+			case 't':
+				scale, s = 1e12, s[:n]
+			}
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v * scale, nil
+}

@@ -1,0 +1,145 @@
+package deck_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/deck"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+const inverterDeck = `
+* CMOS inverter step response
+.title inverter
+Vdd vdd 0 5
+Vin in  0 PWL(0 0 0.5n 0 0.7n 5)
+M1  out in vdd vdd pmos W=8u L=1u
+M2  out in 0   0   nmos W=8u L=1u
+C1  out 0 100f
+.model nmos nmos KP=60u VTO=0.8 LAMBDA=0.05 GAMMA=0.4 PHI=0.65
+.model pmos pmos KP=25u VTO=-0.9 LAMBDA=0.05 GAMMA=0.5 PHI=0.65
+.tran 5n
+.end
+`
+
+func TestValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"100f": 100e-15, "1.5n": 1.5e-9, "8u": 8e-6, "2k": 2e3,
+		"3meg": 3e6, "5": 5, "1e-12": 1e-12, "-0.9": -0.9, "10m": 10e-3,
+		"2g": 2e9,
+	}
+	for in, want := range cases {
+		got, err := deck.Value(in)
+		if err != nil {
+			t.Errorf("Value(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Errorf("Value(%q) = %g, want %g", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1.2.3n"} {
+		if _, err := deck.Value(bad); err == nil {
+			t.Errorf("Value(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseInverterDeckAndSimulate(t *testing.T) {
+	d, err := deck.Parse(strings.NewReader(inverterDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "inverter" {
+		t.Errorf("title = %q", d.Title)
+	}
+	if d.TranStop != 5e-9 {
+		t.Errorf("tran stop = %g", d.TranStop)
+	}
+	if len(d.Circuit.MOSFETs) != 2 || len(d.Circuit.Capacitors) != 1 {
+		t.Fatalf("parsed %d mosfets, %d caps", len(d.Circuit.MOSFETs), len(d.Circuit.Capacitors))
+	}
+	if _, ok := d.Sources["Vin"]; !ok {
+		t.Error("source Vin not registered")
+	}
+
+	eng, err := spice.New(d.Circuit, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Transient(spice.TranSpec{Stop: d.TranStop, Breakpoints: d.Breakpoints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.TraceName("out")
+	if out.V[0] < 4.9 {
+		t.Errorf("inverter output should start high: %g", out.V[0])
+	}
+	if out.Final() > 0.1 {
+		t.Errorf("inverter output should end low: %g", out.Final())
+	}
+	th := waveform.Thresholds{Vil: 1.5, Vih: 3.5, Vdd: 5}
+	if _, err := th.OutputCross(out, waveform.Falling); err != nil {
+		t.Errorf("no falling crossing: %v", err)
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := `
+Vdd vdd 0 5
+Vin in 0 PWL(0 0
++ 1n 0 1.2n 5)
+R1 in out 1k
+C1 out 0 1p
+.tran 4n
+`
+	d, err := deck.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Breakpoints) != 3 {
+		t.Errorf("PWL breakpoints = %v", d.Breakpoints)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown card":      "X1 a b c\n",
+		"bad model type":    ".model m1 diode IS=1\n",
+		"missing model":     "M1 d g s b nosuch W=1u L=1u\n",
+		"bad model param":   ".model n1 nmos FOO=1\n",
+		"pwl odd values":    "Vin a 0 PWL(0 0 1n)\n",
+		"non-ground source": "Vin a b 5\n",
+		"short tran":        ".tran\n",
+		"bad device param":  ".model n1 nmos KP=60u\nM1 d g s b n1 X=2\n",
+		"bad value":         "R1 a b 1x2\n",
+	}
+	for name, src := range cases {
+		if _, err := deck.Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, src)
+		}
+	}
+}
+
+func TestModelOrderIndependence(t *testing.T) {
+	// Device line before its .model card must still resolve.
+	src := `
+Vdd vdd 0 5
+M1 out vdd vdd vdd pmos W=2u L=1u
+C1 out 0 1f
+.model pmos pmos KP=25u VTO=-0.9
+.tran 1n
+`
+	d, err := deck.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Circuit.MOSFETs[0].Model.KP-25e-6) > 1e-18 {
+		t.Error("model card applied incorrectly")
+	}
+	if d.Circuit.MOSFETs[0].Type.String() != "pmos" {
+		t.Error("model polarity not inferred")
+	}
+}

@@ -1,0 +1,53 @@
+package deck_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/deck"
+	"repro/internal/spice"
+)
+
+// TestShippedDecksSimulate guards the example decks under testdata/ at the
+// repository root: they must parse and run end to end.
+func TestShippedDecksSimulate(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Skipf("no testdata directory: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".sp" {
+			continue
+		}
+		found++
+		path := filepath.Join(root, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := deck.Parse(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: parse: %v", e.Name(), err)
+			continue
+		}
+		if d.TranStop <= 0 {
+			t.Errorf("%s: no .tran", e.Name())
+			continue
+		}
+		eng, err := spice.New(d.Circuit, spice.DefaultOptions())
+		if err != nil {
+			t.Errorf("%s: engine: %v", e.Name(), err)
+			continue
+		}
+		if _, err := eng.Transient(spice.TranSpec{Stop: d.TranStop, Breakpoints: d.Breakpoints}); err != nil {
+			t.Errorf("%s: transient: %v", e.Name(), err)
+		}
+	}
+	if found == 0 {
+		t.Error("no .sp decks shipped in testdata/")
+	}
+}

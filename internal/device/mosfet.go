@@ -1,0 +1,296 @@
+// Package device implements the transistor models used by the circuit
+// simulator. Two MOSFET models are provided:
+//
+//   - Level1: the classic Shichman–Hodges square-law model with channel
+//     length modulation and body effect — the model family used by 1990s
+//     HSPICE level-1 decks such as the one behind the paper's NAND gate.
+//   - AlphaPower: the Sakurai–Newton alpha-power law model, useful as an
+//     ablation to confirm that the proximity macromodel shapes do not depend
+//     on the particular I-V formulation.
+//
+// Models are evaluated at a terminal-voltage operating point and return both
+// the drain current and the small-signal conductances (gm, gds, gmbs) that
+// the Newton solver needs for its companion linearization.
+package device
+
+import (
+	"fmt"
+	"math"
+)
+
+// MOSType distinguishes n-channel from p-channel devices.
+type MOSType int
+
+const (
+	NMOS MOSType = iota
+	PMOS
+)
+
+func (t MOSType) String() string {
+	if t == NMOS {
+		return "nmos"
+	}
+	return "pmos"
+}
+
+// ModelKind selects the I-V formulation.
+type ModelKind int
+
+const (
+	// Level1 is the Shichman–Hodges square-law model.
+	Level1 ModelKind = iota
+	// AlphaPower is the Sakurai–Newton alpha-power law model.
+	AlphaPower
+)
+
+func (k ModelKind) String() string {
+	switch k {
+	case Level1:
+		return "level1"
+	case AlphaPower:
+		return "alpha-power"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", int(k))
+	}
+}
+
+// Params carries the per-type model card. All values use SI units.
+type Params struct {
+	Kind ModelKind
+
+	// Vt0 is the zero-bias threshold voltage. Positive for NMOS, negative
+	// for PMOS (e.g. -0.9 means the PMOS turns on at Vgs < -0.9V).
+	Vt0 float64
+	// KP is the transconductance parameter mu*Cox in A/V^2. The device
+	// strength used throughout the paper is K = 0.5*KP*W/L.
+	KP float64
+	// Lambda is the channel-length-modulation coefficient (1/V).
+	Lambda float64
+	// Gamma is the body-effect coefficient (sqrt(V)).
+	Gamma float64
+	// Phi is twice the Fermi potential (V), used with Gamma.
+	Phi float64
+	// Alpha is the velocity-saturation index for the alpha-power model
+	// (1 = fully velocity saturated, 2 = square law). Ignored by Level1.
+	Alpha float64
+}
+
+// OperatingPoint is the output of a model evaluation: the drain current and
+// its partial derivatives with respect to the terminal voltages.
+//
+// Sign convention: Ids flows from drain to source through the channel for
+// both device types when evaluated in the model's "forward" local frame
+// (Vds >= 0 after source/drain swap). Callers use Eval, which handles frame
+// conversion and returns current into the external drain terminal.
+type OperatingPoint struct {
+	Id   float64 // current into the drain terminal (A)
+	Gm   float64 // dId/dVgs (S)
+	Gds  float64 // dId/dVds (S)
+	Gmbs float64 // dId/dVbs (S)
+	// Region is a diagnostic tag: "cutoff", "linear" or "saturation".
+	Region string
+}
+
+// MOSFET is a single transistor instance.
+type MOSFET struct {
+	Name string
+	Type MOSType
+	// W and L are the drawn channel width and length in meters.
+	W, L float64
+	// Model holds the model card for this device's type.
+	Model Params
+}
+
+// Beta returns the process gain KP*W/L of the device in A/V^2.
+func (m *MOSFET) Beta() float64 { return m.Model.KP * m.W / m.L }
+
+// Strength returns K = 0.5*mu*Cox*W/L, the "strength" parameter named K in
+// the paper's dimensional analysis (footnote 1 of Section 3).
+func (m *MOSFET) Strength() float64 { return 0.5 * m.Beta() }
+
+// gminInternal is a tiny conductance added to gds to keep the Jacobian
+// nonsingular when every device at a node is cut off.
+const gminInternal = 1e-12
+
+// Eval computes the operating point of the device given the external
+// terminal voltages (drain, gate, source, bulk), all referred to ground.
+//
+// The returned OperatingPoint is expressed in the external frame:
+// Id is the current flowing from the external drain node into the channel
+// (out of the source node), and the conductances are derivatives with
+// respect to the external Vgs/Vds/Vbs.
+func (m *MOSFET) Eval(vd, vg, vs, vb float64) OperatingPoint {
+	if m.Type == NMOS {
+		return m.evalN(vd, vg, vs, vb)
+	}
+	// A PMOS is evaluated as an NMOS in a mirrored frame: negate all
+	// voltages and the resulting current. The model card stores Vt0 < 0 for
+	// PMOS; mirroring makes it positive.
+	mirr := *m
+	mirr.Type = NMOS
+	mirr.Model.Vt0 = -m.Model.Vt0
+	op := mirr.evalN(-vd, -vg, -vs, -vb)
+	op.Id = -op.Id
+	// Derivatives survive the double negation: d(-I)/d(-V) = dI/dV.
+	return op
+}
+
+// evalN evaluates an n-channel device, handling source/drain symmetry.
+func (m *MOSFET) evalN(vd, vg, vs, vb float64) OperatingPoint {
+	// The MOS channel is symmetric: identify the lower-potential terminal
+	// as the effective source. Track whether we swapped so we can express
+	// conductances in the external frame afterwards.
+	swapped := false
+	if vd < vs {
+		vd, vs = vs, vd
+		swapped = true
+	}
+	vgs := vg - vs
+	vds := vd - vs
+	vbs := vb - vs
+
+	vt, dvtdvbs := m.threshold(vbs)
+	op := m.channelCurrent(vgs, vds, vt)
+
+	// Chain rule for the body effect: Id depends on vbs only through vt,
+	// and dId/dvt = -Gm (current depends on vgs - vt in every region).
+	op.Gmbs = -op.Gm * dvtdvbs
+
+	if !swapped {
+		return op
+	}
+	// Transform back to the external frame. In the swapped frame we
+	// computed I' = f(vgs', vds', vbs') with primes referred to the
+	// external drain acting as source. External current into the external
+	// drain is -I'. Let D,S be external terminals; primed source = D.
+	//
+	// vgs' = vg - vd, vds' = vs - vd, vbs' = vb - vd.
+	// Id(ext, into D) = -I'.
+	// dId/dVg(ext) = -dI'/dvgs' = -Gm'
+	// dId/dVd(ext) = -(-Gm' - Gds' - Gmbs') = Gm' + Gds' + Gmbs'
+	// dId/dVs(ext) = -Gds' * d(vds')/dVs = -Gds'
+	// dId/dVb(ext) = -Gmbs'
+	// Expressed against the conventional external (vgs, vds, vbs) basis
+	// where Id = f(vgs=vg-vs, vds=vd-vs, vbs=vb-vs):
+	//   Gm(ext)   = dId/dVg            = -Gm'
+	//   Gds(ext)  = dId/dVd            = Gm' + Gds' + Gmbs'
+	//   Gmbs(ext) = dId/dVb            = -Gmbs'
+	// (The dId/dVs column is implied: -(Gm+Gds+Gmbs) in any frame.)
+	ext := OperatingPoint{
+		Id:     -op.Id,
+		Gm:     -op.Gm,
+		Gds:    op.Gm + op.Gds + op.Gmbs,
+		Gmbs:   -op.Gmbs,
+		Region: op.Region + " (reversed)",
+	}
+	return ext
+}
+
+// threshold returns the body-effect-adjusted threshold voltage and its
+// derivative with respect to vbs.
+func (m *MOSFET) threshold(vbs float64) (vt, dvtdvbs float64) {
+	p := m.Model
+	if p.Gamma == 0 {
+		return p.Vt0, 0
+	}
+	phi := p.Phi
+	if phi <= 0 {
+		phi = 0.6
+	}
+	// vt = vt0 + gamma*(sqrt(phi - vbs) - sqrt(phi)); clamp the root
+	// argument to keep the model defined for forward body bias.
+	arg := phi - vbs
+	const minArg = 1e-3
+	if arg < minArg {
+		arg = minArg
+		// derivative ~ 0 in the clamped region
+		vt = p.Vt0 + p.Gamma*(math.Sqrt(arg)-math.Sqrt(phi))
+		return vt, 0
+	}
+	s := math.Sqrt(arg)
+	vt = p.Vt0 + p.Gamma*(s-math.Sqrt(phi))
+	dvtdvbs = -p.Gamma / (2 * s)
+	return vt, dvtdvbs
+}
+
+// channelCurrent evaluates the forward-frame (vds >= 0) channel current.
+func (m *MOSFET) channelCurrent(vgs, vds, vt float64) OperatingPoint {
+	switch m.Model.Kind {
+	case AlphaPower:
+		return m.alphaPowerCurrent(vgs, vds, vt)
+	default:
+		return m.level1Current(vgs, vds, vt)
+	}
+}
+
+// level1Current implements the Shichman–Hodges equations.
+func (m *MOSFET) level1Current(vgs, vds, vt float64) OperatingPoint {
+	beta := m.Beta()
+	lambda := m.Model.Lambda
+	vov := vgs - vt
+	if vov <= 0 {
+		// Cutoff: tiny leakage conductance keeps Newton well-posed.
+		return OperatingPoint{Id: gminInternal * vds, Gds: gminInternal, Region: "cutoff"}
+	}
+	if vds < vov {
+		// Linear (triode) region with CLM factor for C1 continuity at the
+		// linear/saturation boundary. The gmin leakage term keeps the
+		// current continuous (and monotone in vgs) across the cutoff edge.
+		f := 1 + lambda*vds
+		id := beta*(vov*vds-0.5*vds*vds)*f + gminInternal*vds
+		gm := beta * vds * f
+		gds := beta*(vov-vds)*f + beta*(vov*vds-0.5*vds*vds)*lambda
+		return OperatingPoint{Id: id, Gm: gm, Gds: gds + gminInternal, Region: "linear"}
+	}
+	// Saturation.
+	f := 1 + lambda*vds
+	id := 0.5*beta*vov*vov*f + gminInternal*vds
+	gm := beta * vov * f
+	gds := 0.5 * beta * vov * vov * lambda
+	return OperatingPoint{Id: id, Gm: gm, Gds: gds + gminInternal, Region: "saturation"}
+}
+
+// alphaPowerCurrent implements the Sakurai–Newton alpha-power law.
+//
+//	Idsat = (beta/2) * vov^alpha * (1 + lambda vds)
+//	Vdsat = K_v * vov^(alpha/2)   (here K_v chosen so Vdsat = vov at alpha=2)
+//	Linear region: Id = Idsat * (2 - vds/vdsat) * (vds/vdsat)
+//
+// which reduces exactly to the square law at alpha = 2 and preserves C1
+// continuity at vds = vdsat.
+func (m *MOSFET) alphaPowerCurrent(vgs, vds, vt float64) OperatingPoint {
+	beta := m.Beta()
+	lambda := m.Model.Lambda
+	alpha := m.Model.Alpha
+	if alpha <= 0 {
+		alpha = 2
+	}
+	vov := vgs - vt
+	if vov <= 0 {
+		return OperatingPoint{Id: gminInternal * vds, Gds: gminInternal, Region: "cutoff"}
+	}
+	vdsat := math.Pow(vov, alpha/2)
+	idsat := 0.5 * beta * math.Pow(vov, alpha)
+	didsatDvgs := 0.5 * beta * alpha * math.Pow(vov, alpha-1)
+	dvdsatDvgs := (alpha / 2) * math.Pow(vov, alpha/2-1)
+	if vds >= vdsat {
+		f := 1 + lambda*vds
+		id := idsat*f + gminInternal*vds
+		return OperatingPoint{
+			Id:     id,
+			Gm:     didsatDvgs * f,
+			Gds:    idsat*lambda + gminInternal,
+			Region: "saturation",
+		}
+	}
+	// Linear region.
+	x := vds / vdsat
+	shape := (2 - x) * x // 2x - x^2
+	f := 1 + lambda*vds
+	id := idsat*shape*f + gminInternal*vds
+	dShapeDvds := (2 - 2*x) / vdsat
+	dShapeDvdsat := -(2*x - 2*x*x) / vdsat // d/dvdsat of (2vds/vdsat - vds^2/vdsat^2)
+	gm := (didsatDvgs*shape + idsat*dShapeDvdsat*dvdsatDvgs) * f
+	gds := idsat*dShapeDvds*f + idsat*shape*lambda
+	return OperatingPoint{Id: id, Gm: gm, Gds: gds + gminInternal, Region: "linear"}
+}

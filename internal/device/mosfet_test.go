@@ -1,0 +1,203 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testNMOS(kind ModelKind) *MOSFET {
+	return &MOSFET{
+		Name: "mn", Type: NMOS, W: 8e-6, L: 1e-6,
+		Model: Params{Kind: kind, Vt0: 0.8, KP: 60e-6, Lambda: 0.05, Gamma: 0.4, Phi: 0.65, Alpha: 1.5},
+	}
+}
+
+func testPMOS(kind ModelKind) *MOSFET {
+	return &MOSFET{
+		Name: "mp", Type: PMOS, W: 8e-6, L: 1e-6,
+		Model: Params{Kind: kind, Vt0: -0.9, KP: 25e-6, Lambda: 0.05, Gamma: 0.5, Phi: 0.65, Alpha: 1.5},
+	}
+}
+
+func TestStrengthAndBeta(t *testing.T) {
+	m := testNMOS(Level1)
+	wantBeta := 60e-6 * 8.0
+	if got := m.Beta(); math.Abs(got-wantBeta) > 1e-12 {
+		t.Errorf("Beta = %g, want %g", got, wantBeta)
+	}
+	if got := m.Strength(); math.Abs(got-wantBeta/2) > 1e-12 {
+		t.Errorf("Strength = %g, want %g", got, wantBeta/2)
+	}
+}
+
+func TestNMOSRegions(t *testing.T) {
+	m := testNMOS(Level1)
+	cases := []struct {
+		vd, vg, vs, vb float64
+		region         string
+		positive       bool
+	}{
+		{5, 0, 0, 0, "cutoff", false},
+		{0.1, 5, 0, 0, "linear", true},
+		{5, 5, 0, 0, "saturation", true},
+		{5, 2, 0, 0, "saturation", true},
+	}
+	for _, c := range cases {
+		op := m.Eval(c.vd, c.vg, c.vs, c.vb)
+		if !strings.HasPrefix(op.Region, c.region) {
+			t.Errorf("Eval(%g,%g,%g,%g) region = %q, want %q", c.vd, c.vg, c.vs, c.vb, op.Region, c.region)
+		}
+		if c.positive && op.Id <= 0 {
+			t.Errorf("Eval(%g,%g,%g,%g) Id = %g, want > 0", c.vd, c.vg, c.vs, c.vb, op.Id)
+		}
+		if !c.positive && math.Abs(op.Id) > 1e-9 {
+			t.Errorf("Eval(%g,%g,%g,%g) Id = %g, want ~0 in cutoff", c.vd, c.vg, c.vs, c.vb, op.Id)
+		}
+	}
+}
+
+func TestPMOSMirror(t *testing.T) {
+	p := testPMOS(Level1)
+	// PMOS with source at 5V, gate at 0, drain at 0: strongly on, current
+	// flows INTO the drain terminal from the channel, i.e. Id < 0 in our
+	// into-drain convention... current flows source->drain, so current
+	// into the drain node from the device is negative of NMOS sense.
+	op := p.Eval(0, 0, 5, 5)
+	if op.Id >= 0 {
+		t.Errorf("on PMOS should pull current out of the low drain: Id = %g", op.Id)
+	}
+	// Cutoff: gate at source.
+	off := p.Eval(0, 5, 5, 5)
+	if math.Abs(off.Id) > 1e-9 {
+		t.Errorf("off PMOS leaks Id = %g", off.Id)
+	}
+}
+
+// TestSourceDrainSymmetry: the channel current is antisymmetric under
+// terminal exchange.
+func TestSourceDrainSymmetry(t *testing.T) {
+	for _, kind := range []ModelKind{Level1, AlphaPower} {
+		m := testNMOS(kind)
+		fwd := m.Eval(3, 4, 1, 0)
+		rev := m.Eval(1, 4, 3, 0)
+		if math.Abs(fwd.Id+rev.Id) > 1e-12*math.Max(1, math.Abs(fwd.Id)) {
+			t.Errorf("%v: I(3,1)=%g, I(1,3)=%g; want antisymmetric", kind, fwd.Id, rev.Id)
+		}
+	}
+}
+
+// TestRegionBoundaryContinuity: current and gm are continuous across the
+// linear/saturation boundary.
+func TestRegionBoundaryContinuity(t *testing.T) {
+	for _, kind := range []ModelKind{Level1, AlphaPower} {
+		m := testNMOS(kind)
+		m.Model.Gamma = 0 // isolate the channel model
+		vg := 3.0
+		vt := m.Model.Vt0
+		vdsat := vg - vt
+		if kind == AlphaPower {
+			vdsat = math.Pow(vg-vt, m.Model.Alpha/2)
+		}
+		eps := 1e-7
+		below := m.Eval(vdsat-eps, vg, 0, 0)
+		above := m.Eval(vdsat+eps, vg, 0, 0)
+		if rel := math.Abs(below.Id-above.Id) / math.Abs(above.Id); rel > 1e-4 {
+			t.Errorf("%v: current jump at vdsat: %g vs %g (rel %g)", kind, below.Id, above.Id, rel)
+		}
+		if rel := math.Abs(below.Gm-above.Gm) / math.Abs(above.Gm); rel > 1e-3 {
+			t.Errorf("%v: gm jump at vdsat: %g vs %g (rel %g)", kind, below.Gm, above.Gm, rel)
+		}
+	}
+}
+
+// TestConductancesMatchFiniteDifferences: the analytic Gm/Gds/Gmbs agree
+// with numeric derivatives at random bias points (the property the Newton
+// solver depends on).
+func TestConductancesMatchFiniteDifferences(t *testing.T) {
+	for _, kind := range []ModelKind{Level1, AlphaPower} {
+		kind := kind
+		prop := func(seed int64) bool {
+			r := rand.New(rand.NewSource(seed))
+			m := testNMOS(kind)
+			vd := r.Float64() * 5
+			vg := r.Float64() * 5
+			vs := r.Float64() * 2
+			vb := -r.Float64() // reverse body bias
+			// Stay away from region boundaries where one-sided derivatives
+			// differ legitimately.
+			op := m.Eval(vd, vg, vs, vb)
+			const h = 1e-6
+			dgm := (m.Eval(vd, vg+h, vs, vb).Id - m.Eval(vd, vg-h, vs, vb).Id) / (2 * h)
+			dgds := (m.Eval(vd+h, vg, vs, vb).Id - m.Eval(vd-h, vg, vs, vb).Id) / (2 * h)
+			dgmbs := (m.Eval(vd, vg, vs, vb+h).Id - m.Eval(vd, vg, vs, vb-h).Id) / (2 * h)
+			scale := math.Abs(op.Id) + 1e-6
+			okGm := math.Abs(op.Gm-dgm) < 1e-3*scale+1e-9
+			okGds := math.Abs(op.Gds-dgds) < 1e-3*scale+1e-9
+			okGmbs := math.Abs(op.Gmbs-dgmbs) < 1e-3*scale+1e-9
+			if !okGm || !okGds || !okGmbs {
+				t.Logf("%v bias vd=%.3f vg=%.3f vs=%.3f vb=%.3f: Gm %g vs %g, Gds %g vs %g, Gmbs %g vs %g",
+					kind, vd, vg, vs, vb, op.Gm, dgm, op.Gds, dgds, op.Gmbs, dgmbs)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%v: %v", kind, err)
+		}
+	}
+}
+
+// TestBodyEffectRaisesThreshold: reverse body bias reduces the current.
+func TestBodyEffectRaisesThreshold(t *testing.T) {
+	m := testNMOS(Level1)
+	noBias := m.Eval(5, 2, 0, 0)
+	revBias := m.Eval(5, 2, 0, -2)
+	if revBias.Id >= noBias.Id {
+		t.Errorf("reverse body bias should reduce current: %g >= %g", revBias.Id, noBias.Id)
+	}
+}
+
+// TestAlphaPowerReducesToSquareLaw: at alpha=2 and lambda=0 the two models
+// coincide in saturation.
+func TestAlphaPowerReducesToSquareLaw(t *testing.T) {
+	l1 := testNMOS(Level1)
+	ap := testNMOS(AlphaPower)
+	l1.Model.Lambda, ap.Model.Lambda = 0, 0
+	l1.Model.Gamma, ap.Model.Gamma = 0, 0
+	ap.Model.Alpha = 2
+	for _, vg := range []float64{1.5, 2.5, 4} {
+		a := l1.Eval(5, vg, 0, 0)
+		b := ap.Eval(5, vg, 0, 0)
+		if rel := math.Abs(a.Id-b.Id) / a.Id; rel > 1e-9 {
+			t.Errorf("vg=%g: level1 %g vs alpha-power %g", vg, a.Id, b.Id)
+		}
+	}
+}
+
+// TestMonotoneInVgs: drain current never decreases with gate drive.
+func TestMonotoneInVgs(t *testing.T) {
+	for _, kind := range []ModelKind{Level1, AlphaPower} {
+		m := testNMOS(kind)
+		prev := -1.0
+		for vg := 0.0; vg <= 5; vg += 0.05 {
+			id := m.Eval(5, vg, 0, 0).Id
+			if id < prev-1e-15 {
+				t.Errorf("%v: current decreased at vg=%g: %g < %g", kind, vg, id, prev)
+				break
+			}
+			prev = id
+		}
+	}
+}
+
+func TestModelKindStrings(t *testing.T) {
+	if Level1.String() != "level1" || AlphaPower.String() != "alpha-power" {
+		t.Error("ModelKind strings changed")
+	}
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Error("MOSType strings changed")
+	}
+}

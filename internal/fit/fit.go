@@ -1,0 +1,209 @@
+// Package fit provides multivariate polynomial least-squares fitting, used
+// to turn the tabulated proximity macromodels into closed-form analytic
+// models — the paper remarks (Section 3) that "closed form analytical forms
+// for these macromodels do exist"; this package makes them.
+package fit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/mna"
+)
+
+// Poly is a dense multivariate polynomial of bounded total degree over
+// inputs affinely scaled to [-1, 1] per dimension (for numerical
+// conditioning of the normal equations).
+type Poly struct {
+	dims   int
+	degree int
+	// lo/hi are the per-dimension scaling bounds.
+	lo, hi []float64
+	// terms lists the exponent vector of each monomial; coeffs aligns.
+	terms  [][]int
+	coeffs []float64
+}
+
+// monomials enumerates exponent vectors with total degree <= degree.
+func monomials(dims, degree int) [][]int {
+	var out [][]int
+	cur := make([]int, dims)
+	var rec func(d, remaining int)
+	rec = func(d, remaining int) {
+		if d == dims {
+			cp := make([]int, dims)
+			copy(cp, cur)
+			out = append(out, cp)
+			return
+		}
+		for e := 0; e <= remaining; e++ {
+			cur[d] = e
+			rec(d+1, remaining-e)
+		}
+		cur[d] = 0
+	}
+	rec(0, degree)
+	return out
+}
+
+// NumTerms returns the number of monomials of a dims-dimensional polynomial
+// with total degree bound degree.
+func NumTerms(dims, degree int) int { return len(monomials(dims, degree)) }
+
+// Fit solves the least-squares problem for samples (xs[i], ys[i]).
+// Each xs[i] must have length dims. Requires len(xs) >= NumTerms.
+func Fit(xs [][]float64, ys []float64, dims, degree int) (*Poly, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("fit: %d points vs %d values", len(xs), len(ys))
+	}
+	if dims < 1 || degree < 0 {
+		return nil, fmt.Errorf("fit: invalid shape dims=%d degree=%d", dims, degree)
+	}
+	terms := monomials(dims, degree)
+	m := len(terms)
+	if len(xs) < m {
+		return nil, fmt.Errorf("fit: %d samples cannot determine %d coefficients", len(xs), m)
+	}
+
+	// Scaling bounds per dimension.
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, x := range xs {
+		if len(x) != dims {
+			return nil, fmt.Errorf("fit: sample dimension %d, want %d", len(x), dims)
+		}
+		for d, v := range x {
+			lo[d] = math.Min(lo[d], v)
+			hi[d] = math.Max(hi[d], v)
+		}
+	}
+	for d := 0; d < dims; d++ {
+		if hi[d] <= lo[d] {
+			hi[d] = lo[d] + 1 // degenerate dimension: constant input
+		}
+	}
+	p := &Poly{dims: dims, degree: degree, lo: lo, hi: hi, terms: terms}
+
+	// Normal equations: (B^T B) c = B^T y with B the design matrix.
+	ata := mna.NewMatrix(m)
+	atb := make([]float64, m)
+	row := make([]float64, m)
+	for i, x := range xs {
+		p.basisRow(x, row)
+		for a := 0; a < m; a++ {
+			atb[a] += row[a] * ys[i]
+			for b := 0; b < m; b++ {
+				ata.Add(a, b, row[a]*row[b])
+			}
+		}
+	}
+	// Tikhonov ridge keeps near-degenerate designs solvable without
+	// noticeably biasing well-posed fits.
+	scale := ata.MaxAbs()
+	for a := 0; a < m; a++ {
+		ata.Add(a, a, 1e-10*scale)
+	}
+	coeffs, err := mna.SolveSystem(ata, atb)
+	if err != nil {
+		return nil, fmt.Errorf("fit: normal equations singular: %w", err)
+	}
+	p.coeffs = coeffs
+	return p, nil
+}
+
+// basisRow fills row with every monomial evaluated at x (after scaling).
+func (p *Poly) basisRow(x []float64, row []float64) {
+	// Scaled coordinates and power tables.
+	pows := make([][]float64, p.dims)
+	for d := 0; d < p.dims; d++ {
+		u := 2*(x[d]-p.lo[d])/(p.hi[d]-p.lo[d]) - 1
+		ps := make([]float64, p.degree+1)
+		ps[0] = 1
+		for e := 1; e <= p.degree; e++ {
+			ps[e] = ps[e-1] * u
+		}
+		pows[d] = ps
+	}
+	for i, t := range p.terms {
+		v := 1.0
+		for d, e := range t {
+			v *= pows[d][e]
+		}
+		row[i] = v
+	}
+}
+
+// Eval evaluates the polynomial. Inputs outside the fitted range are clamped
+// to it (matching the tables' clamped extrapolation).
+func (p *Poly) Eval(x ...float64) float64 {
+	if len(x) != p.dims {
+		panic(fmt.Sprintf("fit: eval rank %d, poly rank %d", len(x), p.dims))
+	}
+	cx := make([]float64, p.dims)
+	for d := range x {
+		cx[d] = math.Max(p.lo[d], math.Min(p.hi[d], x[d]))
+	}
+	row := make([]float64, len(p.terms))
+	p.basisRow(cx, row)
+	v := 0.0
+	for i, c := range p.coeffs {
+		v += c * row[i]
+	}
+	return v
+}
+
+// Dims and Degree describe the polynomial's shape.
+func (p *Poly) Dims() int   { return p.dims }
+func (p *Poly) Degree() int { return p.degree }
+
+// NumCoeffs returns the stored coefficient count (the analytic model's
+// storage footprint, for the Figure 4-2 style comparison).
+func (p *Poly) NumCoeffs() int { return len(p.coeffs) }
+
+// RMSError computes the root-mean-square residual over a sample set.
+func (p *Poly) RMSError(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, x := range xs {
+		d := p.Eval(x...) - ys[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// polyJSON is the serialized form.
+type polyJSON struct {
+	Dims   int       `json:"dims"`
+	Degree int       `json:"degree"`
+	Lo     []float64 `json:"lo"`
+	Hi     []float64 `json:"hi"`
+	Coeffs []float64 `json:"coeffs"`
+}
+
+// MarshalJSON serializes the polynomial.
+func (p *Poly) MarshalJSON() ([]byte, error) {
+	return json.Marshal(polyJSON{Dims: p.dims, Degree: p.degree, Lo: p.lo, Hi: p.hi, Coeffs: p.coeffs})
+}
+
+// UnmarshalJSON restores a polynomial.
+func (p *Poly) UnmarshalJSON(data []byte) error {
+	var j polyJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	terms := monomials(j.Dims, j.Degree)
+	if len(terms) != len(j.Coeffs) {
+		return fmt.Errorf("fit: coefficient count %d does not match shape (want %d)", len(j.Coeffs), len(terms))
+	}
+	if len(j.Lo) != j.Dims || len(j.Hi) != j.Dims {
+		return fmt.Errorf("fit: scaling bounds rank mismatch")
+	}
+	*p = Poly{dims: j.Dims, degree: j.Degree, lo: j.Lo, hi: j.Hi, terms: terms, coeffs: j.Coeffs}
+	return nil
+}

@@ -1,0 +1,112 @@
+package macromodel
+
+import (
+	"fmt"
+
+	"repro/internal/fit"
+	"repro/internal/waveform"
+)
+
+// AnalyticDual is a closed-form (polynomial) rendering of a characterized
+// dual-input proximity model: two fitted polynomials over the same
+// normalized coordinates as the tables. It implements the paper's Section-3
+// remark that closed analytical forms of D(2)/T(2) exist, and shrinks the
+// per-model storage from |grid| entries to a few dozen coefficients.
+type AnalyticDual struct {
+	RefPin   int                `json:"refPin"`
+	OtherPin int                `json:"otherPin"`
+	Dir      waveform.Direction `json:"dir"`
+
+	Delay *fit.Poly `json:"delay"`
+	TT    *fit.Poly `json:"tt"`
+	// DelayRMS and TTRMS record the fit residuals over the source grid.
+	DelayRMS float64 `json:"delayRMS"`
+	TTRMS    float64 `json:"ttRMS"`
+}
+
+// FitDual fits polynomials of the given total degree to a tabulated dual
+// model. Degree 4 reproduces the default grids to ~1-2% RMS.
+func FitDual(m *DualInputModel, degree int) (*AnalyticDual, error) {
+	xs, dys, tys := gridSamples(m)
+	dp, err := fit.Fit(xs, dys, 3, degree)
+	if err != nil {
+		return nil, fmt.Errorf("macromodel: fit delay ratio: %w", err)
+	}
+	tp, err := fit.Fit(xs, tys, 3, degree)
+	if err != nil {
+		return nil, fmt.Errorf("macromodel: fit tt ratio: %w", err)
+	}
+	return &AnalyticDual{
+		RefPin:   m.RefPin,
+		OtherPin: m.OtherPin,
+		Dir:      m.Dir,
+		Delay:    dp,
+		TT:       tp,
+		DelayRMS: dp.RMSError(xs, dys),
+		TTRMS:    tp.RMSError(xs, tys),
+	}, nil
+}
+
+// gridSamples flattens a dual model's grids into fitting samples.
+func gridSamples(m *DualInputModel) (xs [][]float64, dys, tys []float64) {
+	ax0 := m.DelayRatio.Axis(0)
+	ax1 := m.DelayRatio.Axis(1)
+	ax2 := m.DelayRatio.Axis(2)
+	for i, x1 := range ax0 {
+		for j, x2 := range ax1 {
+			for k, x3 := range ax2 {
+				xs = append(xs, []float64{x1, x2, x3})
+				dys = append(dys, m.DelayRatio.At(i, j, k))
+				tys = append(tys, m.TTRatio.At(i, j, k))
+			}
+		}
+	}
+	return xs, dys, tys
+}
+
+// EvalDelayRatio evaluates the analytic D(2).
+func (a *AnalyticDual) EvalDelayRatio(x1, x2, x3 float64) float64 {
+	return a.Delay.Eval(x1, x2, x3)
+}
+
+// EvalTTRatio evaluates the analytic T(2).
+func (a *AnalyticDual) EvalTTRatio(x1, x2, x3 float64) float64 {
+	return a.TT.Eval(x1, x2, x3)
+}
+
+// AnalyticModel carries analytic duals for a whole gate, addressed like
+// GateModel.Dual.
+type AnalyticModel struct {
+	Duals []*AnalyticDual `json:"duals"`
+}
+
+// FitGate fits every dual table of a gate model.
+func FitGate(m *GateModel, degree int) (*AnalyticModel, error) {
+	out := &AnalyticModel{}
+	for _, d := range m.Duals {
+		a, err := FitDual(d, degree)
+		if err != nil {
+			return nil, fmt.Errorf("macromodel: dual (%d,%d) %v: %w", d.RefPin, d.OtherPin, d.Dir, err)
+		}
+		out.Duals = append(out.Duals, a)
+	}
+	return out, nil
+}
+
+// Dual returns the analytic model for a reference pin and direction,
+// preferring an exact pair match.
+func (am *AnalyticModel) Dual(ref, other int, dir waveform.Direction) *AnalyticDual {
+	var fallback *AnalyticDual
+	for _, d := range am.Duals {
+		if d.Dir != dir || d.RefPin != ref {
+			continue
+		}
+		if d.OtherPin == other {
+			return d
+		}
+		if fallback == nil {
+			fallback = d
+		}
+	}
+	return fallback
+}

@@ -1,0 +1,90 @@
+package macromodel_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/macromodel"
+	"repro/internal/waveform"
+)
+
+// TestFitDualReproducesTable: a degree-4 polynomial tracks the tabulated
+// dual model closely at the grid nodes.
+func TestFitDualReproducesTable(t *testing.T) {
+	_, model := nand2Rig(t)
+	d := model.Dual(0, 1, waveform.Falling)
+	a, err := macromodel.FitDual(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DelayRMS > 0.08 {
+		t.Errorf("delay-ratio fit RMS %.4f too large", a.DelayRMS)
+	}
+	if a.TTRMS > 0.12 {
+		t.Errorf("tt-ratio fit RMS %.4f too large", a.TTRMS)
+	}
+	// Spot comparisons at grid nodes.
+	ax0, ax1, ax2 := d.DelayRatio.Axis(0), d.DelayRatio.Axis(1), d.DelayRatio.Axis(2)
+	worst := 0.0
+	for _, x1 := range ax0 {
+		for _, x2 := range ax1 {
+			for _, x3 := range ax2 {
+				diff := math.Abs(a.EvalDelayRatio(x1, x2, x3) - d.EvalDelayRatio(x1, x2, x3))
+				if diff > worst {
+					worst = diff
+				}
+			}
+		}
+	}
+	if worst > 0.3 {
+		t.Errorf("worst node deviation %.3f", worst)
+	}
+	t.Logf("analytic fit: delay RMS %.4f, tt RMS %.4f, worst node %.4f, %d coeffs vs %d table entries",
+		a.DelayRMS, a.TTRMS, worst, a.Delay.NumCoeffs(), d.DelayRatio.Len())
+}
+
+func TestFitGateAndLookup(t *testing.T) {
+	_, model := nand2Rig(t)
+	am, err := macromodel.FitGate(model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(am.Duals) != len(model.Duals) {
+		t.Fatalf("fitted %d duals, want %d", len(am.Duals), len(model.Duals))
+	}
+	if am.Dual(0, 1, waveform.Falling) == nil {
+		t.Error("analytic lookup failed")
+	}
+	if am.Dual(0, 1, waveform.Rising) == nil {
+		t.Error("analytic rising lookup failed")
+	}
+}
+
+func TestAnalyticJSONRoundtrip(t *testing.T) {
+	_, model := nand2Rig(t)
+	am, err := macromodel.FitGate(model, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back macromodel.AnalyticModel
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	a := am.Dual(0, 1, waveform.Falling)
+	b := back.Dual(0, 1, waveform.Falling)
+	if b == nil {
+		t.Fatal("lookup after roundtrip failed")
+	}
+	for _, x := range [][3]float64{{1, 1, 0}, {2, 0.5, 0.5}, {1.5, 3, -1}} {
+		va := a.EvalDelayRatio(x[0], x[1], x[2])
+		vb := b.EvalDelayRatio(x[0], x[1], x[2])
+		if math.Abs(va-vb) > 1e-12 {
+			t.Errorf("roundtrip eval %v: %g vs %g", x, va, vb)
+		}
+	}
+}

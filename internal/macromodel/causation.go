@@ -1,0 +1,98 @@
+package macromodel
+
+import (
+	"fmt"
+
+	"repro/internal/cells"
+	"repro/internal/waveform"
+)
+
+// Causation describes how several same-direction input transitions combine
+// to produce the output transition of an inverting gate.
+//
+// When the switching inputs turn on a PARALLEL network (falling inputs on a
+// NAND's pull-up, rising inputs on a NOR's pull-down) the FIRST conducting
+// input starts the output moving: the dominant input is the one whose solo
+// response crosses the measurement threshold first, and inputs arriving
+// after the output has crossed cannot matter (the paper's proximity window
+// s < Δ). This is the case the paper's Figures 3-2/3-3 illustrate.
+//
+// When the switching inputs complete a SERIES network (rising inputs on a
+// NAND's pull-down, falling inputs on a NOR's pull-up) the LAST input
+// completes the conducting path: the dominant input is the one whose solo
+// response crosses last, and earlier inputs matter only while their ramps
+// still overlap the output transition. The paper notes the "analogous
+// argument" for this case without spelling it out; this package makes the
+// symmetry explicit.
+type Causation int
+
+const (
+	// FirstCause: parallel conduction, earliest solo response dominates.
+	FirstCause Causation = iota
+	// LastCause: series completion, latest solo response dominates.
+	LastCause
+)
+
+func (c Causation) String() string {
+	if c == LastCause {
+		return "last-cause (series completion)"
+	}
+	return "first-cause (parallel conduction)"
+}
+
+// CausationFor maps a gate kind name ("nand", "nor", "inv") and input
+// transition direction to the causation type.
+func CausationFor(kind string, dir waveform.Direction) Causation {
+	if kind == "nor" {
+		if dir == waveform.Rising {
+			return FirstCause
+		}
+		return LastCause
+	}
+	// NAND and inverter-style pull-down logic.
+	if dir == waveform.Falling {
+		return FirstCause
+	}
+	return LastCause
+}
+
+// Causation reports the causation type of this model's gate for inputs
+// switching in direction dir. Complex gates set explicit overrides per
+// sensitized context (SetCausation); classic gates derive from their kind.
+func (m *GateModel) Causation(dir waveform.Direction) Causation {
+	if m.CausationMap != nil {
+		if v, ok := m.CausationMap[dir.String()]; ok {
+			return v
+		}
+	}
+	return CausationFor(m.Kind, dir)
+}
+
+// SetCausation overrides the causation for one input direction.
+func (m *GateModel) SetCausation(dir waveform.Direction, c Causation) {
+	if m.CausationMap == nil {
+		m.CausationMap = map[string]Causation{}
+	}
+	m.CausationMap[dir.String()] = c
+}
+
+// subsetCausation resolves the causation of a specific sensitized pin
+// subset on the cell behind a GateSim, falling back to the kind-derived
+// value for classic gates.
+func (g *GateSim) subsetCausation(pins []int, dir waveform.Direction) (Causation, error) {
+	if g.Cell.Kind != cells.Complex {
+		return CausationFor(g.Cell.Kind.String(), dir), nil
+	}
+	levels, err := g.Cell.SensitizeFor(pins)
+	if err != nil {
+		return 0, err
+	}
+	switch g.Cell.SubsetCausation(pins, levels, dir == waveform.Rising) {
+	case cells.FirstCauseSubset:
+		return FirstCause, nil
+	case cells.LastCauseSubset:
+		return LastCause, nil
+	default:
+		return 0, fmt.Errorf("macromodel: subset %v is neither AND- nor OR-like for %v inputs", pins, dir)
+	}
+}

@@ -1,0 +1,75 @@
+package macromodel_test
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+// TestComplexGateSingleCharacterization: the generic characterization path
+// works on a complex gate — each pin is sensitized automatically and its
+// single-input models behave like any other gate's.
+func TestComplexGateSingleCharacterization(t *testing.T) {
+	cell, err := cells.NewComplex(cells.AOI21(), 3, cells.DefaultProcess(), cells.DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+	spec := macromodel.CoarseCharSpec()
+	spec.SkipDual = true
+	model, err := macromodel.CharacterizeGate(sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Kind != "complex" {
+		t.Errorf("kind = %q", model.Kind)
+	}
+	for pin := 0; pin < 3; pin++ {
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			s := model.Single(pin, dir)
+			if s == nil {
+				t.Fatalf("missing single model pin %d %v", pin, dir)
+			}
+			if d := s.DelayAt(300e-12); d <= 0 || d > 3e-9 {
+				t.Errorf("pin %d %v: single delay %.1fps implausible", pin, dir, d*1e12)
+			}
+			// Monotone in τ.
+			if s.DelayAt(1e-9) <= s.DelayAt(100e-12) {
+				t.Errorf("pin %d %v: delay not increasing with τ", pin, dir)
+			}
+		}
+	}
+	// The AOI21's pin c (the lone parallel branch) should be faster than
+	// pin a (in the series pair) for rising inputs: c drives the output
+	// through a single transistor, a through two in series.
+	da := model.Single(0, waveform.Rising).DelayAt(300e-12)
+	dc := model.Single(2, waveform.Rising).DelayAt(300e-12)
+	if dc >= da {
+		t.Errorf("parallel-branch pin c (%.1fps) should beat series pin a (%.1fps)", dc*1e12, da*1e12)
+	}
+}
+
+// TestCausationOverrideRoundtrip: causation overrides survive JSON.
+func TestCausationOverrideRoundtrip(t *testing.T) {
+	_, model := nand2Rig(t)
+	if model.Causation(waveform.Falling) != macromodel.FirstCause {
+		t.Fatal("NAND falling should derive first-cause")
+	}
+	model.SetCausation(waveform.Falling, macromodel.LastCause)
+	defer delete(model.CausationMap, waveform.Falling.String())
+	if model.Causation(waveform.Falling) != macromodel.LastCause {
+		t.Error("override not applied")
+	}
+	// Rising stays derived.
+	if model.Causation(waveform.Rising) != macromodel.LastCause {
+		t.Error("NAND rising should remain last-cause")
+	}
+}

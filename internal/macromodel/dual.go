@@ -1,0 +1,216 @@
+package macromodel
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/cells"
+	"repro/internal/table"
+	"repro/internal/waveform"
+)
+
+func cellsNew(c *cells.Cell) (*cells.Cell, error) {
+	if c.Kind == cells.Complex {
+		return cells.NewComplex(c.Network(), c.N(), c.Proc, c.Geom)
+	}
+	return cells.New(c.Kind, c.N(), c.Proc, c.Geom)
+}
+
+// DualInputModel is the characterized three-argument proximity macromodel of
+// equations (3.11)/(3.12): the ratios Δ(2)/Δ(1) and τ(2)/τ(1) as functions
+// of the normalized temporal parameters
+//
+//	x1 = τ_ref/Δ(1),  x2 = τ_other/Δ(1),  x3 = s/Δ(1)
+//
+// where Δ(1) is the single-input delay of the reference (dominant) input at
+// its transition time. Both tables share the Δ(1)-normalized coordinate
+// system; the paper normalizes the T(2) arguments by τ(1)_out instead, but
+// any fixed bijective reparameterization represents the same function family
+// and sharing one system halves the characterization cost.
+type DualInputModel struct {
+	RefPin   int                `json:"refPin"`
+	OtherPin int                `json:"otherPin"`
+	Dir      waveform.Direction `json:"dir"`
+
+	DelayRatio *table.Grid `json:"delayRatio"`
+	TTRatio    *table.Grid `json:"ttRatio"`
+}
+
+// EvalDelayRatio interpolates D(2) at normalized coordinates (multilinear).
+func (m *DualInputModel) EvalDelayRatio(x1, x2, x3 float64) float64 {
+	return m.DelayRatio.Eval(x1, x2, x3)
+}
+
+// EvalTTRatio interpolates T(2) at normalized coordinates (multilinear).
+func (m *DualInputModel) EvalTTRatio(x1, x2, x3 float64) float64 {
+	return m.TTRatio.Eval(x1, x2, x3)
+}
+
+// EvalDelayRatioCubic interpolates D(2) with tensor-product cubic Hermite
+// splines — smoother between grid nodes than the multilinear default.
+func (m *DualInputModel) EvalDelayRatioCubic(x1, x2, x3 float64) float64 {
+	return m.DelayRatio.EvalCubic(x1, x2, x3)
+}
+
+// EvalTTRatioCubic is the cubic variant of EvalTTRatio.
+func (m *DualInputModel) EvalTTRatioCubic(x1, x2, x3 float64) float64 {
+	return m.TTRatio.EvalCubic(x1, x2, x3)
+}
+
+// DualGridSpec sizes the characterization grid.
+type DualGridSpec struct {
+	// Taus is the physical τ grid for the reference input (defines the x1
+	// axis through x1 = τ/Δ(1)(τ)).
+	Taus []float64
+	// X2 is the normalized τ_other axis (τ_other = x2·Δ(1)).
+	X2 []float64
+	// X3 is the normalized separation axis (s = x3·Δ(1)).
+	X3 []float64
+	// Workers bounds characterization concurrency (0 = NumCPU).
+	Workers int
+}
+
+// DefaultDualGrid covers the paper's experimental ranges: τ 50–2000 ps at a
+// ~100 fF load gives x-coordinates within these spans.
+func DefaultDualGrid() DualGridSpec {
+	return DualGridSpec{
+		Taus: DefaultTauGrid(),
+		X2:   table.LogSpace(0.05, 15, 10),
+		X3: []float64{
+			-6, -4, -2.8, -2, -1.5, -1.1, -0.8, -0.55, -0.35, -0.18, -0.08,
+			0, 0.08, 0.16, 0.24, 0.33, 0.42, 0.52, 0.62, 0.72, 0.82, 0.91, 1.0,
+			// Beyond the delay window (x3 > 1) the delay ratio is flat but
+			// the transition-time ratio keeps evolving until s ≈ Δ + τ_out.
+			1.25, 1.6, 2.1, 2.8, 3.8, 5.0,
+		},
+	}
+}
+
+// CoarseDualGrid is a small grid for tests.
+func CoarseDualGrid() DualGridSpec {
+	return DualGridSpec{
+		Taus: table.LogSpace(60e-12, 1.5e-9, 4),
+		X2:   table.LogSpace(0.25, 8, 4),
+		X3:   []float64{-4, -2, -1, -0.5, 0, 0.35, 0.7, 1.0, 1.6, 2.6, 4.0},
+	}
+}
+
+// CharacterizeDual fills the dual-input proximity tables for (ref, other,
+// dir) by running two-input transient simulations at every grid point.
+//
+// refSingle and otherSingle are the already-characterized single-input
+// models for the two pins in the same direction: refSingle supplies Δ(1) for
+// normalization; otherSingle supplies the dominance boundary
+// s ≥ Δ(1)_ref − Δ(1)_other below which the reference would no longer be
+// dominant (such points are clamped onto the boundary).
+func (g *GateSim) CharacterizeDual(ref, other int, dir waveform.Direction,
+	refSingle, otherSingle *SingleInputModel, spec DualGridSpec) (*DualInputModel, error) {
+
+	if ref == other {
+		return nil, fmt.Errorf("macromodel: dual model needs distinct pins")
+	}
+	if refSingle.Pin != ref || otherSingle.Pin != other {
+		return nil, fmt.Errorf("macromodel: single models do not match pins (%d/%d vs %d/%d)",
+			refSingle.Pin, otherSingle.Pin, ref, other)
+	}
+	if len(spec.Taus) < 2 || len(spec.X2) < 2 || len(spec.X3) < 2 {
+		return nil, fmt.Errorf("macromodel: dual grid too small")
+	}
+
+	// x1 axis from the τ grid. τ/Δ(1)(τ) is monotone increasing for the
+	// gates characterized here; verify rather than assume.
+	x1 := make([]float64, len(spec.Taus))
+	for i, tau := range spec.Taus {
+		x1[i] = tau / refSingle.DelayAt(tau)
+	}
+	for i := 1; i < len(x1); i++ {
+		if x1[i] <= x1[i-1] {
+			return nil, fmt.Errorf("macromodel: τ/Δ(1) not monotone over τ grid (τ=%.3g); refine the grid",
+				spec.Taus[i])
+		}
+	}
+
+	dGrid, err := table.New(x1, spec.X2, spec.X3)
+	if err != nil {
+		return nil, err
+	}
+	tGrid, err := table.New(x1, spec.X2, spec.X3)
+	if err != nil {
+		return nil, err
+	}
+	causation, err := g.subsetCausation([]int{ref, other}, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct{ i, j, k int }
+	jobs := make(chan job)
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > 16 {
+		workers = 16
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		sim := g.Clone()
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				tauRef := spec.Taus[jb.i]
+				d1 := refSingle.DelayAt(tauRef)
+				tt1 := refSingle.OutTTAt(tauRef)
+				tauOther := clampF(spec.X2[jb.j]*d1, 5e-12, 6e-9)
+				s := spec.X3[jb.k] * d1
+				// Keep the reference dominant: clamp the separation to the
+				// dominance boundary. For first-cause (parallel) networks
+				// the reference's solo response must cross first (s above
+				// the boundary); for last-cause (series) networks it must
+				// cross last (s below it).
+				bound := d1 - otherSingle.DelayAt(tauOther)
+				if causation == FirstCause {
+					if s < bound {
+						s = bound + 1e-13
+					}
+				} else if s > bound {
+					s = bound - 1e-13
+				}
+				d2, tt2, err := sim.RunPair(ref, other, dir, tauRef, tauOther, s)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("macromodel: dual point (τ=%.3g, x2=%.3g, x3=%.3g): %w",
+							tauRef, spec.X2[jb.j], spec.X3[jb.k], err)
+					}
+					mu.Unlock()
+					continue
+				}
+				// Disjoint grid cells: safe to write concurrently.
+				dGrid.Set(d2/d1, jb.i, jb.j, jb.k)
+				tGrid.Set(tt2/tt1, jb.i, jb.j, jb.k)
+			}
+		}()
+	}
+	for i := range spec.Taus {
+		for j := range spec.X2 {
+			for k := range spec.X3 {
+				jobs <- job{i, j, k}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &DualInputModel{RefPin: ref, OtherPin: other, Dir: dir, DelayRatio: dGrid, TTRatio: tGrid}, nil
+}
+
+func clampF(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }

@@ -1,0 +1,293 @@
+// Package macromodel characterizes logic cells into the paper's delay and
+// transition-time macromodels by driving the transistor-level simulator:
+//
+//   - single-input models D(1), T(1): delay and output transition time versus
+//     input transition time for each (pin, direction), including the paper's
+//     dimensionless form Δ/τ = f(CL/(K·Vdd·τ)) (equations 3.7–3.8);
+//   - dual-input proximity models D(2), T(2): three-argument normalized
+//     tables (equations 3.11–3.12) filled by two-input simulations;
+//   - glitch models: extreme output voltage versus separation for
+//     opposite-direction input pairs (Section 6).
+//
+// The same simulation harness (GateSim) also serves as the golden reference
+// for validation and as the paper's "HSPICE as the dual-input macromodel"
+// backend.
+package macromodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cells"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+// PinStim describes one switching input: the pin, its transition direction,
+// its full-swing transition time, and the absolute time at which it crosses
+// its measurement level (Vil rising, Vih falling).
+type PinStim struct {
+	Pin   int
+	Dir   waveform.Direction
+	TT    float64 // full-swing ramp duration, seconds
+	Cross float64 // measurement-level crossing time, seconds
+}
+
+// GateSim runs measured transient experiments on a cell.
+type GateSim struct {
+	Cell *cells.Cell
+	Opt  spice.Options
+	Th   waveform.Thresholds
+
+	// Settle is the post-stimulus window allowed for the output to finish
+	// (default 4 ns); the run is extended once if the output has not
+	// settled.
+	Settle float64
+}
+
+// NewGateSim wraps a cell with measurement thresholds.
+func NewGateSim(cell *cells.Cell, opt spice.Options, th waveform.Thresholds) *GateSim {
+	return &GateSim{Cell: cell, Opt: opt, Th: th, Settle: 4e-9}
+}
+
+// crossFrac returns the fraction of the ramp duration elapsed when a
+// full-swing ramp crosses its measurement level.
+func (g *GateSim) crossFrac(dir waveform.Direction) float64 {
+	vdd := g.Th.Vdd
+	if dir == waveform.Rising {
+		return g.Th.Vil / vdd
+	}
+	return (vdd - g.Th.Vih) / vdd
+}
+
+// RunResult carries the output trace of one experiment plus everything
+// needed to measure it.
+type RunResult struct {
+	Th     waveform.Thresholds
+	Stims  []PinStim
+	PWLs   []*waveform.PWL // aligned with Stims, in the shifted time frame
+	Out    *waveform.Trace
+	Shift  float64 // internal time shift applied to all stimuli
+	OutDir waveform.Direction
+	// Supply is the current delivered by the Vdd source (amperes), for
+	// peak-supply-current studies (the target application of the paper's
+	// reference [13]).
+	Supply *waveform.Trace
+}
+
+// PeakSupplyCurrent returns the largest |Vdd current| during the run.
+func (r *RunResult) PeakSupplyCurrent() (amps, at float64) {
+	if r.Supply == nil {
+		return 0, 0
+	}
+	for i, v := range r.Supply.V {
+		if a := math.Abs(v); a > amps {
+			amps, at = a, r.Supply.T[i]
+		}
+	}
+	return amps, at
+}
+
+// InputCross returns the (shifted-frame) measurement crossing time of
+// stimulus k.
+func (r *RunResult) InputCross(k int) float64 {
+	return r.Stims[k].Cross + r.Shift
+}
+
+// DelayFrom measures propagation delay from stimulus k to the output using
+// the run's nominal output direction.
+func (r *RunResult) DelayFrom(k int) (float64, error) {
+	return r.Th.DelayFromTime(r.InputCross(k), r.Out, r.OutDir)
+}
+
+// OutputTT measures the output transition time in the run's nominal output
+// direction.
+func (r *RunResult) OutputTT() (float64, error) {
+	return r.Th.TransitionTime(r.Out, r.OutDir)
+}
+
+// Run drives the given stimuli (all remaining pins held non-controlling),
+// simulates, and returns the measured output.
+//
+// The nominal output direction is derived from the stimuli: if every
+// switching input moves in the same direction the output moves opposite
+// (inverting gate); for mixed directions the output's final logic value
+// decides, so glitch experiments still get a sensible OutDir.
+func (g *GateSim) Run(stims []PinStim) (*RunResult, error) {
+	if len(stims) == 0 {
+		return nil, fmt.Errorf("macromodel: no stimuli")
+	}
+	seen := map[int]bool{}
+	for _, s := range stims {
+		if s.Pin < 0 || s.Pin >= g.Cell.N() {
+			return nil, fmt.Errorf("macromodel: pin %d out of range", s.Pin)
+		}
+		if seen[s.Pin] {
+			return nil, fmt.Errorf("macromodel: pin %d stimulated twice", s.Pin)
+		}
+		seen[s.Pin] = true
+		if s.TT <= 0 {
+			return nil, fmt.Errorf("macromodel: non-positive transition time %g on pin %d", s.TT, s.Pin)
+		}
+	}
+
+	vdd := g.Th.Vdd
+	// Compute ramp start times and the shift that keeps everything at
+	// positive time with an initial-settling margin.
+	const margin = 0.2e-9
+	starts := make([]float64, len(stims))
+	minStart := math.Inf(1)
+	stimPins := make([]int, len(stims))
+	for i, s := range stims {
+		starts[i] = s.Cross - s.TT*g.crossFrac(s.Dir)
+		if starts[i] < minStart {
+			minStart = starts[i]
+		}
+		stimPins[i] = s.Pin
+	}
+	shift := margin - minStart
+
+	// Stable pins hold the levels that sensitize the switching subset
+	// (the non-controlling level for NAND/NOR; a searched assignment for
+	// complex gates).
+	stable, err := g.Cell.SensitizeFor(stimPins)
+	if err != nil {
+		return nil, fmt.Errorf("macromodel: %w", err)
+	}
+	for p := 0; p < g.Cell.N(); p++ {
+		if !contains(stimPins, p) {
+			g.Cell.HoldPin(p, stable[p])
+		}
+	}
+	pwls := make([]*waveform.PWL, len(stims))
+	var bps []*waveform.PWL
+	maxEnd := 0.0
+	for i, s := range stims {
+		t0 := starts[i] + shift
+		var w *waveform.PWL
+		if s.Dir == waveform.Rising {
+			w = waveform.Ramp(t0, s.TT, 0, vdd)
+		} else {
+			w = waveform.Ramp(t0, s.TT, vdd, 0)
+		}
+		pwls[i] = w
+		bps = append(bps, w)
+		g.Cell.DrivePin(s.Pin, w)
+		if e := t0 + s.TT; e > maxEnd {
+			maxEnd = e
+		}
+	}
+
+	// Expected final output from the gate's logic function.
+	finalHigh := g.finalOutputHigh(stims, stable)
+	outDir := waveform.Rising
+	if !finalHigh {
+		outDir = waveform.Falling
+	}
+	// Same-direction stimulus sets always agree with logic, but derive
+	// uniformly from logic so mixed sets are handled too.
+
+	settle := g.Settle
+	if settle <= 0 {
+		settle = 4e-9
+	}
+	eng, err := g.Cell.Engine(g.Opt)
+	if err != nil {
+		return nil, err
+	}
+	target := 0.0
+	if finalHigh {
+		target = vdd
+	}
+	var out, supply *waveform.Trace
+	stop := maxEnd + settle
+	for attempt := 0; ; attempt++ {
+		res, err := eng.Transient(spice.TranSpec{Stop: stop, Breakpoints: waveform.Breakpoints(bps...)})
+		if err != nil {
+			return nil, fmt.Errorf("macromodel: transient: %w", err)
+		}
+		out = res.Trace(g.Cell.Output)
+		if sc, err := res.SourceCurrentTrace(g.Cell.VddN); err == nil {
+			supply = sc
+		}
+		if math.Abs(out.Final()-target) < 0.05*vdd || attempt >= 2 {
+			break
+		}
+		stop *= 2
+	}
+
+	return &RunResult{
+		Th:     g.Th,
+		Stims:  append([]PinStim(nil), stims...),
+		PWLs:   pwls,
+		Out:    out,
+		Shift:  shift,
+		OutDir: outDir,
+		Supply: supply,
+	}, nil
+}
+
+// finalOutputHigh evaluates the gate's logic function on the final input
+// levels (stimulated pins at their post-transition level, stable pins at
+// their sensitized level).
+func (g *GateSim) finalOutputHigh(stims []PinStim, stable []float64) bool {
+	vdd := g.Th.Vdd
+	high := make([]bool, g.Cell.N())
+	for i, v := range stable {
+		high[i] = v > vdd/2
+	}
+	for _, s := range stims {
+		high[s.Pin] = s.Dir == waveform.Rising
+	}
+	return g.Cell.OutputHigh(high)
+}
+
+// contains reports whether pins includes p.
+func contains(pins []int, p int) bool {
+	for _, q := range pins {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// RunSingle measures the single-input delay and output transition time for
+// one pin switching alone.
+func (g *GateSim) RunSingle(pin int, dir waveform.Direction, tt float64) (delay, outTT float64, err error) {
+	res, err := g.Run([]PinStim{{Pin: pin, Dir: dir, TT: tt, Cross: 0}})
+	if err != nil {
+		return 0, 0, err
+	}
+	delay, err = res.DelayFrom(0)
+	if err != nil {
+		return 0, 0, fmt.Errorf("macromodel: single-input delay pin %d %v tt=%g: %w", pin, dir, tt, err)
+	}
+	outTT, err = res.OutputTT()
+	if err != nil {
+		return 0, 0, fmt.Errorf("macromodel: single-input transition pin %d %v tt=%g: %w", pin, dir, tt, err)
+	}
+	return delay, outTT, nil
+}
+
+// RunPair measures delay (from the reference pin) and output transition time
+// with two same-direction inputs separated by sep (measured at thresholds,
+// positive = other later than reference).
+func (g *GateSim) RunPair(ref, other int, dir waveform.Direction, ttRef, ttOther, sep float64) (delay, outTT float64, err error) {
+	res, err := g.Run([]PinStim{
+		{Pin: ref, Dir: dir, TT: ttRef, Cross: 0},
+		{Pin: other, Dir: dir, TT: ttOther, Cross: sep},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	delay, err = res.DelayFrom(0)
+	if err != nil {
+		return 0, 0, fmt.Errorf("macromodel: pair delay ref=%d other=%d sep=%g: %w", ref, other, sep, err)
+	}
+	outTT, err = res.OutputTT()
+	if err != nil {
+		return 0, 0, fmt.Errorf("macromodel: pair transition ref=%d other=%d sep=%g: %w", ref, other, sep, err)
+	}
+	return delay, outTT, nil
+}

@@ -1,0 +1,207 @@
+package macromodel
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cells"
+	"repro/internal/table"
+	"repro/internal/waveform"
+)
+
+// GlitchModel is the Section-6 macromodel of the gate's extreme output
+// voltage when two inputs switch in opposite directions in close proximity.
+//
+// For a NAND gate with input `FallPin` falling (unblocking the output) and
+// input `RisePin` rising (blocking it), the output dips toward ground; the
+// model tables the minimum output voltage as a function of
+// (τ_fall, τ_rise, s), where s is the separation of the falling input
+// measured from the rising input at the thresholds. When the extreme voltage
+// crosses Vil the output is deemed to have completed a transition; the
+// smallest such separation is the gate's inertial delay for this input pair.
+// For NOR gates the glitch is positive-going and compared against Vih.
+type GlitchModel struct {
+	FallPin int `json:"fallPin"`
+	RisePin int `json:"risePin"`
+	// NegativeGoing records the glitch polarity: true for NAND-style dips
+	// toward ground (extreme = minimum voltage), false for NOR-style
+	// bumps toward Vdd (extreme = maximum voltage).
+	NegativeGoing bool `json:"negativeGoing"`
+	// Extreme tables the extreme output voltage over
+	// (τ_fall, τ_rise, s) — all physical, in seconds/volts.
+	Extreme *table.Grid `json:"extreme"`
+}
+
+// GlitchGridSpec sizes the glitch characterization sweep.
+type GlitchGridSpec struct {
+	TausFall []float64
+	TausRise []float64
+	Seps     []float64
+	Workers  int
+}
+
+// DefaultGlitchGrid covers the Fig. 6-1 sweep ranges.
+func DefaultGlitchGrid() GlitchGridSpec {
+	return GlitchGridSpec{
+		TausFall: table.LogSpace(50e-12, 2e-9, 5),
+		TausRise: table.LogSpace(50e-12, 2e-9, 5),
+		Seps:     table.LinSpace(-2e-9, 1.5e-9, 29),
+	}
+}
+
+// RunGlitch simulates one opposite-direction pair and returns the extreme
+// output voltage (minimum for NAND-style gates, maximum for NOR).
+// s is the threshold-measured crossing time of the falling input minus that
+// of the rising input.
+func (g *GateSim) RunGlitch(fallPin, risePin int, ttFall, ttRise, s float64) (extreme float64, err error) {
+	res, err := g.Run([]PinStim{
+		{Pin: risePin, Dir: waveform.Rising, TT: ttRise, Cross: 0},
+		{Pin: fallPin, Dir: waveform.Falling, TT: ttFall, Cross: s},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if g.Cell.Kind == cells.Nor {
+		v, _ := res.Out.Max()
+		return v, nil
+	}
+	v, _ := res.Out.Min()
+	return v, nil
+}
+
+// CharacterizeGlitch fills a GlitchModel for the given opposite-direction
+// pair: fallPin falls while risePin rises.
+func (g *GateSim) CharacterizeGlitch(fallPin, risePin int, spec GlitchGridSpec) (*GlitchModel, error) {
+	if fallPin == risePin {
+		return nil, fmt.Errorf("macromodel: glitch pair needs distinct pins")
+	}
+	if len(spec.TausFall) < 2 || len(spec.TausRise) < 2 || len(spec.Seps) < 2 {
+		return nil, fmt.Errorf("macromodel: glitch grid too small")
+	}
+	grid, err := table.New(spec.TausFall, spec.TausRise, spec.Seps)
+	if err != nil {
+		return nil, err
+	}
+	err = parallelFill3(grid, spec.Workers, func(sim *GateSim, tf, tr, s float64) (float64, error) {
+		return sim.RunGlitch(fallPin, risePin, tf, tr, s)
+	}, g)
+	if err != nil {
+		return nil, fmt.Errorf("macromodel: glitch characterization: %w", err)
+	}
+	return &GlitchModel{
+		FallPin:       fallPin,
+		RisePin:       risePin,
+		NegativeGoing: g.Cell.Kind != cells.Nor,
+		Extreme:       grid,
+	}, nil
+}
+
+// ExtremeAt interpolates the extreme output voltage.
+func (m *GlitchModel) ExtremeAt(ttFall, ttRise, s float64) float64 {
+	return m.Extreme.Eval(ttFall, ttRise, s)
+}
+
+// MinSeparation returns the smallest separation (falling input measured from
+// the rising input) at which the output still completes a transition past
+// the measurement threshold — the gate's inertial delay for this pair. The
+// threshold is Vil for negative-going glitches, Vih for positive-going.
+// ok is false when no separation in the characterized range completes the
+// transition.
+func (m *GlitchModel) MinSeparation(ttFall, ttRise float64, th waveform.Thresholds) (sep float64, ok bool) {
+	level := th.Vil
+	if !m.NegativeGoing {
+		level = th.Vih
+	}
+	// completes(s) is true when the extreme voltage passes the threshold.
+	completes := func(s float64) bool {
+		v := m.ExtremeAt(ttFall, ttRise, s)
+		if m.NegativeGoing {
+			return v <= level
+		}
+		return v >= level
+	}
+	axis := m.Extreme.Axis(2)
+	lo, hi := axis[0], axis[len(axis)-1]
+	// The blocking transition (the rising input of a NAND) cuts the output's
+	// excursion short unless the unblocking falling input arrives
+	// sufficiently LATE: completion happens for s at or above a boundary.
+	// (Equivalently, in the paper's phrasing, "when input b comes much
+	// earlier than input a, the output completes its falling transition".)
+	if !completes(hi) {
+		return 0, false
+	}
+	if completes(lo) {
+		return lo, true
+	}
+	// Bisect the boundary: completes(hi) true, completes(lo) false.
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		if completes(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// parallelFill3 fills a 3-D grid with one simulation per point, cloning the
+// prototype GateSim per worker.
+func parallelFill3(grid *table.Grid, workers int, f func(sim *GateSim, a, b, c float64) (float64, error), proto *GateSim) error {
+	ax0, ax1, ax2 := grid.Axis(0), grid.Axis(1), grid.Axis(2)
+	type job struct{ i, j, k int }
+	jobs := make(chan job)
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	errs := make(chan error, workers)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		sim := proto.Clone()
+		go func() {
+			var firstErr error
+			for jb := range jobs {
+				if firstErr != nil {
+					continue
+				}
+				v, err := f(sim, ax0[jb.i], ax1[jb.j], ax2[jb.k])
+				if err != nil {
+					firstErr = err
+					continue
+				}
+				grid.Set(v, jb.i, jb.j, jb.k)
+			}
+			errs <- firstErr
+		}()
+	}
+	go func() {
+		for i := range ax0 {
+			for j := range ax1 {
+				for k := range ax2 {
+					jobs <- job{i, j, k}
+				}
+			}
+		}
+		close(jobs)
+		close(done)
+	}()
+	<-done
+	var first error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func defaultWorkers() int {
+	n := runtime.NumCPU()
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package macromodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/waveform"
+)
+
+// Correction is the paper's Section-4 corrective term for one output
+// direction: the signed difference (actual − algorithm) measured with a step
+// signal applied to all inputs simultaneously. The proximity algorithm adds
+// it, scaled by the linear window factor, to its composed result.
+type Correction struct {
+	Delay float64 `json:"delay"`
+	OutTT float64 `json:"outTT"`
+}
+
+// GateModel bundles everything characterized about one cell: measurement
+// thresholds, per-arc single-input models, dual-input proximity tables,
+// step-input corrections, and optional glitch models.
+type GateModel struct {
+	Kind      string              `json:"kind"`
+	NumInputs int                 `json:"numInputs"`
+	Th        waveform.Thresholds `json:"thresholds"`
+	Load      float64             `json:"load"`
+	Singles   []*SingleInputModel `json:"singles"`
+	Duals     []*DualInputModel   `json:"duals"`
+	// Corrections is keyed by the *input* direction of the simultaneous
+	// step ("rising"/"falling").
+	Corrections map[string]Correction `json:"corrections,omitempty"`
+	Glitches    []*GlitchModel        `json:"glitches,omitempty"`
+	Pulses      []*PulseModel         `json:"pulses,omitempty"`
+	// CausationMap overrides the kind-derived causation per input
+	// direction ("rising"/"falling") — used by complex-gate contexts.
+	CausationMap map[string]Causation `json:"causationMap,omitempty"`
+}
+
+// Pulse returns the same-pin pulse model for (pin, leading direction), or
+// nil when that pair was not characterized.
+func (m *GateModel) Pulse(pin int, firstDir waveform.Direction) *PulseModel {
+	for _, p := range m.Pulses {
+		if p.Pin == pin && p.FirstDir == firstDir {
+			return p
+		}
+	}
+	return nil
+}
+
+// Single returns the single-input model for (pin, dir), or nil.
+func (m *GateModel) Single(pin int, dir waveform.Direction) *SingleInputModel {
+	for _, s := range m.Singles {
+		if s.Pin == pin && s.Dir == dir {
+			return s
+		}
+	}
+	return nil
+}
+
+// Dual returns the dual-input model for reference pin ref in direction dir,
+// preferring an exact (ref, other) pair when present.
+func (m *GateModel) Dual(ref, other int, dir waveform.Direction) *DualInputModel {
+	var fallback *DualInputModel
+	for _, d := range m.Duals {
+		if d.Dir != dir || d.RefPin != ref {
+			continue
+		}
+		if d.OtherPin == other {
+			return d
+		}
+		if fallback == nil {
+			fallback = d
+		}
+	}
+	return fallback
+}
+
+// Correction returns the step correction for an input direction (zero value
+// when uncalibrated).
+func (m *GateModel) Correction(dir waveform.Direction) Correction {
+	return m.Corrections[dir.String()]
+}
+
+// SetCorrection stores a step correction.
+func (m *GateModel) SetCorrection(dir waveform.Direction, c Correction) {
+	if m.Corrections == nil {
+		m.Corrections = map[string]Correction{}
+	}
+	m.Corrections[dir.String()] = c
+}
+
+// PairPolicy selects how many dual-input tables to characterize.
+type PairPolicy int
+
+const (
+	// PerRef builds one dual model per reference pin (the paper's 2n-model
+	// observation: n single + n dual per quantity).
+	PerRef PairPolicy = iota
+	// FullMatrix builds all n(n-1) ordered pairs (the paper's option 2(a)).
+	FullMatrix
+)
+
+// CharSpec configures full-gate characterization.
+type CharSpec struct {
+	Taus       []float64
+	Dual       DualGridSpec
+	Pairs      PairPolicy
+	Directions []waveform.Direction
+	// SkipDual characterizes only the single-input models.
+	SkipDual bool
+}
+
+// DefaultCharSpec covers both directions with the default grids.
+func DefaultCharSpec() CharSpec {
+	return CharSpec{
+		Taus:       DefaultTauGrid(),
+		Dual:       DefaultDualGrid(),
+		Pairs:      PerRef,
+		Directions: []waveform.Direction{waveform.Rising, waveform.Falling},
+	}
+}
+
+// CoarseCharSpec is a fast spec for tests.
+func CoarseCharSpec() CharSpec {
+	return CharSpec{
+		Taus:       CoarseDualGrid().Taus,
+		Dual:       CoarseDualGrid(),
+		Pairs:      PerRef,
+		Directions: []waveform.Direction{waveform.Rising, waveform.Falling},
+	}
+}
+
+// CharacterizeGate runs the full characterization flow on the cell behind
+// sim: single-input models for every (pin, direction), then dual-input
+// proximity tables per the pair policy. Corrections and glitch models are
+// calibrated separately (they depend on the proximity algorithm and on
+// opposite-direction pairs; see internal/core and CharacterizeGlitch).
+func CharacterizeGate(sim *GateSim, spec CharSpec) (*GateModel, error) {
+	n := sim.Cell.N()
+	m := &GateModel{
+		Kind:      sim.Cell.Kind.String(),
+		NumInputs: n,
+		Th:        sim.Th,
+		Load:      sim.Cell.Load(),
+	}
+	if len(spec.Directions) == 0 {
+		spec.Directions = []waveform.Direction{waveform.Rising, waveform.Falling}
+	}
+	if len(spec.Taus) == 0 {
+		spec.Taus = DefaultTauGrid()
+	}
+
+	singles := map[[2]int]*SingleInputModel{}
+	for _, dir := range spec.Directions {
+		for pin := 0; pin < n; pin++ {
+			s, err := sim.CharacterizeSingle(pin, dir, spec.Taus)
+			if err != nil {
+				return nil, fmt.Errorf("macromodel: single pin %d %v: %w", pin, dir, err)
+			}
+			m.Singles = append(m.Singles, s)
+			singles[[2]int{pin, int(dir)}] = s
+		}
+	}
+	if spec.SkipDual || n < 2 {
+		return m, nil
+	}
+
+	var pairs [][2]int
+	for ref := 0; ref < n; ref++ {
+		if spec.Pairs == FullMatrix {
+			for other := 0; other < n; other++ {
+				if other != ref {
+					pairs = append(pairs, [2]int{ref, other})
+				}
+			}
+		} else {
+			pairs = append(pairs, [2]int{ref, (ref + 1) % n})
+		}
+	}
+	for _, dir := range spec.Directions {
+		for _, pair := range pairs {
+			ref, other := pair[0], pair[1]
+			d, err := sim.CharacterizeDual(ref, other, dir,
+				singles[[2]int{ref, int(dir)}], singles[[2]int{other, int(dir)}], spec.Dual)
+			if err != nil {
+				return nil, fmt.Errorf("macromodel: dual (%d,%d) %v: %w", ref, other, dir, err)
+			}
+			m.Duals = append(m.Duals, d)
+		}
+	}
+	return m, nil
+}
+
+// Save writes the model as JSON.
+func (m *GateModel) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("macromodel: marshal: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a model written by Save.
+func Load(path string) (*GateModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m GateModel
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("macromodel: unmarshal %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,105 @@
+package macromodel_test
+
+import (
+	"testing"
+
+	"repro/internal/macromodel"
+	"repro/internal/waveform"
+)
+
+// TestRunPulseShape: a low pulse on a NAND pin glitches the output toward
+// Vdd; narrow pulses produce smaller excursions than wide ones.
+func TestRunPulseShape(t *testing.T) {
+	sim, _ := nand2Rig(t)
+	// Establish a low output first: both inputs must be high, which IS the
+	// non-controlling parking state... for a NAND the parked output is low
+	// only when every input is high. With both pins parked at Vdd the
+	// output sits low, and pulsing pin a low pulses the output high.
+	narrow, err := sim.RunPulse(0, waveform.Falling, 150e-12, 150e-12, 200e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := sim.RunPulse(0, waveform.Falling, 150e-12, 150e-12, 2e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(wide > narrow) {
+		t.Errorf("wider pulse should reach higher: narrow %.2fV wide %.2fV", narrow, wide)
+	}
+	if wide < sim.Th.Vih {
+		t.Errorf("2ns pulse should complete the output transition: peak %.2fV < Vih %.2fV", wide, sim.Th.Vih)
+	}
+	if narrow > sim.Th.Vih {
+		t.Errorf("200ps pulse should be filtered: peak %.2fV", narrow)
+	}
+}
+
+func TestRunPulseValidation(t *testing.T) {
+	sim, _ := nand2Rig(t)
+	if _, err := sim.RunPulse(0, waveform.Falling, 100e-12, 100e-12, 0); err == nil {
+		t.Error("zero-width pulse accepted")
+	}
+}
+
+// TestPulseModelMinWidth: the characterized minimum transmittable pulse
+// width sits between a filtered and a passed width.
+func TestPulseModelMinWidth(t *testing.T) {
+	sim, _ := nand2Rig(t)
+	spec := macromodel.PulseGridSpec{
+		TausFirst:  []float64{100e-12, 500e-12},
+		TausSecond: []float64{100e-12, 500e-12},
+		Widths:     []float64{100e-12, 400e-12, 700e-12, 1e-9, 1.4e-9, 1.8e-9, 2.2e-9},
+	}
+	pm, err := sim.CharacterizePulse(0, waveform.Falling, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pm.PositiveGoing {
+		t.Error("NAND pulse model should be positive-going")
+	}
+	w, ok := pm.MinWidth(200e-12, 200e-12, sim.Th)
+	if !ok {
+		t.Fatal("no transmittable width in range")
+	}
+	if w < 100e-12 || w > 2.2e-9 {
+		t.Errorf("min width %.0fps outside characterized range", w*1e12)
+	}
+	// Verify the boundary against direct simulation on both sides.
+	below, err := sim.RunPulse(0, waveform.Falling, 200e-12, 200e-12, w*0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := sim.RunPulse(0, waveform.Falling, 200e-12, 200e-12, w*1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if below >= sim.Th.Vih {
+		t.Errorf("pulse at 0.6x min width passed (peak %.2fV)", below)
+	}
+	if above < sim.Th.Vih {
+		t.Errorf("pulse at 1.6x min width filtered (peak %.2fV)", above)
+	}
+	t.Logf("min transmittable pulse width (τ=200ps edges): %.0f ps", w*1e12)
+}
+
+// TestSupplyCurrentRecorded: runs carry a Vdd current trace and the peak is
+// physically sensible (sub-ampere, nonzero during switching).
+func TestSupplyCurrentRecorded(t *testing.T) {
+	sim, _ := nand2Rig(t)
+	res, err := sim.Run([]macromodel.PinStim{
+		{Pin: 0, Dir: waveform.Falling, TT: 200e-12, Cross: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supply == nil {
+		t.Fatal("no supply-current trace recorded")
+	}
+	peak, at := res.PeakSupplyCurrent()
+	if peak <= 1e-6 || peak > 0.1 {
+		t.Errorf("peak supply current %.3g A implausible", peak)
+	}
+	if at < 0 || at > res.Out.End() {
+		t.Errorf("peak time %.3g outside the run", at)
+	}
+}

@@ -1,0 +1,220 @@
+// Package mna provides the small dense linear-algebra kernel used by the
+// nodal-analysis circuit solver. Circuit matrices in this project are tiny
+// (a handful of unknown nodes per cell), so a dense LU factorization with
+// partial pivoting is both simpler and faster than a sparse solver.
+package mna
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an (numerically)
+// exactly singular pivot.
+var ErrSingular = errors.New("mna: singular matrix")
+
+// Matrix is a dense row-major square matrix.
+type Matrix struct {
+	n    int
+	data []float64
+}
+
+// NewMatrix returns an n-by-n zero matrix.
+func NewMatrix(n int) *Matrix {
+	if n < 0 {
+		panic("mna: negative dimension")
+	}
+	return &Matrix{n: n, data: make([]float64, n*n)}
+}
+
+// N returns the dimension of the matrix.
+func (m *Matrix) N() int { return m.n }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.n+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.n+j] = v }
+
+// Add accumulates v into element (i, j). This is the "stamping" primitive
+// used by device companion models.
+func (m *Matrix) Add(i, j int, v float64) { m.data[i*m.n+j] += v }
+
+// Zero resets every element to 0 while keeping the allocation.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.n)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes y = m*x. y must have length n and must not alias x.
+func (m *Matrix) MulVec(x, y []float64) {
+	if len(x) != m.n || len(y) != m.n {
+		panic("mna: dimension mismatch in MulVec")
+	}
+	for i := 0; i < m.n; i++ {
+		s := 0.0
+		row := m.data[i*m.n : (i+1)*m.n]
+		for j, xv := range x {
+			s += row[j] * xv
+		}
+		y[i] = s
+	}
+}
+
+// MaxAbs returns the largest absolute element, used for scaling heuristics.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			s += fmt.Sprintf("% .6e ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU holds an LU factorization with partial pivoting (PA = LU).
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of m in place of a private copy.
+// It returns ErrSingular when a pivot is exactly zero; callers typically
+// respond by adding gmin to the diagonal and retrying.
+func Factor(m *Matrix) (*LU, error) {
+	n := m.n
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, m.data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the row with the largest |a[i][k]|.
+		p := k
+		max := math.Abs(f.lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(f.lu[i*n+k]); a > max {
+				max = a
+				p = i
+			}
+		}
+		if max == 0 || math.IsNaN(max) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				f.lu[p*n+j], f.lu[k*n+j] = f.lu[k*n+j], f.lu[p*n+j]
+			}
+			f.piv[p], f.piv[k] = f.piv[k], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := f.lu[i*n+k] / pivot
+			f.lu[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				f.lu[i*n+j] -= l * f.lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b using the factorization, writing the result into x.
+// b is not modified; x and b may alias.
+func (f *LU) Solve(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("mna: dimension mismatch in Solve")
+	}
+	// Apply permutation.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		y[i] = b[f.piv[i]]
+	}
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		s := y[i]
+		row := f.lu[i*n:]
+		for j := 0; j < i; j++ {
+			s -= row[j] * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		row := f.lu[i*n:]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * y[j]
+		}
+		y[i] = s / row[i]
+	}
+	copy(x, y)
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveSystem is a convenience wrapper: factor A and solve A x = b.
+func SolveSystem(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	f.Solve(b, x)
+	return x, nil
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,217 @@
+package mna
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+	if m.N() != 3 {
+		t.Errorf("N() = %d", m.N())
+	}
+}
+
+func TestSetAddAt(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 2.5)
+	m.Add(0, 1, 0.5)
+	if got := m.At(0, 1); got != 3.0 {
+		t.Errorf("At(0,1) = %g, want 3.0", got)
+	}
+	m.Zero()
+	if got := m.At(0, 1); got != 0 {
+		t.Errorf("after Zero, At(0,1) = %g", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveSystem(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("solution = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewMatrix(2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveSystem(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("solution = %v, want [3 2]", x)
+	}
+}
+
+func TestSingularDetection(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Factor(a); err == nil {
+		t.Error("expected ErrSingular for a rank-1 matrix")
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Det(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Det = %g, want 10", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	y := make([]float64, 2)
+	a.MulVec([]float64{1, 1}, y)
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+}
+
+// TestSolveRandomProperty: for random diagonally dominant systems,
+// Solve(Factor(A), A*x) recovers x.
+func TestSolveRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				rowSum += math.Abs(v)
+			}
+			// Diagonal dominance keeps the condition number in check.
+			a.Add(i, i, rowSum+1)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(x, b)
+		got, err := SolveSystem(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-8*(1+math.Abs(x[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResidualProperty: the solver's residual A*x - b is tiny even for
+// non-dominant random systems (when factorization succeeds).
+func TestResidualProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		a := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		f, err := Factor(a)
+		if err != nil {
+			return true // singular draws are fine
+		}
+		x := make([]float64, n)
+		f.Solve(b, x)
+		res := make([]float64, n)
+		a.MulVec(x, res)
+		for i := range res {
+			res[i] -= b[i]
+		}
+		scale := a.MaxAbs() * NormInf(x)
+		return NormInf(res) <= 1e-9*(1+scale)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if got := Norm2(v); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf(v); got != 4 {
+		t.Errorf("NormInf = %g, want 4", got)
+	}
+}
+
+func TestSolveAliasing(t *testing.T) {
+	a := NewMatrix(2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 4)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 8}
+	f.Solve(b, b) // x aliases b
+	if math.Abs(b[0]-1) > 1e-12 || math.Abs(b[1]-2) > 1e-12 {
+		t.Errorf("aliased solve = %v, want [1 2]", b)
+	}
+}

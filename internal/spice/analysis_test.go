@@ -1,0 +1,298 @@
+package spice_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/device"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+// resistorDivider builds vdd -- R -- out -- R -- gnd.
+func resistorDivider() (*circuit.Circuit, circuit.NodeID) {
+	ckt := circuit.New()
+	vdd := ckt.DriveName("vdd", circuit.DC(5))
+	out := ckt.Node("out")
+	ckt.AddResistor("r1", vdd, out, 1e3)
+	ckt.AddResistor("r2", out, circuit.Ground, 1e3)
+	return ckt, out
+}
+
+func TestOPResistorDivider(t *testing.T) {
+	ckt, out := resistorDivider()
+	eng, err := spice.New(ckt, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := eng.OP(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.At(out); math.Abs(got-2.5) > 1e-6 {
+		t.Errorf("divider voltage = %g, want 2.5", got)
+	}
+}
+
+func TestOPWithGuess(t *testing.T) {
+	ckt, out := resistorDivider()
+	eng, _ := spice.New(ckt, spice.DefaultOptions())
+	op, err := eng.OP(0, []float64{2.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.At(out); math.Abs(got-2.5) > 1e-6 {
+		t.Errorf("warm-started divider = %g", got)
+	}
+	if _, err := eng.OP(0, []float64{1, 2}); err == nil {
+		t.Error("wrong guess length accepted")
+	}
+}
+
+func TestDCSweepInverterAndRestore(t *testing.T) {
+	cell := cells.MustNew(cells.Inv, 1, cells.DefaultProcess(), cells.DefaultGeometry())
+	cell.HoldPin(0, 1.23)
+	eng, err := cell.Engine(spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{0, 1, 2, 3, 4, 5}
+	sw, err := eng.DCSweep(cell.Inputs[0], vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sw.At(cell.Output)
+	if len(out) != len(vals) {
+		t.Fatalf("sweep rows = %d", len(out))
+	}
+	if out[0] < 4.9 || out[5] > 0.1 {
+		t.Errorf("inverter endpoints: %g, %g", out[0], out[5])
+	}
+	// The original drive is restored after the sweep.
+	if got := cell.Ckt.DriveValue(cell.Inputs[0], 0); got != 1.23 {
+		t.Errorf("sweep did not restore drive: %g", got)
+	}
+}
+
+func TestDCSweepRejectsUndrivenNode(t *testing.T) {
+	ckt, out := resistorDivider()
+	eng, _ := spice.New(ckt, spice.DefaultOptions())
+	if _, err := eng.DCSweep(out, []float64{0, 1}); err == nil {
+		t.Error("sweeping an undriven node accepted")
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	ckt, _ := resistorDivider()
+	eng, _ := spice.New(ckt, spice.DefaultOptions())
+	if _, err := eng.Transient(spice.TranSpec{Stop: -1}); err == nil {
+		t.Error("negative stop time accepted")
+	}
+	if _, err := eng.Transient(spice.TranSpec{Stop: 1e-9, InitialX: []float64{1, 2, 3}}); err == nil {
+		t.Error("wrong InitialX length accepted")
+	}
+}
+
+// TestTransientHoldsDC: a circuit at its operating point stays there.
+func TestTransientHoldsDC(t *testing.T) {
+	ckt, out := resistorDivider()
+	ckt.AddCapacitor("c", out, circuit.Ground, 1e-13)
+	eng, _ := spice.New(ckt, spice.DefaultOptions())
+	res, err := eng.Transient(spice.TranSpec{Stop: 2e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace(out)
+	for i, v := range tr.V {
+		if math.Abs(v-2.5) > 1e-4 {
+			t.Fatalf("drifted to %g at t=%g", v, tr.T[i])
+		}
+	}
+}
+
+// TestTransientCapacitiveCoupling: a floating node coupled to a stepping
+// source through a capacitor divider follows the step by the cap ratio.
+func TestTransientCapacitiveCoupling(t *testing.T) {
+	ckt := circuit.New()
+	in := ckt.DriveName("in", func(tt float64) float64 {
+		if tt < 0.1e-9 {
+			return 0
+		}
+		return 1
+	})
+	out := ckt.Node("out")
+	ckt.AddCapacitor("c1", in, out, 2e-13)
+	ckt.AddCapacitor("c2", out, circuit.Ground, 2e-13)
+	// A weak bleed resistor defines DC.
+	ckt.AddResistor("rb", out, circuit.Ground, 1e12)
+	opt := spice.DefaultOptions()
+	opt.MaxStep = 5e-12
+	eng, _ := spice.New(ckt, opt)
+	res, err := eng.Transient(spice.TranSpec{Stop: 1e-9, Breakpoints: []float64{0.1e-9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Trace(out).Final()
+	if math.Abs(got-0.5) > 0.02 {
+		t.Errorf("coupled step = %g, want ~0.5 (C divider)", got)
+	}
+}
+
+// TestInverterTransientDelayScalesWithLoad: doubling CL increases delay.
+func TestInverterTransientDelayScalesWithLoad(t *testing.T) {
+	delayWith := func(cl float64) float64 {
+		geom := cells.DefaultGeometry()
+		geom.CLoad = cl
+		cell := cells.MustNew(cells.Inv, 1, cells.DefaultProcess(), geom)
+		in := waveform.RisingRamp(0.2e-9, 200e-12, 5)
+		cell.DrivePin(0, in)
+		eng, err := cell.Engine(spice.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Transient(spice.TranSpec{Stop: 4e-9, Breakpoints: waveform.Breakpoints(in)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := waveform.Thresholds{Vil: 1.5, Vih: 3.5, Vdd: 5}
+		d, err := th.Delay(in, waveform.Rising, res.Trace(cell.Output), waveform.Falling)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d1 := delayWith(100e-15)
+	d2 := delayWith(400e-15)
+	if d2 <= d1*1.5 {
+		t.Errorf("4x load should slow the gate well past 1.5x: %.1fps vs %.1fps", d1*1e12, d2*1e12)
+	}
+}
+
+// TestNORTransient: rising input on a NOR2 drops the output.
+func TestNORTransient(t *testing.T) {
+	cell := cells.MustNew(cells.Nor, 2, cells.DefaultProcess(), cells.DefaultGeometry())
+	in := waveform.RisingRamp(0.2e-9, 300e-12, 5)
+	cell.DrivePin(0, in)
+	cell.HoldPin(1, 0)
+	eng, err := cell.Engine(spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Transient(spice.TranSpec{Stop: 5e-9, Breakpoints: waveform.Breakpoints(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Trace(cell.Output)
+	if out.V[0] < 4.9 {
+		t.Errorf("NOR output should start high: %g", out.V[0])
+	}
+	if out.Final() > 0.1 {
+		t.Errorf("NOR output should end low: %g", out.Final())
+	}
+}
+
+// TestBreakpointLanding: the integrator lands exactly on stimulus corners.
+func TestBreakpointLanding(t *testing.T) {
+	ckt, out := resistorDivider()
+	ckt.AddCapacitor("c", out, circuit.Ground, 1e-13)
+	eng, _ := spice.New(ckt, spice.DefaultOptions())
+	bp := 0.7e-9
+	res, err := eng.Transient(spice.TranSpec{Stop: 2e-9, Breakpoints: []float64{bp}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tt := range res.Time {
+		if math.Abs(tt-bp) < 1e-21 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no sample lands on breakpoint %g", bp)
+	}
+}
+
+// TestBackwardEulerMatchesTrapezoidal: both integration modes converge to
+// the same RC response within tolerance.
+func TestBackwardEulerMatchesTrapezoidal(t *testing.T) {
+	build := func() (*circuit.Circuit, circuit.NodeID) {
+		ckt := circuit.New()
+		in := ckt.DriveName("in", func(tt float64) float64 {
+			if tt <= 0.05e-9 {
+				return 0
+			}
+			return 1
+		})
+		out := ckt.Node("out")
+		ckt.AddResistor("r", in, out, 1e3)
+		ckt.AddCapacitor("c", out, circuit.Ground, 1e-12)
+		return ckt, out
+	}
+	run := func(trap float64) *waveform.Trace {
+		ckt, out := build()
+		opt := spice.DefaultOptions()
+		opt.TrapRatio = trap
+		opt.MaxStep = 10e-12
+		eng, err := spice.New(ckt, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Transient(spice.TranSpec{Stop: 4e-9, Breakpoints: []float64{0.05e-9}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Trace(out)
+	}
+	trTrap := run(1)
+	trBE := run(0)
+	for _, tp := range []float64{0.5e-9, 1e-9, 2e-9, 3.5e-9} {
+		if d := math.Abs(trTrap.Eval(tp) - trBE.Eval(tp)); d > 0.02 {
+			t.Errorf("integration modes disagree by %.3f at t=%.1fns", d, tp*1e9)
+		}
+	}
+}
+
+// TestSupplyCurrentConservation: in a resistor divider the source delivers
+// V/(R1+R2) continuously, and the ground-referenced KCL balances.
+func TestSupplyCurrentConservation(t *testing.T) {
+	ckt, out := resistorDivider()
+	ckt.AddCapacitor("c", out, circuit.Ground, 1e-14)
+	eng, _ := spice.New(ckt, spice.DefaultOptions())
+	res, err := eng.Transient(spice.TranSpec{Stop: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.SourceCurrentTrace(ckt.Node("vdd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / 2e3
+	for i, v := range tr.V {
+		if math.Abs(v-want) > 1e-5 {
+			t.Fatalf("source current %.6g at t=%g, want %.6g", v, tr.T[i], want)
+		}
+	}
+	peak, _, err := res.PeakSourceCurrent(ckt.Node("vdd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(peak-want) > 1e-5 {
+		t.Errorf("peak current %.6g, want %.6g", peak, want)
+	}
+	if _, err := res.SourceCurrentTrace(out); err == nil {
+		t.Error("current trace for a non-driven node accepted")
+	}
+}
+
+// TestEngineRejectsInvalidNetlist: validation errors propagate from New.
+func TestEngineRejectsInvalidNetlist(t *testing.T) {
+	ckt := circuit.New()
+	m := device.MOSFET{Name: "bad", Type: device.NMOS, W: -1, L: 1e-6}
+	ckt.AddMOSFET(m, circuit.Ground, circuit.Ground, circuit.Ground, circuit.Ground)
+	if _, err := spice.New(ckt, spice.DefaultOptions()); err == nil {
+		t.Error("invalid netlist accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// OPResult holds a DC operating point: the voltage of every node.
+type OPResult struct {
+	V []float64 // indexed by NodeID
+}
+
+// At returns the solved voltage at a node.
+func (r *OPResult) At(id circuit.NodeID) float64 { return r.V[id] }
+
+// OP computes the DC operating point at analysis time t (driven sources are
+// evaluated at t; capacitors are open). The initial guess, when non-nil,
+// seeds Newton with one voltage per unknown in engine order.
+func (e *Engine) OP(t float64, guess []float64) (*OPResult, error) {
+	n := len(e.unknowns)
+	x := make([]float64, n)
+	if guess != nil {
+		if len(guess) != n {
+			return nil, fmt.Errorf("spice: OP guess length %d, want %d", len(guess), n)
+		}
+		copy(x, guess)
+	} else {
+		// Start unknowns at half of the largest source magnitude: a decent
+		// neutral guess for CMOS nodes.
+		half := 0.5 * e.maxSource(t)
+		for i := range x {
+			x[i] = half
+		}
+	}
+
+	ctx := &stampContext{gmin: e.opt.Gmin}
+	if _, err := e.newton(x, t, ctx, 1); err == nil {
+		return &OPResult{V: e.fullVoltagesScaled(x, t, 1)}, nil
+	}
+
+	// Fallback 1: gmin stepping. Solve with a heavy shunt conductance and
+	// relax it geometrically, warm-starting each stage.
+	xg := make([]float64, n)
+	copy(xg, x)
+	ok := true
+	for g := 1e-3; g >= e.opt.Gmin; g /= 10 {
+		ctx := &stampContext{gmin: g}
+		if _, err := e.newton(xg, t, ctx, 1); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		ctx := &stampContext{gmin: e.opt.Gmin}
+		if _, err := e.newton(xg, t, ctx, 1); err == nil {
+			return &OPResult{V: e.fullVoltagesScaled(xg, t, 1)}, nil
+		}
+	}
+
+	// Fallback 2: source stepping. Ramp all sources from 0 to full value.
+	xs := make([]float64, n)
+	for scale := 0.0; ; {
+		ctx := &stampContext{gmin: e.opt.Gmin}
+		if _, err := e.newton(xs, t, ctx, scale); err != nil {
+			return nil, fmt.Errorf("spice: OP source stepping failed at scale %.3f: %w", scale, err)
+		}
+		if scale >= 1 {
+			return &OPResult{V: e.fullVoltagesScaled(xs, t, 1)}, nil
+		}
+		scale = math.Min(1, scale+0.05)
+	}
+}
+
+// maxSource returns the largest |driven voltage| at time t.
+func (e *Engine) maxSource(t float64) float64 {
+	m := 0.0
+	for _, id := range e.ckt.DrivenNodes() {
+		if a := math.Abs(e.ckt.DriveValue(id, t)); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// SweepResult holds a DC transfer sweep: for each swept source value, the
+// voltage of every node.
+type SweepResult struct {
+	In []float64   // swept input values
+	V  [][]float64 // V[i][nodeID] = node voltage at sweep point i
+}
+
+// At returns the node-voltage series for one node across the sweep.
+func (r *SweepResult) At(id circuit.NodeID) []float64 {
+	out := make([]float64, len(r.In))
+	for i := range r.In {
+		out[i] = r.V[i][id]
+	}
+	return out
+}
+
+// DCSweep steps the drive on node sweep through vals (monotonic recommended),
+// solving the DC system at each point with warm starts. The node's original
+// drive is restored afterwards.
+func (e *Engine) DCSweep(sweep circuit.NodeID, vals []float64) (*SweepResult, error) {
+	if !e.ckt.IsDriven(sweep) {
+		return nil, fmt.Errorf("spice: sweep node %s is not driven", e.ckt.NodeName(sweep))
+	}
+	res := &SweepResult{In: append([]float64(nil), vals...)}
+	var guess []float64
+	cur := 0.0
+	orig := e.ckt.DriveFuncOf(sweep)
+	e.ckt.Drive(sweep, func(float64) float64 { return cur })
+	defer e.ckt.Drive(sweep, orig)
+	for _, v := range vals {
+		cur = v
+		op, err := e.OP(0, guess)
+		if err != nil {
+			return nil, fmt.Errorf("spice: DC sweep failed at %s=%.4f: %w", e.ckt.NodeName(sweep), v, err)
+		}
+		res.V = append(res.V, op.V)
+		if guess == nil {
+			guess = make([]float64, len(e.unknowns))
+		}
+		for i, id := range e.unknowns {
+			guess[i] = op.V[id]
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,289 @@
+// Package spice is a small transistor-level circuit simulator: the repo's
+// substitute for the HSPICE runs the paper relies on for VTC extraction,
+// macromodel characterization and golden delay measurement.
+//
+// It implements Newton–Raphson nodal analysis over the device models in
+// internal/device, with three analyses:
+//
+//   - OP: DC operating point (with gmin stepping and source stepping
+//     fallbacks for hard bias points),
+//   - DCSweep: swept-source DC transfer curves (for VTC extraction),
+//   - Transient: adaptive-step trapezoidal integration with stimulus
+//     breakpoint alignment (for delay measurement).
+//
+// Input pins are driven nodes (ideal voltage sources), so the unknown vector
+// contains only internal and output nodes; circuits in this project factor
+// into systems of a handful of unknowns solved by dense LU.
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/mna"
+)
+
+// Options tunes solver behaviour. The zero value is not valid; use
+// DefaultOptions.
+type Options struct {
+	// Gmin is the conductance from every unknown node to ground that keeps
+	// the Jacobian nonsingular when all devices at a node are cut off.
+	Gmin float64
+	// AbsTol is the KCL residual convergence tolerance in amperes.
+	AbsTol float64
+	// VnTol is the Newton update convergence tolerance in volts.
+	VnTol float64
+	// MaxNewton bounds Newton iterations per solve.
+	MaxNewton int
+	// VLimit caps the per-iteration Newton voltage update (damping).
+	VLimit float64
+	// MinStep and MaxStep bound the adaptive transient step.
+	MinStep, MaxStep float64
+	// DVMax is the target maximum node-voltage change per transient step;
+	// steps producing more are rejected and halved.
+	DVMax float64
+	// TrapRatio selects the integration blend: 1 = trapezoidal,
+	// 0 = backward Euler. The engine uses BE for the first step after a
+	// stimulus breakpoint to damp trapezoidal ringing.
+	TrapRatio float64
+}
+
+// DefaultOptions returns solver settings suitable for the sub-10-node CMOS
+// cells used throughout the repo.
+func DefaultOptions() Options {
+	return Options{
+		Gmin:      1e-12,
+		AbsTol:    1e-10,
+		VnTol:     1e-7,
+		MaxNewton: 200,
+		VLimit:    0.5,
+		MinStep:   1e-16,
+		MaxStep:   50e-12,
+		DVMax:     0.08,
+		TrapRatio: 1,
+	}
+}
+
+// ErrNoConvergence is returned when Newton iteration fails even after the
+// engine's continuation fallbacks.
+var ErrNoConvergence = errors.New("spice: newton iteration did not converge")
+
+// Engine binds a circuit to solver state.
+type Engine struct {
+	ckt *circuit.Circuit
+	opt Options
+
+	unknowns []circuit.NodeID
+	index    []int // node id -> unknown index, -1 for ground/driven
+}
+
+// New creates an engine for the circuit. The circuit's driven/unknown split
+// is frozen at this point; create a new engine after re-driving nodes.
+func New(ckt *circuit.Circuit, opt Options) (*Engine, error) {
+	if err := ckt.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{ckt: ckt, opt: opt}
+	e.unknowns = ckt.Unknowns()
+	e.index = make([]int, ckt.NumNodes())
+	for i := range e.index {
+		e.index[i] = -1
+	}
+	for i, id := range e.unknowns {
+		e.index[id] = i
+	}
+	return e, nil
+}
+
+// Unknowns exposes the solved node set in matrix order.
+func (e *Engine) Unknowns() []circuit.NodeID { return e.unknowns }
+
+// fullVoltages assembles the complete node-voltage vector at time t from the
+// unknown vector x.
+func (e *Engine) fullVoltages(x []float64, t float64) []float64 {
+	v := make([]float64, e.ckt.NumNodes())
+	for _, id := range e.ckt.DrivenNodes() {
+		v[id] = e.ckt.DriveValue(id, t)
+	}
+	for i, id := range e.unknowns {
+		v[id] = x[i]
+	}
+	return v
+}
+
+// capState is the per-capacitor companion-model state for transient.
+type capState struct {
+	v float64 // branch voltage at previous accepted time point
+	i float64 // branch current at previous accepted time point
+}
+
+// stampContext carries what the device stamps need.
+type stampContext struct {
+	// transient companion parameters; nil caps slice means DC (caps open).
+	caps []capState
+	geq  []float64 // per-capacitor companion conductance
+	ieq  []float64 // per-capacitor companion current source
+	gmin float64
+	// srcScale scales driven-node voltages for source stepping; the scale
+	// is applied inside fullVoltages' caller, not here.
+}
+
+// assemble builds the Jacobian and residual at node voltages v.
+// F[k] is the net current leaving unknown node k; J = dF/dx.
+func (e *Engine) assemble(v []float64, ctx *stampContext, jac *mna.Matrix, f []float64) {
+	n := len(e.unknowns)
+	jac.Zero()
+	for i := range f {
+		f[i] = 0
+	}
+	idx := e.index
+
+	// gmin to ground on every unknown node.
+	for k, id := range e.unknowns {
+		f[k] += ctx.gmin * v[id]
+		jac.Add(k, k, ctx.gmin)
+	}
+
+	// MOSFETs.
+	for _, m := range e.ckt.MOSFETs {
+		op := m.Eval(v[m.D], v[m.G], v[m.S], v[m.B])
+		d, g, s, b := idx[m.D], idx[m.G], idx[m.S], idx[m.B]
+		// Current Id enters the drain node and leaves the source node.
+		if d >= 0 {
+			f[d] += op.Id
+		}
+		if s >= 0 {
+			f[s] -= op.Id
+		}
+		// dId/dVd = Gds, dId/dVg = Gm, dId/dVb = Gmbs,
+		// dId/dVs = -(Gm+Gds+Gmbs).
+		gs := -(op.Gm + op.Gds + op.Gmbs)
+		stamp := func(row int, sign float64) {
+			if row < 0 {
+				return
+			}
+			if d >= 0 {
+				jac.Add(row, d, sign*op.Gds)
+			}
+			if g >= 0 {
+				jac.Add(row, g, sign*op.Gm)
+			}
+			if b >= 0 {
+				jac.Add(row, b, sign*op.Gmbs)
+			}
+			if s >= 0 {
+				jac.Add(row, s, sign*gs)
+			}
+		}
+		stamp(d, +1)
+		stamp(s, -1)
+		_ = n
+	}
+
+	// Resistors.
+	for _, r := range e.ckt.Resistors {
+		gcond := 1 / r.R
+		a, b := idx[r.A], idx[r.B]
+		ir := gcond * (v[r.A] - v[r.B])
+		if a >= 0 {
+			f[a] += ir
+			jac.Add(a, a, gcond)
+			if b >= 0 {
+				jac.Add(a, b, -gcond)
+			}
+		}
+		if b >= 0 {
+			f[b] -= ir
+			jac.Add(b, b, gcond)
+			if a >= 0 {
+				jac.Add(b, a, -gcond)
+			}
+		}
+	}
+
+	// Capacitors (transient only): Norton companion i = geq*vbranch + ieq.
+	if ctx.caps != nil {
+		for ci, cp := range e.ckt.Capacitors {
+			geq := ctx.geq[ci]
+			ieq := ctx.ieq[ci]
+			a, b := idx[cp.A], idx[cp.B]
+			ic := geq*(v[cp.A]-v[cp.B]) + ieq
+			if a >= 0 {
+				f[a] += ic
+				jac.Add(a, a, geq)
+				if b >= 0 {
+					jac.Add(a, b, -geq)
+				}
+			}
+			if b >= 0 {
+				f[b] -= ic
+				jac.Add(b, b, geq)
+				if a >= 0 {
+					jac.Add(b, a, -geq)
+				}
+			}
+		}
+	}
+}
+
+// newton solves the nonlinear system at time t starting from x (modified in
+// place). Driven-node voltages may be scaled by srcScale for continuation.
+func (e *Engine) newton(x []float64, t float64, ctx *stampContext, srcScale float64) (iters int, err error) {
+	n := len(e.unknowns)
+	if n == 0 {
+		return 0, nil
+	}
+	jac := mna.NewMatrix(n)
+	f := make([]float64, n)
+	dx := make([]float64, n)
+
+	for iter := 0; iter < e.opt.MaxNewton; iter++ {
+		v := e.fullVoltagesScaled(x, t, srcScale)
+		e.assemble(v, ctx, jac, f)
+		for i := range f {
+			f[i] = -f[i]
+		}
+		lu, ferr := mna.Factor(jac)
+		if ferr != nil {
+			// Retry with a stronger gmin once; genuinely singular systems
+			// indicate a floating node.
+			return iter, fmt.Errorf("spice: jacobian singular at t=%g: %w", t, ferr)
+		}
+		lu.Solve(f, dx)
+		// Damping: limit each component of the update.
+		worst := 0.0
+		for i := range dx {
+			if a := math.Abs(dx[i]); a > worst {
+				worst = a
+			}
+		}
+		scale := 1.0
+		if worst > e.opt.VLimit {
+			scale = e.opt.VLimit / worst
+		}
+		for i := range x {
+			x[i] += scale * dx[i]
+		}
+		// Converged when the full (undamped) Newton step is tiny: the
+		// undamped step measures remaining distance to the solution.
+		if worst < e.opt.VnTol {
+			return iter + 1, nil
+		}
+	}
+	return e.opt.MaxNewton, ErrNoConvergence
+}
+
+// fullVoltagesScaled is fullVoltages with driven values scaled (source
+// stepping support).
+func (e *Engine) fullVoltagesScaled(x []float64, t float64, srcScale float64) []float64 {
+	v := make([]float64, e.ckt.NumNodes())
+	for _, id := range e.ckt.DrivenNodes() {
+		v[id] = srcScale * e.ckt.DriveValue(id, t)
+	}
+	for i, id := range e.unknowns {
+		v[id] = x[i]
+	}
+	return v
+}

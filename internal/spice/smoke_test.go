@@ -1,0 +1,156 @@
+package spice_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/circuit"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+// TestInverterDCEndpoints checks that an inverter's DC transfer curve pins
+// to the rails at the input extremes.
+func TestInverterDCEndpoints(t *testing.T) {
+	cell := cells.MustNew(cells.Inv, 1, cells.DefaultProcess(), cells.DefaultGeometry())
+	cell.HoldPin(0, 0)
+	eng, err := cell.Engine(spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := eng.OP(0, nil)
+	if err != nil {
+		t.Fatalf("OP at Vin=0: %v", err)
+	}
+	if got := op.At(cell.Output); math.Abs(got-5.0) > 0.01 {
+		t.Errorf("Vout at Vin=0 = %.4f, want ~5.0", got)
+	}
+
+	cell.HoldPin(0, 5.0)
+	eng2, _ := cell.Engine(spice.DefaultOptions())
+	op2, err := eng2.OP(0, nil)
+	if err != nil {
+		t.Fatalf("OP at Vin=5: %v", err)
+	}
+	if got := op2.At(cell.Output); math.Abs(got) > 0.01 {
+		t.Errorf("Vout at Vin=5 = %.4f, want ~0", got)
+	}
+}
+
+// TestInverterVTCMonotone sweeps the inverter VTC and checks monotonicity
+// and a mid-supply switching threshold.
+func TestInverterVTCMonotone(t *testing.T) {
+	cell := cells.MustNew(cells.Inv, 1, cells.DefaultProcess(), cells.DefaultGeometry())
+	cell.HoldPin(0, 0)
+	eng, err := cell.Engine(spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	for v := 0.0; v <= 5.0001; v += 0.05 {
+		vals = append(vals, v)
+	}
+	sw, err := eng.DCSweep(cell.Inputs[0], vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sw.At(cell.Output)
+	for i := 1; i < len(out); i++ {
+		if out[i] > out[i-1]+1e-6 {
+			t.Fatalf("VTC not monotone at Vin=%.2f: %.4f -> %.4f", vals[i], out[i-1], out[i])
+		}
+	}
+	// Switching threshold: find Vin where Vout crosses Vin.
+	vm := -1.0
+	for i := 1; i < len(out); i++ {
+		if out[i-1] >= vals[i-1] && out[i] < vals[i] {
+			vm = vals[i]
+			break
+		}
+	}
+	if vm < 1.5 || vm > 3.5 {
+		t.Errorf("inverter Vm = %.2f, want mid-supply-ish", vm)
+	}
+}
+
+// TestNAND3TransientRise drives inputs a,b with falling ramps (c at Vdd) and
+// checks the output completes a rising transition, and that bringing b
+// closer to a speeds the output up (the proximity effect of Fig. 1-2a).
+func TestNAND3TransientRise(t *testing.T) {
+	proc := cells.DefaultProcess()
+	delayAt := func(sep float64) float64 {
+		cell := cells.MustNew(cells.Nand, 3, proc, cells.DefaultGeometry())
+		t0 := 0.5e-9
+		wa := waveform.FallingRamp(t0, 500e-12, proc.Vdd)
+		wb := waveform.FallingRamp(t0+sep, 100e-12, proc.Vdd)
+		cell.DrivePin(0, wa)
+		cell.DrivePin(1, wb)
+		cell.HoldPin(2, proc.Vdd)
+		eng, err := cell.Engine(spice.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Transient(spice.TranSpec{
+			Stop:        6e-9,
+			Breakpoints: waveform.Breakpoints(wa, wb),
+		})
+		if err != nil {
+			t.Fatalf("transient at sep=%g: %v", sep, err)
+		}
+		out := res.Trace(cell.Output)
+		if final := out.Final(); math.Abs(final-proc.Vdd) > 0.05 {
+			t.Fatalf("output did not settle high at sep=%g: final=%.3f", sep, final)
+		}
+		th := waveform.Thresholds{Vil: 1.25, Vih: 3.37, Vdd: proc.Vdd}
+		d, err := th.Delay(wa, waveform.Falling, out, waveform.Rising)
+		if err != nil {
+			t.Fatalf("delay at sep=%g: %v", sep, err)
+		}
+		return d
+	}
+
+	dFar := delayAt(2e-9) // b far after a: blocked, a alone drives output
+	dNear := delayAt(0)   // coincident: both pull-ups conduct
+	if dNear >= dFar {
+		t.Errorf("proximity should reduce delay: near=%.1fps far=%.1fps", dNear*1e12, dFar*1e12)
+	}
+	if dFar <= 0 || dFar > 2e-9 {
+		t.Errorf("far-separation delay out of range: %.1fps", dFar*1e12)
+	}
+	t.Logf("NAND3 rise delay: coincident=%.1fps far=%.1fps (ratio %.2f)",
+		dNear*1e12, dFar*1e12, dNear/dFar)
+}
+
+// TestChargeConservationRC checks the transient integrator against the
+// analytic RC step response.
+func TestChargeConservationRC(t *testing.T) {
+	ckt := circuit.New()
+	in := ckt.DriveName("in", func(tt float64) float64 {
+		if tt <= 0 {
+			return 0
+		}
+		return 1.0
+	})
+	out := ckt.Node("out")
+	ckt.AddResistor("r", in, out, 1e3)
+	ckt.AddCapacitor("c", out, circuit.Ground, 1e-12) // tau = 1ns
+	opt := spice.DefaultOptions()
+	opt.MaxStep = 20e-12
+	eng, err := spice.New(ckt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Transient(spice.TranSpec{Stop: 5e-9, Breakpoints: []float64{1e-15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace(out)
+	for _, tp := range []float64{0.5e-9, 1e-9, 2e-9, 4e-9} {
+		want := 1 - math.Exp(-tp/1e-9)
+		got := tr.Eval(tp)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("RC response at t=%.1fns: got %.4f want %.4f", tp*1e9, got, want)
+		}
+	}
+}

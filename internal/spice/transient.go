@@ -1,0 +1,274 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/waveform"
+)
+
+// TranResult is the output of a transient analysis: one shared time axis and
+// a voltage series per node (driven nodes included, for convenience).
+type TranResult struct {
+	ckt  *circuit.Circuit
+	Time []float64
+	V    [][]float64 // V[nodeID][sample]
+	// SourceCurrent[nodeID][sample] is the current delivered BY the ideal
+	// source on each driven node (positive = flowing out of the source
+	// into the circuit), reconstructed from the device equations at each
+	// accepted time point. Supply-current (and hence peak-current)
+	// measurements read the Vdd node's series.
+	SourceCurrent map[circuit.NodeID][]float64
+}
+
+// Trace returns the sampled waveform of a node.
+func (r *TranResult) Trace(id circuit.NodeID) *waveform.Trace {
+	tr, err := waveform.NewTrace(r.Time, r.V[id])
+	if err != nil {
+		panic(fmt.Sprintf("spice: internal trace construction: %v", err))
+	}
+	return tr
+}
+
+// TraceName returns the trace for a node addressed by name.
+func (r *TranResult) TraceName(name string) *waveform.Trace {
+	return r.Trace(r.ckt.Node(name))
+}
+
+// SourceCurrentTrace returns the current delivered by the source driving a
+// node, as a sampled waveform (amperes).
+func (r *TranResult) SourceCurrentTrace(id circuit.NodeID) (*waveform.Trace, error) {
+	series, ok := r.SourceCurrent[id]
+	if !ok {
+		return nil, fmt.Errorf("spice: node %s is not a driven source", r.ckt.NodeName(id))
+	}
+	return waveform.NewTrace(r.Time, series)
+}
+
+// PeakSourceCurrent returns the largest |current| delivered by a source and
+// the time it occurs.
+func (r *TranResult) PeakSourceCurrent(id circuit.NodeID) (amps, at float64, err error) {
+	tr, err := r.SourceCurrentTrace(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, v := range tr.V {
+		if a := math.Abs(v); a > amps {
+			amps, at = a, tr.T[i]
+		}
+	}
+	return amps, at, nil
+}
+
+// TranSpec configures a transient run.
+type TranSpec struct {
+	// Stop is the end time; the run always starts at t = 0.
+	Stop float64
+	// Breakpoints are times the integrator must land on exactly (stimulus
+	// corners). The engine restarts with a damped small step after each.
+	Breakpoints []float64
+	// InitialOP, when true (the default used by Transient), computes the
+	// t=0 operating point first; otherwise unknowns start at InitialX.
+	InitialX []float64
+}
+
+// Transient runs an adaptive-step trapezoidal transient from a t=0 DC
+// operating point to spec.Stop.
+func (e *Engine) Transient(spec TranSpec) (*TranResult, error) {
+	if spec.Stop <= 0 {
+		return nil, fmt.Errorf("spice: transient stop time must be positive, got %g", spec.Stop)
+	}
+	n := len(e.unknowns)
+	x := make([]float64, n)
+	if spec.InitialX != nil {
+		if len(spec.InitialX) != n {
+			return nil, fmt.Errorf("spice: InitialX length %d, want %d", len(spec.InitialX), n)
+		}
+		copy(x, spec.InitialX)
+	} else {
+		op, err := e.OP(0, nil)
+		if err != nil {
+			return nil, fmt.Errorf("spice: transient initial OP: %w", err)
+		}
+		for i, id := range e.unknowns {
+			x[i] = op.V[id]
+		}
+	}
+
+	// Normalize breakpoints: sorted, within (0, stop).
+	bps := make([]float64, 0, len(spec.Breakpoints))
+	for _, b := range spec.Breakpoints {
+		if b > 0 && b < spec.Stop {
+			bps = append(bps, b)
+		}
+	}
+	sort.Float64s(bps)
+
+	// Capacitor state at the current accepted time point.
+	caps := make([]capState, len(e.ckt.Capacitors))
+	vfull := e.fullVoltagesScaled(x, 0, 1)
+	for i, cp := range e.ckt.Capacitors {
+		caps[i] = capState{v: vfull[cp.A] - vfull[cp.B], i: 0}
+	}
+
+	res := &TranResult{ckt: e.ckt, SourceCurrent: map[circuit.NodeID][]float64{}}
+	for _, id := range e.ckt.DrivenNodes() {
+		res.SourceCurrent[id] = nil
+	}
+	record := func(t float64, v []float64, caps []capState) {
+		res.Time = append(res.Time, t)
+		if res.V == nil {
+			res.V = make([][]float64, e.ckt.NumNodes())
+		}
+		for id := range res.V {
+			res.V[id] = append(res.V[id], v[id])
+		}
+		cur := e.sourceCurrents(v, caps)
+		for id, i := range cur {
+			res.SourceCurrent[id] = append(res.SourceCurrent[id], i)
+		}
+	}
+	record(0, vfull, caps)
+
+	t := 0.0
+	h := e.opt.MaxStep / 16
+	if h < e.opt.MinStep {
+		h = e.opt.MinStep
+	}
+	beSteps := 2 // backward-Euler steps remaining (start + after breakpoints)
+	nextBP := 0
+
+	geq := make([]float64, len(caps))
+	ieq := make([]float64, len(caps))
+	xTry := make([]float64, n)
+	prev := make([]float64, n)
+
+	maxSamples := 2_000_000
+	for t < spec.Stop {
+		// Trim the step to land exactly on the next breakpoint or stop.
+		target := spec.Stop
+		if nextBP < len(bps) {
+			target = bps[nextBP]
+		}
+		if t+h > target {
+			h = target - t
+		}
+		if h < e.opt.MinStep {
+			h = e.opt.MinStep
+		}
+
+		// Companion parameters for this step.
+		trap := e.opt.TrapRatio
+		if beSteps > 0 {
+			trap = 0
+		}
+		for i, cp := range e.ckt.Capacitors {
+			if trap > 0 {
+				// Trapezoidal: i1 = (2C/h)(v1-v0) - i0.
+				geq[i] = 2 * cp.C / h
+				ieq[i] = -geq[i]*caps[i].v - caps[i].i
+			} else {
+				// Backward Euler: i1 = (C/h)(v1-v0).
+				geq[i] = cp.C / h
+				ieq[i] = -geq[i] * caps[i].v
+			}
+		}
+
+		copy(prev, x)
+		copy(xTry, x)
+		ctx := &stampContext{caps: caps, geq: geq, ieq: ieq, gmin: e.opt.Gmin}
+		iters, err := e.newton(xTry, t+h, ctx, 1)
+
+		// Reject on failure or on excessive voltage movement.
+		reject := err != nil
+		dv := 0.0
+		if !reject {
+			for i := range xTry {
+				if a := math.Abs(xTry[i] - prev[i]); a > dv {
+					dv = a
+				}
+			}
+			if dv > e.opt.DVMax && h > e.opt.MinStep*2 {
+				reject = true
+			}
+		}
+		if reject {
+			if h <= e.opt.MinStep*2 {
+				if err != nil {
+					return nil, fmt.Errorf("spice: transient stuck at t=%.6g (h=%.3g): %w", t, h, err)
+				}
+				// Accept the over-large move at minimum step.
+			} else {
+				h /= 2
+				continue
+			}
+		}
+
+		// Accept the step.
+		t += h
+		copy(x, xTry)
+		vfull = e.fullVoltagesScaled(x, t, 1)
+		// Update capacitor states.
+		for i, cp := range e.ckt.Capacitors {
+			vb := vfull[cp.A] - vfull[cp.B]
+			caps[i].i = geq[i]*vb + ieq[i]
+			caps[i].v = vb
+		}
+		record(t, vfull, caps)
+		if len(res.Time) > maxSamples {
+			return nil, fmt.Errorf("spice: transient exceeded %d samples (runaway step control)", maxSamples)
+		}
+
+		if beSteps > 0 {
+			beSteps--
+		}
+		// Hit a breakpoint: restart step control with damped BE steps so
+		// the corner does not excite trapezoidal ringing.
+		if nextBP < len(bps) && t >= bps[nextBP]-1e-21 {
+			nextBP++
+			beSteps = 2
+			h = math.Max(e.opt.MinStep, e.opt.MaxStep/64)
+			continue
+		}
+
+		// Grow the step when the solution is moving slowly and Newton is
+		// comfortable.
+		if dv < 0.3*e.opt.DVMax && iters <= 8 {
+			h = math.Min(h*1.5, e.opt.MaxStep)
+		}
+	}
+	return res, nil
+}
+
+// sourceCurrents reconstructs the current delivered by each ideal source at
+// an accepted time point: the sum of currents leaving the driven node
+// through devices. Capacitor branch currents come from the accepted
+// companion state.
+func (e *Engine) sourceCurrents(v []float64, caps []capState) map[circuit.NodeID]float64 {
+	out := map[circuit.NodeID]float64{}
+	for _, id := range e.ckt.DrivenNodes() {
+		out[id] = 0
+	}
+	add := func(id circuit.NodeID, i float64) {
+		if _, ok := out[id]; ok {
+			out[id] += i
+		}
+	}
+	for _, m := range e.ckt.MOSFETs {
+		op := m.Eval(v[m.D], v[m.G], v[m.S], v[m.B])
+		add(m.D, op.Id)
+		add(m.S, -op.Id)
+	}
+	for _, r := range e.ckt.Resistors {
+		ir := (v[r.A] - v[r.B]) / r.R
+		add(r.A, ir)
+		add(r.B, -ir)
+	}
+	for ci, cp := range e.ckt.Capacitors {
+		add(cp.A, caps[ci].i)
+		add(cp.B, -caps[ci].i)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package sta
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/waveform"
+)
+
+// ParseNetlist reads a gate-level netlist in this package's tiny text
+// format and builds a Circuit over the library:
+//
+//	# comment
+//	input a b cin
+//	gate g1 nand2 n1 a b        # gate <inst> <type> <output> <inputs...>
+//	gate g2 inv    n2 n1
+//	output n2
+//
+// Nets may be referenced before they are driven (forward references are
+// legal); every gate type must exist in the library.
+func ParseNetlist(r io.Reader, lib *Library) (*Circuit, error) {
+	c := NewCircuit(lib)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "input":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("sta: line %d: input needs at least one net", lineNo)
+			}
+			for _, n := range fields[1:] {
+				c.Input(n)
+			}
+		case "gate":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("sta: line %d: gate needs inst, type, output and inputs", lineNo)
+			}
+			inst, typ, out := fields[1], fields[2], fields[3]
+			ins := make([]*Net, len(fields)-4)
+			for i, n := range fields[4:] {
+				ins[i] = c.ForwardNet(n)
+			}
+			if _, err := c.AddGate(inst, typ, out, ins...); err != nil {
+				return nil, fmt.Errorf("sta: line %d: %w", lineNo, err)
+			}
+		case "output":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("sta: line %d: output needs at least one net", lineNo)
+			}
+			for _, n := range fields[1:] {
+				c.MarkOutput(c.ForwardNet(n))
+			}
+		default:
+			return nil, fmt.Errorf("sta: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Sanity: every non-primary net with loads must have a driver.
+	for name, n := range c.nets {
+		if n.Driver != nil {
+			continue
+		}
+		isPI := false
+		for _, pi := range c.PIs {
+			if pi == n {
+				isPI = true
+				break
+			}
+		}
+		if !isPI {
+			return nil, fmt.Errorf("sta: net %s is neither driven nor a declared input", name)
+		}
+	}
+	return c, nil
+}
+
+// ParseEvents parses a comma-separated primary-input event list of the form
+// net:dir:tt_ps:time_ps (dir = rise|fall, abbreviations r|f accepted).
+func ParseEvents(c *Circuit, s string) ([]PIEvent, error) {
+	var out []PIEvent
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("sta: event %q: want net:dir:tt_ps:time_ps", part)
+		}
+		n := c.Net(fields[0])
+		if n == nil {
+			return nil, fmt.Errorf("sta: event %q: unknown net %q", part, fields[0])
+		}
+		var dir waveform.Direction
+		switch fields[1] {
+		case "rise", "r":
+			dir = waveform.Rising
+		case "fall", "f":
+			dir = waveform.Falling
+		default:
+			return nil, fmt.Errorf("sta: event %q: bad direction %q", part, fields[1])
+		}
+		tt, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || tt <= 0 {
+			return nil, fmt.Errorf("sta: event %q: bad transition time %q", part, fields[2])
+		}
+		at, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sta: event %q: bad time %q", part, fields[3])
+		}
+		out = append(out, PIEvent{Net: n, Dir: dir, TT: tt * 1e-12, Time: at * 1e-12})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sta: no events")
+	}
+	return out, nil
+}

@@ -1,0 +1,384 @@
+// Package sta is a small gate-level static timing analyzer built on the
+// proximity delay model — the downstream application that motivates the
+// paper (proximity-aware delay calculation is absent from conventional
+// single-switching-input timing analysis).
+//
+// Two analysis modes are provided:
+//
+//   - Conventional: each gate-output transition is timed from the causing
+//     input with the latest (input arrival + single-input pin delay), the
+//     classic one-input-switching assumption the paper criticizes.
+//   - Proximity: all causing inputs arriving within the proximity window
+//     are evaluated together with Algorithm ProximityDelay, capturing the
+//     speedups (parallel conduction) and slowdowns (series stacks still in
+//     transit) that the conventional mode misses.
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// Library maps gate type names (e.g. "nand2") to characterized calculators.
+type Library struct {
+	calcs map[string]*core.Calculator
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library { return &Library{calcs: map[string]*core.Calculator{}} }
+
+// Add registers a calculator under a type name.
+func (l *Library) Add(name string, calc *core.Calculator) { l.calcs[name] = calc }
+
+// Get returns the calculator for a type name (nil if absent).
+func (l *Library) Get(name string) *core.Calculator { return l.calcs[name] }
+
+// Net is a wire in the gate-level circuit.
+type Net struct {
+	Name   string
+	Driver *Gate // nil for primary inputs
+}
+
+// Gate is one logic-cell instance.
+type Gate struct {
+	Name string
+	Type string
+	Calc *core.Calculator
+	In   []*Net
+	Out  *Net
+}
+
+// Circuit is a combinational gate-level netlist.
+type Circuit struct {
+	lib   *Library
+	nets  map[string]*Net
+	Gates []*Gate
+	PIs   []*Net
+	POs   []*Net
+}
+
+// NewCircuit returns an empty circuit over a library.
+func NewCircuit(lib *Library) *Circuit {
+	return &Circuit{lib: lib, nets: map[string]*Net{}}
+}
+
+// Input declares (or returns) a primary-input net.
+func (c *Circuit) Input(name string) *Net {
+	n := c.net(name)
+	for _, pi := range c.PIs {
+		if pi == n {
+			return n
+		}
+	}
+	c.PIs = append(c.PIs, n)
+	return n
+}
+
+// net returns the named net, creating it if needed.
+func (c *Circuit) net(name string) *Net {
+	if n, ok := c.nets[name]; ok {
+		return n
+	}
+	n := &Net{Name: name}
+	c.nets[name] = n
+	return n
+}
+
+// Net returns an existing net by name (nil if undeclared).
+func (c *Circuit) Net(name string) *Net { return c.nets[name] }
+
+// ForwardNet returns the named net, creating it (undriven) if needed — for
+// forward references while wiring feedback or not-yet-driven nets.
+func (c *Circuit) ForwardNet(name string) *Net { return c.net(name) }
+
+// AddGate instantiates a library gate driving a fresh net named outName.
+func (c *Circuit) AddGate(instName, typeName, outName string, inputs ...*Net) (*Net, error) {
+	calc := c.lib.Get(typeName)
+	if calc == nil {
+		return nil, fmt.Errorf("sta: unknown gate type %q", typeName)
+	}
+	if calc.Model.NumInputs != len(inputs) {
+		return nil, fmt.Errorf("sta: gate %s (%s) takes %d inputs, got %d",
+			instName, typeName, calc.Model.NumInputs, len(inputs))
+	}
+	out := c.net(outName)
+	if out.Driver != nil {
+		return nil, fmt.Errorf("sta: net %s already driven by %s", outName, out.Driver.Name)
+	}
+	g := &Gate{Name: instName, Type: typeName, Calc: calc, In: inputs, Out: out}
+	out.Driver = g
+	c.Gates = append(c.Gates, g)
+	return out, nil
+}
+
+// MarkOutput declares a primary output.
+func (c *Circuit) MarkOutput(n *Net) { c.POs = append(c.POs, n) }
+
+// topoOrder returns the gates in topological order (inputs before outputs).
+func (c *Circuit) topoOrder() ([]*Gate, error) {
+	state := map[*Gate]int{} // 0 new, 1 visiting, 2 done
+	var order []*Gate
+	var visit func(g *Gate) error
+	visit = func(g *Gate) error {
+		switch state[g] {
+		case 1:
+			return fmt.Errorf("sta: combinational loop through gate %s", g.Name)
+		case 2:
+			return nil
+		}
+		state[g] = 1
+		for _, in := range g.In {
+			if in.Driver != nil {
+				if err := visit(in.Driver); err != nil {
+					return err
+				}
+			}
+		}
+		state[g] = 2
+		order = append(order, g)
+		return nil
+	}
+	for _, g := range c.Gates {
+		if err := visit(g); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Mode selects the delay-calculation policy.
+type Mode int
+
+const (
+	Proximity Mode = iota
+	Conventional
+)
+
+func (m Mode) String() string {
+	if m == Conventional {
+		return "conventional"
+	}
+	return "proximity"
+}
+
+// Arrival is one transition event on a net.
+type Arrival struct {
+	Dir  waveform.Direction
+	Time float64 // measurement-level crossing time
+	TT   float64 // transition time
+	// FromGate and FromPin record the causing gate and its dominant input
+	// pin for path tracing (FromGate nil at primary inputs).
+	FromGate *Gate
+	FromPin  int
+	// UsedInputs counts how many switching inputs the delay calculation
+	// combined (1 = single-arc; >1 = genuine proximity evaluation).
+	UsedInputs int
+}
+
+// PIEvent is a primary-input stimulus.
+type PIEvent struct {
+	Net  *Net
+	Dir  waveform.Direction
+	Time float64
+	TT   float64
+}
+
+// Result holds per-net arrivals after analysis.
+type Result struct {
+	Mode     Mode
+	arrivals map[*Net]map[waveform.Direction]Arrival
+}
+
+// Arrival returns the arrival of a net in the given direction; ok=false if
+// the net never transitions that way.
+func (r *Result) Arrival(n *Net, dir waveform.Direction) (Arrival, bool) {
+	m, ok := r.arrivals[n]
+	if !ok {
+		return Arrival{}, false
+	}
+	a, ok := m[dir]
+	return a, ok
+}
+
+// Latest returns the latest arrival across both directions of a net.
+func (r *Result) Latest(n *Net) (Arrival, bool) {
+	var best Arrival
+	found := false
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		if a, ok := r.Arrival(n, dir); ok && (!found || a.Time > best.Time) {
+			best = a
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Analyze propagates the primary-input events through the circuit.
+//
+// Each net carries at most one arrival per direction. A gate output
+// transition in direction d is caused by the input arrivals in direction
+// opposite(d) (all library gates are inverting). In Proximity mode every
+// causing input within the dominant input's proximity window contributes via
+// Algorithm ProximityDelay; in Conventional mode the latest causing input's
+// single-input delay wins.
+func (c *Circuit) Analyze(events []PIEvent, mode Mode) (*Result, error) {
+	res := &Result{Mode: mode, arrivals: map[*Net]map[waveform.Direction]Arrival{}}
+	set := func(n *Net, a Arrival) {
+		if res.arrivals[n] == nil {
+			res.arrivals[n] = map[waveform.Direction]Arrival{}
+		}
+		res.arrivals[n][a.Dir] = a
+	}
+	driven := map[*Net]bool{}
+	for _, pi := range c.PIs {
+		driven[pi] = true
+	}
+	for _, ev := range events {
+		if !driven[ev.Net] {
+			return nil, fmt.Errorf("sta: event on non-primary-input net %s", ev.Net.Name)
+		}
+		if ev.TT <= 0 {
+			return nil, fmt.Errorf("sta: event on %s has non-positive transition time", ev.Net.Name)
+		}
+		set(ev.Net, Arrival{Dir: ev.Dir, Time: ev.Time, TT: ev.TT})
+	}
+
+	order, err := c.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range order {
+		for _, outDir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			inDir := outDir.Opposite()
+			var evs []core.InputEvent
+			var pins []int
+			for pin, in := range g.In {
+				if a, ok := res.Arrival(in, inDir); ok {
+					evs = append(evs, core.InputEvent{Pin: pin, Dir: inDir, TT: a.TT, Cross: a.Time})
+					pins = append(pins, pin)
+				}
+			}
+			if len(evs) == 0 {
+				continue
+			}
+			a, err := g.eval(evs, outDir, mode)
+			if err != nil {
+				return nil, fmt.Errorf("sta: gate %s %v output: %w", g.Name, outDir, err)
+			}
+			set(g.Out, *a)
+		}
+	}
+	return res, nil
+}
+
+// eval computes one gate-output arrival.
+func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode) (*Arrival, error) {
+	if mode == Conventional {
+		// Latest (arrival + single-input delay) wins; TT comes from the
+		// winning arc.
+		best := Arrival{Dir: outDir, Time: math.Inf(-1)}
+		for _, e := range evs {
+			d, tt, err := g.Calc.SingleDelay(e.Pin, e.Dir, e.TT)
+			if err != nil {
+				return nil, err
+			}
+			if t := e.Cross + d; t > best.Time {
+				best = Arrival{Dir: outDir, Time: t, TT: tt, FromGate: g, FromPin: e.Pin, UsedInputs: 1}
+			}
+		}
+		return &best, nil
+	}
+	r, err := g.Calc.Evaluate(evs)
+	if err != nil {
+		return nil, err
+	}
+	return &Arrival{
+		Dir:        outDir,
+		Time:       r.OutputCross,
+		TT:         r.OutTT,
+		FromGate:   g,
+		FromPin:    r.Dominant,
+		UsedInputs: r.UsedDelay,
+	}, nil
+}
+
+// Slack returns required − arrival for a net/direction; ok is false when
+// the net never transitions that way.
+func (r *Result) Slack(n *Net, dir waveform.Direction, required float64) (float64, bool) {
+	a, ok := r.Arrival(n, dir)
+	if !ok {
+		return 0, false
+	}
+	return required - a.Time, true
+}
+
+// WorstSlack returns the minimum slack over the given nets (both
+// directions) against a common required time, with the offending net and
+// arrival. ok is false when none of the nets carries an arrival.
+func (r *Result) WorstSlack(nets []*Net, required float64) (slack float64, at *Net, arr Arrival, ok bool) {
+	slack = math.Inf(1)
+	for _, n := range nets {
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			if a, has := r.Arrival(n, dir); has {
+				if s := required - a.Time; s < slack {
+					slack, at, arr, ok = s, n, a, true
+				}
+			}
+		}
+	}
+	if !ok {
+		return 0, nil, Arrival{}, false
+	}
+	return slack, at, arr, true
+}
+
+// PathStep is one hop of a traced critical path.
+type PathStep struct {
+	Net     *Net
+	Arrival Arrival
+}
+
+// CriticalPath traces back from a net/direction to a primary input by
+// following each arrival's dominant causing pin.
+func (r *Result) CriticalPath(n *Net, dir waveform.Direction) ([]PathStep, error) {
+	var path []PathStep
+	cur, ok := r.Arrival(n, dir)
+	if !ok {
+		return nil, fmt.Errorf("sta: net %s has no %v arrival", n.Name, dir)
+	}
+	net := n
+	for {
+		path = append(path, PathStep{Net: net, Arrival: cur})
+		if cur.FromGate == nil {
+			break
+		}
+		inNet := cur.FromGate.In[cur.FromPin]
+		prev, ok := r.Arrival(inNet, cur.Dir.Opposite())
+		if !ok {
+			return nil, fmt.Errorf("sta: broken path at net %s", inNet.Name)
+		}
+		net, cur = inNet, prev
+		if len(path) > 10000 {
+			return nil, fmt.Errorf("sta: path trace runaway")
+		}
+	}
+	// Reverse to source-to-sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// NetsByName returns all net names sorted, for deterministic reporting.
+func (c *Circuit) NetsByName() []string {
+	names := make([]string, 0, len(c.nets))
+	for n := range c.nets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,109 @@
+// Package stats provides the error statistics and histogram binning used to
+// reproduce the paper's Table 5-1 and Figure 5-1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Summary is the Table 5-1 row set for one quantity.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Max    float64
+	Min    float64
+}
+
+// Summarize computes mean, standard deviation (population, as the paper's
+// small-sample table implies), maximum and minimum.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	s.StdDev = math.Sqrt(varsum / float64(len(xs)))
+	return s
+}
+
+// Histogram is a fixed-width binning of samples.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram bins xs into nbins equal bins over [lo, hi).
+func NewHistogram(xs []float64, lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins < 1 || hi <= lo {
+		return nil, fmt.Errorf("stats: invalid histogram spec [%g,%g) x %d", lo, hi, nbins)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, nbins)}
+	w := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			i := int((x - lo) / w)
+			if i >= nbins {
+				i = nbins - 1
+			}
+			h.Counts[i]++
+		}
+	}
+	return h, nil
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Render draws an ASCII bar chart (the repo's stand-in for the paper's
+// Figure 5-1 bar charts), one row per bin.
+func (h *Histogram) Render(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n in [%g, %g))\n", label, h.Lo, h.Hi)
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	if h.Under > 0 {
+		fmt.Fprintf(&b, "   <%7.2f | %d\n", h.Lo, h.Under)
+	}
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*50/maxC)
+		fmt.Fprintf(&b, "%7.2f..%-7.2f | %-50s %d\n", h.Lo+w*float64(i), h.Lo+w*float64(i+1), bar, c)
+	}
+	if h.Over > 0 {
+		fmt.Fprintf(&b, "  >=%7.2f | %d\n", h.Hi, h.Over)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	wantStd := math.Sqrt(1.25) // population std of 1..4
+	if math.Abs(s.StdDev-wantStd) > 1e-12 {
+		t.Errorf("std = %g, want %g", s.StdDev, wantStd)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+// TestSummaryInvariants: min <= mean <= max and std >= 0 on random data.
+func TestSummaryInvariants(t *testing.T) {
+	prop := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip pathological magnitudes whose sums overflow float64;
+			// error percentages in this repo are O(100).
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h, err := NewHistogram([]float64{-5, 0, 0.5, 1, 9.99, 10, 25}, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Under != 1 {
+		t.Errorf("under = %d", h.Under)
+	}
+	if h.Over != 2 { // 10 and 25
+		t.Errorf("over = %d", h.Over)
+	}
+	if h.Counts[0] != 3 { // 0, 0.5, 1... wait 1 falls in bin 0? bins are [0,2)
+		t.Errorf("bin0 = %d, want 3 (0, 0.5, 1)", h.Counts[0])
+	}
+	if h.Counts[4] != 1 { // 9.99 in [8,10)
+		t.Errorf("bin4 = %d", h.Counts[4])
+	}
+	total := h.Under + h.Over
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 7 {
+		t.Errorf("conservation: %d samples binned, want 7", total)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil, 1, 0, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestBinCenter(t *testing.T) {
+	h, _ := NewHistogram(nil, 0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %g", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %g", got)
+	}
+}
+
+func TestRenderContainsBars(t *testing.T) {
+	h, _ := NewHistogram([]float64{1, 1, 1, 5}, 0, 10, 2)
+	out := h.Render("test dist")
+	if !strings.Contains(out, "test dist") || !strings.Contains(out, "#") {
+		t.Errorf("render output missing content:\n%s", out)
+	}
+}

@@ -1,0 +1,240 @@
+// Package table implements regular-grid N-dimensional lookup tables with
+// multilinear interpolation and clamped extrapolation. The paper's dual-input
+// proximity macromodels D(2) and T(2) are three-argument functions of
+// normalized temporal parameters; the practical storage for them (Section 4,
+// Figure 4-2) is exactly this kind of table.
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Grid is an N-dimensional table over a rectangular grid of sample points.
+type Grid struct {
+	axes   [][]float64
+	values []float64
+	stride []int
+}
+
+// New creates a grid over the given axes. Each axis must be strictly
+// increasing and contain at least one point. Values are initialized to zero.
+func New(axes ...[]float64) (*Grid, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("table: need at least one axis")
+	}
+	total := 1
+	cp := make([][]float64, len(axes))
+	for d, ax := range axes {
+		if len(ax) == 0 {
+			return nil, fmt.Errorf("table: axis %d is empty", d)
+		}
+		for i := 1; i < len(ax); i++ {
+			if ax[i] <= ax[i-1] {
+				return nil, fmt.Errorf("table: axis %d must strictly increase (index %d: %g after %g)",
+					d, i, ax[i], ax[i-1])
+			}
+		}
+		cp[d] = append([]float64(nil), ax...)
+		total *= len(ax)
+	}
+	g := &Grid{axes: cp, values: make([]float64, total)}
+	g.buildStrides()
+	return g, nil
+}
+
+func (g *Grid) buildStrides() {
+	d := len(g.axes)
+	g.stride = make([]int, d)
+	s := 1
+	for i := d - 1; i >= 0; i-- {
+		g.stride[i] = s
+		s *= len(g.axes[i])
+	}
+}
+
+// Dims returns the number of axes.
+func (g *Grid) Dims() int { return len(g.axes) }
+
+// Axis returns a copy of axis d's sample coordinates.
+func (g *Grid) Axis(d int) []float64 { return append([]float64(nil), g.axes[d]...) }
+
+// Len returns the total number of stored samples.
+func (g *Grid) Len() int { return len(g.values) }
+
+// flat converts a multi-index to the flattened offset.
+func (g *Grid) flat(idx []int) int {
+	if len(idx) != len(g.axes) {
+		panic(fmt.Sprintf("table: index rank %d, grid rank %d", len(idx), len(g.axes)))
+	}
+	off := 0
+	for d, i := range idx {
+		if i < 0 || i >= len(g.axes[d]) {
+			panic(fmt.Sprintf("table: index %d out of range on axis %d (len %d)", i, d, len(g.axes[d])))
+		}
+		off += i * g.stride[d]
+	}
+	return off
+}
+
+// At returns the stored sample at a multi-index.
+func (g *Grid) At(idx ...int) float64 { return g.values[g.flat(idx)] }
+
+// Set stores a sample at a multi-index.
+func (g *Grid) Set(v float64, idx ...int) { g.values[g.flat(idx)] = v }
+
+// Fill evaluates f at every grid point and stores the result. The coords
+// slice passed to f is reused; copy it if retained. Fill returns the first
+// error from f and stops.
+func (g *Grid) Fill(f func(coords []float64) (float64, error)) error {
+	d := len(g.axes)
+	idx := make([]int, d)
+	coords := make([]float64, d)
+	for {
+		for k := 0; k < d; k++ {
+			coords[k] = g.axes[k][idx[k]]
+		}
+		v, err := f(coords)
+		if err != nil {
+			return fmt.Errorf("table: fill at %v: %w", coords, err)
+		}
+		g.values[g.flat(idx)] = v
+		// Advance the multi-index.
+		k := d - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < len(g.axes[k]) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			return nil
+		}
+	}
+}
+
+// locate finds the cell and interpolation fraction on axis d for coordinate
+// x, clamping outside the axis range (constant extrapolation).
+func (g *Grid) locate(d int, x float64) (i int, frac float64) {
+	ax := g.axes[d]
+	n := len(ax)
+	if n == 1 {
+		return 0, 0
+	}
+	if x <= ax[0] {
+		return 0, 0
+	}
+	if x >= ax[n-1] {
+		return n - 2, 1
+	}
+	i = sort.SearchFloat64s(ax, x)
+	if ax[i] == x {
+		if i == n-1 {
+			return n - 2, 1
+		}
+		return i, 0
+	}
+	i--
+	return i, (x - ax[i]) / (ax[i+1] - ax[i])
+}
+
+// Eval interpolates the table at the given coordinates (multilinear with
+// clamped extrapolation).
+func (g *Grid) Eval(coords ...float64) float64 {
+	d := len(g.axes)
+	if len(coords) != d {
+		panic(fmt.Sprintf("table: eval rank %d, grid rank %d", len(coords), d))
+	}
+	base := make([]int, d)
+	frac := make([]float64, d)
+	for k := 0; k < d; k++ {
+		base[k], frac[k] = g.locate(k, coords[k])
+	}
+	// Sum over the 2^d corners of the containing cell.
+	total := 0.0
+	for corner := 0; corner < (1 << d); corner++ {
+		w := 1.0
+		off := 0
+		for k := 0; k < d; k++ {
+			i := base[k]
+			if corner&(1<<k) != 0 {
+				// High corner on axis k.
+				if len(g.axes[k]) > 1 {
+					i++
+				}
+				w *= frac[k]
+			} else {
+				w *= 1 - frac[k]
+			}
+			off += i * g.stride[k]
+		}
+		if w != 0 {
+			total += w * g.values[off]
+		}
+	}
+	return total
+}
+
+// gridJSON is the serialized form.
+type gridJSON struct {
+	Axes   [][]float64 `json:"axes"`
+	Values []float64   `json:"values"`
+}
+
+// MarshalJSON serializes the grid.
+func (g *Grid) MarshalJSON() ([]byte, error) {
+	return json.Marshal(gridJSON{Axes: g.axes, Values: g.values})
+}
+
+// UnmarshalJSON restores a grid.
+func (g *Grid) UnmarshalJSON(data []byte) error {
+	var j gridJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	ng, err := New(j.Axes...)
+	if err != nil {
+		return err
+	}
+	if len(j.Values) != len(ng.values) {
+		return fmt.Errorf("table: value count %d does not match axes (want %d)", len(j.Values), len(ng.values))
+	}
+	copy(ng.values, j.Values)
+	*g = *ng
+	return nil
+}
+
+// LinSpace returns n evenly spaced points over [lo, hi].
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		panic("table: LinSpace needs n >= 1")
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// LogSpace returns n logarithmically spaced points over [lo, hi] (both > 0).
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo {
+		panic("table: LogSpace needs 0 < lo < hi")
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	out[n-1] = hi
+	return out
+}

@@ -1,0 +1,220 @@
+package table
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("zero axes accepted")
+	}
+	if _, err := New([]float64{}); err == nil {
+		t.Error("empty axis accepted")
+	}
+	if _, err := New([]float64{1, 1}); err == nil {
+		t.Error("non-increasing axis accepted")
+	}
+	if _, err := New([]float64{2, 1}); err == nil {
+		t.Error("decreasing axis accepted")
+	}
+}
+
+func TestSetAtRoundtrip(t *testing.T) {
+	g, err := New([]float64{0, 1}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(7, 1, 2)
+	if got := g.At(1, 2); got != 7 {
+		t.Errorf("At = %g", got)
+	}
+	if g.Len() != 6 || g.Dims() != 2 {
+		t.Errorf("Len=%d Dims=%d", g.Len(), g.Dims())
+	}
+}
+
+func TestEvalExactAtNodes(t *testing.T) {
+	g, _ := New([]float64{0, 1, 3}, []float64{-1, 2})
+	err := g.Fill(func(c []float64) (float64, error) { return c[0]*10 + c[1], nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1, 3} {
+		for _, y := range []float64{-1, 2} {
+			if got := g.Eval(x, y); math.Abs(got-(x*10+y)) > 1e-12 {
+				t.Errorf("Eval(%g,%g) = %g, want %g", x, y, got, x*10+y)
+			}
+		}
+	}
+}
+
+// TestMultilinearReproducesAffine: a multilinear interpolant is exact for
+// affine functions everywhere inside the grid.
+func TestMultilinearReproducesAffine(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := 1 + r.Intn(3)
+		axes := make([][]float64, dims)
+		for d := range axes {
+			n := 2 + r.Intn(4)
+			ax := make([]float64, n)
+			x := r.Float64()
+			for i := range ax {
+				ax[i] = x
+				x += 0.1 + r.Float64()
+			}
+			axes[d] = ax
+		}
+		g, err := New(axes...)
+		if err != nil {
+			return false
+		}
+		coef := make([]float64, dims+1)
+		for i := range coef {
+			coef[i] = r.NormFloat64()
+		}
+		affine := func(c []float64) float64 {
+			v := coef[0]
+			for d := range c {
+				v += coef[d+1] * c[d]
+			}
+			return v
+		}
+		if err := g.Fill(func(c []float64) (float64, error) { return affine(c), nil }); err != nil {
+			return false
+		}
+		// Random interior points.
+		pt := make([]float64, dims)
+		for k := 0; k < 20; k++ {
+			for d := range pt {
+				ax := axes[d]
+				pt[d] = ax[0] + r.Float64()*(ax[len(ax)-1]-ax[0])
+			}
+			if math.Abs(g.Eval(pt...)-affine(pt)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalClampsOutside(t *testing.T) {
+	g, _ := New([]float64{0, 1})
+	g.Set(2, 0)
+	g.Set(8, 1)
+	if got := g.Eval(-5); got != 2 {
+		t.Errorf("clamped low = %g", got)
+	}
+	if got := g.Eval(99); got != 8 {
+		t.Errorf("clamped high = %g", got)
+	}
+}
+
+func TestSingletonAxis(t *testing.T) {
+	g, _ := New([]float64{1}, []float64{0, 1})
+	g.Set(3, 0, 0)
+	g.Set(5, 0, 1)
+	if got := g.Eval(42, 0.5); math.Abs(got-4) > 1e-12 {
+		t.Errorf("singleton-axis eval = %g, want 4", got)
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	g, _ := New([]float64{0, 1}, []float64{0, 2, 4})
+	if err := g.Fill(func(c []float64) (float64, error) { return c[0] + c[1]*c[1], nil }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Grid
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() || back.Dims() != g.Dims() {
+		t.Fatalf("shape lost: %d/%d", back.Len(), back.Dims())
+	}
+	for _, x := range []float64{0, 0.3, 1} {
+		for _, y := range []float64{0, 1.7, 4} {
+			if a, b := g.Eval(x, y), back.Eval(x, y); math.Abs(a-b) > 1e-12 {
+				t.Errorf("roundtrip eval(%g,%g): %g vs %g", x, y, a, b)
+			}
+		}
+	}
+}
+
+func TestJSONRejectsCorrupt(t *testing.T) {
+	var g Grid
+	if err := json.Unmarshal([]byte(`{"axes":[[0,1]],"values":[1,2,3]}`), &g); err == nil {
+		t.Error("mismatched value count accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"axes":[[1,0]],"values":[1,2]}`), &g); err == nil {
+		t.Error("unsorted axis accepted")
+	}
+}
+
+func TestFillErrorPropagates(t *testing.T) {
+	g, _ := New([]float64{0, 1})
+	err := g.Fill(func(c []float64) (float64, error) {
+		if c[0] == 1 {
+			return 0, errTest
+		}
+		return 1, nil
+	})
+	if err == nil {
+		t.Error("fill error swallowed")
+	}
+}
+
+var errTest = &testErr{}
+
+type testErr struct{}
+
+func (*testErr) Error() string { return "test error" }
+
+func TestLinSpace(t *testing.T) {
+	v := LinSpace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-12 {
+			t.Errorf("LinSpace[%d] = %g", i, v[i])
+		}
+	}
+	if got := LinSpace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("LinSpace n=1 = %v", got)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	v := LogSpace(1, 100, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-9 {
+			t.Errorf("LogSpace[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("LogSpace with lo<=0 should panic")
+		}
+	}()
+	LogSpace(0, 1, 3)
+}
+
+func TestEvalRankMismatchPanics(t *testing.T) {
+	g, _ := New([]float64{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("rank mismatch should panic")
+		}
+	}()
+	g.Eval(1, 2)
+}

@@ -1,0 +1,81 @@
+package validate_test
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/validate"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+// TestNAND4FourInputProximity exercises Algorithm ProximityDelay with up to
+// four inputs inside the window — the iterative composition beyond the
+// paper's three-input validation.
+func TestNAND4FourInputProximity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NAND4 sweep in -short mode")
+	}
+	cell := cells.MustNew(cells.Nand, 4, cells.DefaultProcess(), cells.DefaultGeometry())
+	fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam.Curves) != 15 {
+		t.Fatalf("NAND4 family has %d curves, want 15", len(fam.Curves))
+	}
+	sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+	model, err := macromodel.CharacterizeGate(sim, macromodel.CoarseCharSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc := &core.Calculator{Model: model, Dual: core.NewSimBackend(sim.Clone())}
+	if err := core.CalibrateCorrection(calc, sim); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := validate.Spec{
+		Pins:  4,
+		Dir:   waveform.Falling,
+		TTLo:  50e-12,
+		TTHi:  1500e-12,
+		SepLo: -300e-12,
+		SepHi: 300e-12,
+		N:     10,
+		Seed:  4242,
+	}
+	cmp, err := validate.Run(calc, sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := cmp.DelaySummary()
+	t.Logf("NAND4 falling: delay err mean=%.2f%% std=%.2f%% [%.2f, %.2f]",
+		ds.Mean, ds.StdDev, ds.Min, ds.Max)
+	if ds.Mean > 10 || ds.Mean < -10 {
+		t.Errorf("NAND4 mean delay error %.2f%% too large", ds.Mean)
+	}
+	if ds.Max > 35 || ds.Min < -35 {
+		t.Errorf("NAND4 delay error extremes out of range: [%.2f, %.2f]", ds.Min, ds.Max)
+	}
+	// At least one sample should genuinely use 3+ inputs in the window.
+	deep := 0
+	for _, s := range cmp.Samples {
+		evs := make([]core.InputEvent, 4)
+		for p := range evs {
+			evs[p] = core.InputEvent{Pin: p, Dir: spec.Dir, TT: s.TTs[p], Cross: s.Seps[p]}
+		}
+		res, err := calc.Evaluate(evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.UsedDelay >= 3 {
+			deep++
+		}
+	}
+	if deep == 0 {
+		t.Error("no sample engaged three or more inputs — sweep does not exercise the iteration")
+	}
+}

@@ -1,0 +1,169 @@
+// Package validate reproduces the paper's Section-5 experimental validation:
+// random multi-input configurations are evaluated both by the proximity
+// model and by full transistor-level simulation, and the percentage errors
+// are summarized (Table 5-1) and binned (Figure 5-1).
+package validate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/stats"
+	"repro/internal/waveform"
+)
+
+// Spec configures the random-configuration sweep. The defaults mirror the
+// paper: 100 configurations of a 3-input NAND with falling inputs, input
+// fall times uniform in [50 ps, 2000 ps] and separations (of each later pin
+// from pin a) uniform in [-500 ps, +500 ps].
+type Spec struct {
+	Pins  int
+	Dir   waveform.Direction
+	TTLo  float64
+	TTHi  float64
+	SepLo float64
+	SepHi float64
+	N     int
+	Seed  int64
+}
+
+// DefaultSpec mirrors the paper's validation setup.
+func DefaultSpec() Spec {
+	return Spec{
+		Pins:  3,
+		Dir:   waveform.Falling,
+		TTLo:  50e-12,
+		TTHi:  2000e-12,
+		SepLo: -500e-12,
+		SepHi: 500e-12,
+		N:     100,
+		Seed:  19951010, // the report's date; any fixed seed reproduces
+	}
+}
+
+// Sample is one configuration with model and golden measurements.
+type Sample struct {
+	TTs  []float64 // per pin
+	Seps []float64 // per pin, crossing time relative to pin 0
+
+	ModelDelay, ActualDelay float64
+	ModelTT, ActualTT       float64
+	DelayErrPct, TTErrPct   float64
+	Dominant                int
+}
+
+// Comparison aggregates a sweep.
+type Comparison struct {
+	Spec    Spec
+	Samples []Sample
+}
+
+// DelayErrors returns the per-sample delay errors in percent.
+func (c *Comparison) DelayErrors() []float64 {
+	out := make([]float64, len(c.Samples))
+	for i, s := range c.Samples {
+		out[i] = s.DelayErrPct
+	}
+	return out
+}
+
+// TTErrors returns the per-sample output-transition-time errors in percent.
+func (c *Comparison) TTErrors() []float64 {
+	out := make([]float64, len(c.Samples))
+	for i, s := range c.Samples {
+		out[i] = s.TTErrPct
+	}
+	return out
+}
+
+// DelaySummary and TTSummary are the Table 5-1 columns.
+func (c *Comparison) DelaySummary() stats.Summary { return stats.Summarize(c.DelayErrors()) }
+func (c *Comparison) TTSummary() stats.Summary    { return stats.Summarize(c.TTErrors()) }
+
+// Run executes the sweep: for each random configuration the proximity model
+// (calc) and the transistor-level simulation (sim) measure delay — both
+// relative to the model's dominant input — and output transition time.
+func Run(calc *core.Calculator, sim *macromodel.GateSim, spec Spec) (*Comparison, error) {
+	if spec.Pins < 2 || spec.Pins > sim.Cell.N() {
+		return nil, fmt.Errorf("validate: pins=%d out of range for %d-input cell", spec.Pins, sim.Cell.N())
+	}
+	if spec.N < 1 {
+		return nil, fmt.Errorf("validate: need at least one sample")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	cmp := &Comparison{Spec: spec}
+
+	for i := 0; i < spec.N; i++ {
+		tts := make([]float64, spec.Pins)
+		seps := make([]float64, spec.Pins)
+		for p := range tts {
+			tts[p] = spec.TTLo + rng.Float64()*(spec.TTHi-spec.TTLo)
+			if p > 0 {
+				seps[p] = spec.SepLo + rng.Float64()*(spec.SepHi-spec.SepLo)
+			}
+		}
+		s, err := RunOne(calc, sim, spec.Dir, tts, seps)
+		if err != nil {
+			return nil, fmt.Errorf("validate: sample %d (tts=%v seps=%v): %w", i, tts, seps, err)
+		}
+		cmp.Samples = append(cmp.Samples, *s)
+	}
+	return cmp, nil
+}
+
+// RunOne evaluates a single configuration. tts[p] is pin p's transition
+// time; seps[p] is pin p's measurement-crossing time relative to pin 0.
+func RunOne(calc *core.Calculator, sim *macromodel.GateSim, dir waveform.Direction,
+	tts, seps []float64) (*Sample, error) {
+	if len(tts) != len(seps) {
+		return nil, fmt.Errorf("validate: tts/seps length mismatch")
+	}
+	events := make([]core.InputEvent, len(tts))
+	stims := make([]macromodel.PinStim, len(tts))
+	for p := range tts {
+		events[p] = core.InputEvent{Pin: p, Dir: dir, TT: tts[p], Cross: seps[p]}
+		stims[p] = macromodel.PinStim{Pin: p, Dir: dir, TT: tts[p], Cross: seps[p]}
+	}
+	model, err := calc.Evaluate(events)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	run, err := sim.Run(stims)
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	// Measure the golden delay from the SAME reference input the model
+	// chose as dominant.
+	domIdx := 0
+	for k, e := range events {
+		if e.Pin == model.Dominant {
+			domIdx = k
+		}
+	}
+	actualDelay, err := run.DelayFrom(domIdx)
+	if err != nil {
+		return nil, fmt.Errorf("golden delay: %w", err)
+	}
+	actualTT, err := run.OutputTT()
+	if err != nil {
+		return nil, fmt.Errorf("golden transition time: %w", err)
+	}
+	s := &Sample{
+		TTs:         append([]float64(nil), tts...),
+		Seps:        append([]float64(nil), seps...),
+		ModelDelay:  model.Delay,
+		ActualDelay: actualDelay,
+		ModelTT:     model.OutTT,
+		ActualTT:    actualTT,
+		Dominant:    model.Dominant,
+	}
+	if actualDelay != 0 {
+		s.DelayErrPct = (model.Delay - actualDelay) / actualDelay * 100
+	}
+	if actualTT != 0 {
+		s.TTErrPct = (model.OutTT - actualTT) / actualTT * 100
+	}
+	return s, nil
+}

@@ -1,0 +1,164 @@
+package validate_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/validate"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+var (
+	rigOnce sync.Once
+	rigSim  *macromodel.GateSim
+	rigCalc *core.Calculator
+	rigErr  error
+)
+
+func rig(t *testing.T) (*core.Calculator, *macromodel.GateSim) {
+	t.Helper()
+	rigOnce.Do(func() {
+		cell := cells.MustNew(cells.Nand, 3, cells.DefaultProcess(), cells.DefaultGeometry())
+		fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
+		if err != nil {
+			rigErr = err
+			return
+		}
+		rigSim = macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+		model, err := macromodel.CharacterizeGate(rigSim, macromodel.CoarseCharSpec())
+		if err != nil {
+			rigErr = err
+			return
+		}
+		rigCalc = core.NewCalculator(model)
+		rigErr = core.CalibrateCorrection(rigCalc, rigSim)
+	})
+	if rigErr != nil {
+		t.Fatal(rigErr)
+	}
+	return rigCalc, rigSim
+}
+
+func TestSpecValidation(t *testing.T) {
+	calc, sim := rig(t)
+	spec := validate.DefaultSpec()
+	spec.Pins = 9
+	if _, err := validate.Run(calc, sim, spec); err == nil {
+		t.Error("pins beyond the cell accepted")
+	}
+	spec = validate.DefaultSpec()
+	spec.N = 0
+	if _, err := validate.Run(calc, sim, spec); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	calc, sim := rig(t)
+	spec := validate.DefaultSpec()
+	spec.N = 3
+	a, err := validate.Run(calc, sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := validate.Run(calc, sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i].DelayErrPct != b.Samples[i].DelayErrPct {
+			t.Fatalf("same seed produced different sample %d", i)
+		}
+		for p := range a.Samples[i].TTs {
+			if a.Samples[i].TTs[p] != b.Samples[i].TTs[p] {
+				t.Fatalf("same seed produced different workload at sample %d", i)
+			}
+		}
+	}
+	spec.Seed++
+	c, err := validate.Run(calc, sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Samples[0].TTs[0] == a.Samples[0].TTs[0] {
+		t.Error("different seed produced identical workload")
+	}
+}
+
+func TestRunOneMeasuresBothSides(t *testing.T) {
+	calc, sim := rig(t)
+	s, err := validate.RunOne(calc, sim, waveform.Falling,
+		[]float64{300e-12, 150e-12, 600e-12},
+		[]float64{0, 100e-12, -80e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ModelDelay <= 0 || s.ActualDelay <= 0 {
+		t.Errorf("non-positive delays: model %g actual %g", s.ModelDelay, s.ActualDelay)
+	}
+	if s.ModelTT <= 0 || s.ActualTT <= 0 {
+		t.Errorf("non-positive transition times")
+	}
+	wantErr := (s.ModelDelay - s.ActualDelay) / s.ActualDelay * 100
+	if math.Abs(s.DelayErrPct-wantErr) > 1e-9 {
+		t.Errorf("error computation inconsistent")
+	}
+	if s.Dominant < 0 || s.Dominant > 2 {
+		t.Errorf("dominant pin %d out of range", s.Dominant)
+	}
+}
+
+func TestRunOneLengthMismatch(t *testing.T) {
+	calc, sim := rig(t)
+	if _, err := validate.RunOne(calc, sim, waveform.Falling, []float64{1e-10}, []float64{0, 0}); err == nil {
+		t.Error("mismatched slice lengths accepted")
+	}
+}
+
+func TestComparisonAccessors(t *testing.T) {
+	calc, sim := rig(t)
+	spec := validate.DefaultSpec()
+	spec.N = 4
+	cmp, err := validate.Run(calc, sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.DelayErrors()) != 4 || len(cmp.TTErrors()) != 4 {
+		t.Error("error slices wrong length")
+	}
+	ds := cmp.DelaySummary()
+	if ds.N != 4 {
+		t.Errorf("summary N = %d", ds.N)
+	}
+	// Errors should be bounded sanely even on the coarse grid.
+	if math.Abs(ds.Mean) > 25 {
+		t.Errorf("coarse-grid mean delay error %.1f%% implausible", ds.Mean)
+	}
+}
+
+// TestPositiveDelaysAcrossSweep: the Section-2 threshold policy guarantees
+// positive model AND golden delays for every random configuration.
+func TestPositiveDelaysAcrossSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	calc, sim := rig(t)
+	spec := validate.DefaultSpec()
+	spec.N = 15
+	cmp, err := validate.Run(calc, sim, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range cmp.Samples {
+		if s.ModelDelay <= 0 || s.ActualDelay <= 0 {
+			t.Errorf("sample %d: negative delay (model %.1fps actual %.1fps) — threshold policy violated",
+				i, s.ModelDelay*1e12, s.ActualDelay*1e12)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package vtc extracts the family of voltage transfer curves (VTCs) of a
+// multi-input gate and derives the paper's delay-measurement thresholds.
+//
+// An n-input gate has 2^n - 1 VTCs, one per non-empty subset of switching
+// inputs (the rest held at the non-controlling level). Following Section 2
+// of the paper, the delay thresholds are the minimum Vil and the maximum Vih
+// over the entire family, which guarantees Vil < Vm < Vih for the Vm of any
+// curve and therefore positive delay for every combination of transition
+// times and separations.
+package vtc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cells"
+	"repro/internal/spice"
+	"repro/internal/waveform"
+)
+
+// Curve is one voltage transfer curve with its extracted critical voltages.
+type Curve struct {
+	// Subset lists the switching pin indices (the rest were held at the
+	// non-controlling level during the sweep).
+	Subset []int
+	// In and Out are the swept input voltage and resulting output voltage.
+	In, Out []float64
+	// Vil and Vih are the input voltages where the VTC slope is -1
+	// (low-side and high-side unity-gain points).
+	Vil, Vih float64
+	// Vm is the switching threshold (Vout = Vin crossing).
+	Vm float64
+}
+
+// SubsetName renders a switching subset as pin letters, e.g. "a,b".
+func SubsetName(subset []int) string {
+	s := ""
+	for i, p := range subset {
+		if i > 0 {
+			s += ","
+		}
+		s += string(rune('a' + p))
+	}
+	return s
+}
+
+// Family is the complete VTC family of a gate plus the chosen thresholds.
+type Family struct {
+	Curves []Curve
+	// Thresholds is the paper's policy: minimum Vil and maximum Vih over
+	// the family.
+	Thresholds waveform.Thresholds
+	// MinVilSubset and MaxVihSubset record which curves supplied the
+	// chosen thresholds (diagnostics for the Fig. 2-1 table).
+	MinVilSubset, MaxVihSubset []int
+}
+
+// Extract sweeps every non-empty switching subset of the cell and extracts
+// Vil/Vih/Vm for each curve. step is the DC sweep granularity in volts
+// (50 mV reproduces the paper's table to the cited precision; smaller is
+// finer).
+func Extract(cell *cells.Cell, opt spice.Options, step float64) (*Family, error) {
+	if step <= 0 {
+		step = 0.01
+	}
+	n := cell.N()
+	if n > 16 {
+		return nil, fmt.Errorf("vtc: refusing %d inputs (2^n-1 curves)", n)
+	}
+	fam := &Family{}
+	for mask := 1; mask < (1 << n); mask++ {
+		subset := subsetOf(mask, n)
+		// Complex gates may have subsets that no stable assignment
+		// sensitizes; those have no VTC and are skipped.
+		if _, err := cell.SensitizeFor(subset); err != nil {
+			continue
+		}
+		c, err := ExtractCurve(cell, subset, opt, step)
+		if err != nil {
+			return nil, fmt.Errorf("vtc: subset {%s}: %w", SubsetName(subset), err)
+		}
+		fam.Curves = append(fam.Curves, *c)
+	}
+	if len(fam.Curves) == 0 {
+		return nil, fmt.Errorf("vtc: no sensitizable switching subset")
+	}
+	// Threshold policy: min Vil, max Vih over the family.
+	minVil, maxVih := math.Inf(1), math.Inf(-1)
+	for _, c := range fam.Curves {
+		if c.Vil < minVil {
+			minVil = c.Vil
+			fam.MinVilSubset = c.Subset
+		}
+		if c.Vih > maxVih {
+			maxVih = c.Vih
+			fam.MaxVihSubset = c.Subset
+		}
+	}
+	fam.Thresholds = waveform.Thresholds{Vil: minVil, Vih: maxVih, Vdd: cell.Proc.Vdd}
+	if err := fam.Thresholds.Validate(); err != nil {
+		return nil, fmt.Errorf("vtc: extracted thresholds invalid: %w", err)
+	}
+	return fam, nil
+}
+
+// ExtractCurve sweeps one switching subset (all its pins tied to the swept
+// source, others non-controlling) and extracts the critical voltages.
+func ExtractCurve(cell *cells.Cell, subset []int, opt spice.Options, step float64) (*Curve, error) {
+	if len(subset) == 0 {
+		return nil, fmt.Errorf("vtc: empty switching subset")
+	}
+	vdd := cell.Proc.Vdd
+	// Configure drives: stable pins hold the levels that sensitize the
+	// subset; swept pins all follow a shared closure variable.
+	stable, err := cell.SensitizeFor(subset)
+	if err != nil {
+		return nil, err
+	}
+	inSubset := map[int]bool{}
+	for _, p := range subset {
+		inSubset[p] = true
+	}
+	for p := 0; p < cell.N(); p++ {
+		if !inSubset[p] {
+			cell.HoldPin(p, stable[p])
+		}
+	}
+	cur := 0.0
+	for _, p := range subset {
+		cell.Ckt.Drive(cell.Inputs[p], func(float64) float64 { return cur })
+	}
+	defer func() {
+		// Leave the cell in a sane parked state: the classic gates return
+		// to their non-controlling level; complex gates park swept pins
+		// low (their pre-transition level under this sensitization).
+		if cell.Kind == cells.Complex {
+			for _, p := range subset {
+				cell.HoldPin(p, 0)
+			}
+			return
+		}
+		cell.HoldAllNonControlling()
+	}()
+
+	eng, err := cell.Engine(opt)
+	if err != nil {
+		return nil, err
+	}
+	var vals []float64
+	for v := 0.0; v <= vdd+step/2; v += step {
+		vals = append(vals, math.Min(v, vdd))
+	}
+	// Sweep by updating the shared closure variable; reuse engine OP with
+	// warm starts (mirrors spice.DCSweep but for a multi-pin sweep).
+	var in, out []float64
+	var guess []float64
+	for _, v := range vals {
+		cur = v
+		op, err := eng.OP(0, guess)
+		if err != nil {
+			return nil, fmt.Errorf("DC point Vin=%.3f: %w", v, err)
+		}
+		in = append(in, v)
+		out = append(out, op.At(cell.Output))
+		if guess == nil {
+			guess = make([]float64, len(eng.Unknowns()))
+		}
+		for i, id := range eng.Unknowns() {
+			guess[i] = op.V[id]
+		}
+	}
+
+	c := &Curve{Subset: append([]int(nil), subset...), In: in, Out: out}
+	if err := c.extractCriticalVoltages(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// extractCriticalVoltages computes Vil, Vih and Vm from the sampled curve.
+func (c *Curve) extractCriticalVoltages() error {
+	n := len(c.In)
+	if n < 5 {
+		return fmt.Errorf("vtc: too few sweep points (%d)", n)
+	}
+	// Central-difference slope.
+	slope := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		slope[i] = (c.Out[i+1] - c.Out[i-1]) / (c.In[i+1] - c.In[i-1])
+	}
+	slope[0] = slope[1]
+	slope[n-1] = slope[n-2]
+
+	// Vil: first crossing of slope through -1 (from above, i.e. slope
+	// becoming steeper than -1 as Vin increases).
+	// Vih: last crossing of slope through -1 (slope recovering past -1).
+	vil, vih := math.NaN(), math.NaN()
+	for i := 1; i < n; i++ {
+		if slope[i-1] > -1 && slope[i] <= -1 {
+			vil = interp(c.In[i-1], c.In[i], slope[i-1], slope[i], -1)
+			break
+		}
+	}
+	for i := n - 1; i >= 1; i-- {
+		if slope[i] > -1 && slope[i-1] <= -1 {
+			vih = interp(c.In[i-1], c.In[i], slope[i-1], slope[i], -1)
+			break
+		}
+	}
+	if math.IsNaN(vil) || math.IsNaN(vih) || vih <= vil {
+		return fmt.Errorf("vtc: unity-gain points not found (vil=%v vih=%v)", vil, vih)
+	}
+	c.Vil, c.Vih = vil, vih
+
+	// Vm: Vout = Vin crossing. g(v) = Out - In decreasing through 0.
+	vm := math.NaN()
+	for i := 1; i < n; i++ {
+		g0 := c.Out[i-1] - c.In[i-1]
+		g1 := c.Out[i] - c.In[i]
+		if g0 >= 0 && g1 < 0 {
+			vm = interp(c.In[i-1], c.In[i], g0, g1, 0)
+			break
+		}
+	}
+	if math.IsNaN(vm) {
+		return fmt.Errorf("vtc: switching threshold Vm not found")
+	}
+	c.Vm = vm
+	return nil
+}
+
+// interp solves linearly for x where y(x) = target on segment
+// (x0,y0)-(x1,y1).
+func interp(x0, x1, y0, y1, target float64) float64 {
+	if y1 == y0 {
+		return 0.5 * (x0 + x1)
+	}
+	f := (target - y0) / (y1 - y0)
+	return x0 + f*(x1-x0)
+}
+
+// subsetOf expands a bitmask into a pin index list.
+func subsetOf(mask, n int) []int {
+	var s []int
+	for i := 0; i < n; i++ {
+		if mask&(1<<i) != 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}

@@ -1,0 +1,112 @@
+package vtc
+
+import (
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/spice"
+)
+
+func extract(t *testing.T, kind cells.Kind, n int) *Family {
+	t.Helper()
+	cell := cells.MustNew(kind, n, cells.DefaultProcess(), cells.DefaultGeometry())
+	fam, err := Extract(cell, spice.DefaultOptions(), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fam
+}
+
+func TestFamilySizeAndOrdering(t *testing.T) {
+	fam := extract(t, cells.Nand, 3)
+	if len(fam.Curves) != 7 {
+		t.Fatalf("NAND3 family has %d curves, want 7", len(fam.Curves))
+	}
+	for _, c := range fam.Curves {
+		if !(0 < c.Vil && c.Vil < c.Vm && c.Vm < c.Vih && c.Vih < 5) {
+			t.Errorf("subset {%s}: want 0 < Vil(%.3f) < Vm(%.3f) < Vih(%.3f) < Vdd",
+				SubsetName(c.Subset), c.Vil, c.Vm, c.Vih)
+		}
+	}
+}
+
+func TestThresholdPolicyMinMax(t *testing.T) {
+	fam := extract(t, cells.Nand, 2)
+	for _, c := range fam.Curves {
+		if c.Vil < fam.Thresholds.Vil-1e-9 {
+			t.Errorf("policy Vil %.3f not the minimum (subset {%s} has %.3f)",
+				fam.Thresholds.Vil, SubsetName(c.Subset), c.Vil)
+		}
+		if c.Vih > fam.Thresholds.Vih+1e-9 {
+			t.Errorf("policy Vih %.3f not the maximum (subset {%s} has %.3f)",
+				fam.Thresholds.Vih, SubsetName(c.Subset), c.Vih)
+		}
+	}
+	// The key Section-2 property: Vil < Vm < Vih for EVERY curve's Vm, so
+	// delay stays positive no matter which input dominates.
+	for _, c := range fam.Curves {
+		if !(fam.Thresholds.Vil < c.Vm && c.Vm < fam.Thresholds.Vih) {
+			t.Errorf("policy does not bracket Vm of subset {%s} (%.3f)", SubsetName(c.Subset), c.Vm)
+		}
+	}
+}
+
+func TestNANDPolicySources(t *testing.T) {
+	fam := extract(t, cells.Nand, 3)
+	// Paper: for a NAND, min Vil comes from the input closest to ground
+	// (our pin c = index 2, stack bottom) and max Vih from all switching.
+	if len(fam.MinVilSubset) != 1 || fam.MinVilSubset[0] != 2 {
+		t.Errorf("min Vil from subset %v, want the stack-bottom input {c}", fam.MinVilSubset)
+	}
+	if len(fam.MaxVihSubset) != 3 {
+		t.Errorf("max Vih from subset %v, want all inputs {a,b,c}", fam.MaxVihSubset)
+	}
+}
+
+func TestNORPolicySources(t *testing.T) {
+	fam := extract(t, cells.Nor, 3)
+	// Paper: for a NOR, Vil comes from all-switching and Vih from the
+	// input closest to the power rail (our pin a = index 0).
+	if len(fam.MinVilSubset) != 3 {
+		t.Errorf("NOR min Vil from subset %v, want all inputs", fam.MinVilSubset)
+	}
+	if len(fam.MaxVihSubset) != 1 || fam.MaxVihSubset[0] != 0 {
+		t.Errorf("NOR max Vih from subset %v, want the near-rail input {a}", fam.MaxVihSubset)
+	}
+}
+
+func TestExtractCurveRejectsEmptySubset(t *testing.T) {
+	cell := cells.MustNew(cells.Nand, 2, cells.DefaultProcess(), cells.DefaultGeometry())
+	if _, err := ExtractCurve(cell, nil, spice.DefaultOptions(), 0.05); err == nil {
+		t.Error("empty subset accepted")
+	}
+}
+
+func TestSubsetName(t *testing.T) {
+	if got := SubsetName([]int{0, 2}); got != "a,c" {
+		t.Errorf("SubsetName = %q", got)
+	}
+	if got := SubsetName(nil); got != "" {
+		t.Errorf("SubsetName(nil) = %q", got)
+	}
+}
+
+func TestVTCRestoresDrives(t *testing.T) {
+	cell := cells.MustNew(cells.Nand, 2, cells.DefaultProcess(), cells.DefaultGeometry())
+	if _, err := Extract(cell, spice.DefaultOptions(), 0.05); err != nil {
+		t.Fatal(err)
+	}
+	// After extraction, every input is back at the non-controlling level.
+	for _, pin := range cell.Inputs {
+		if got := cell.Ckt.DriveValue(pin, 0); got != 5.0 {
+			t.Errorf("pin %s left at %g after extraction", cell.Ckt.NodeName(pin), got)
+		}
+	}
+}
+
+func TestInverterSingleCurve(t *testing.T) {
+	fam := extract(t, cells.Inv, 1)
+	if len(fam.Curves) != 1 {
+		t.Fatalf("inverter family has %d curves", len(fam.Curves))
+	}
+}

@@ -1,0 +1,143 @@
+package waveform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoCrossing is returned when a required threshold crossing is absent
+// (e.g. the output never completed its transition).
+var ErrNoCrossing = errors.New("waveform: required threshold crossing not found")
+
+// Thresholds carries the delay-measurement voltage levels selected by the
+// paper's Section 2 policy: the minimum Vil and maximum Vih over all VTCs of
+// the gate. Rising signals are timed at Vil, falling signals at Vih, and
+// transition times are measured between the two levels.
+type Thresholds struct {
+	Vil float64
+	Vih float64
+	Vdd float64
+}
+
+// Validate checks the invariant 0 < Vil < Vih < Vdd.
+func (th Thresholds) Validate() error {
+	if !(0 < th.Vil && th.Vil < th.Vih && th.Vih < th.Vdd) {
+		return fmt.Errorf("waveform: invalid thresholds Vil=%g Vih=%g Vdd=%g (need 0 < Vil < Vih < Vdd)",
+			th.Vil, th.Vih, th.Vdd)
+	}
+	return nil
+}
+
+// Level returns the measurement level for a transition in direction d:
+// Vil for rising signals, Vih for falling signals (paper Sections 2–3).
+func (th Thresholds) Level(d Direction) float64 {
+	if d == Rising {
+		return th.Vil
+	}
+	return th.Vih
+}
+
+// FarLevel returns the level a transition in direction d reaches last:
+// Vih for rising, Vil for falling. Used for transition-time measurement.
+func (th Thresholds) FarLevel(d Direction) float64 {
+	if d == Rising {
+		return th.Vih
+	}
+	return th.Vil
+}
+
+// swingScale converts a Vil-to-Vih interval into a full-swing-equivalent
+// transition time so output transition times are commensurate with the
+// full-swing ramp durations used to specify inputs.
+func (th Thresholds) swingScale() float64 { return th.Vdd / (th.Vih - th.Vil) }
+
+// InputCross returns the measurement-time of a PWL input transitioning in
+// direction d: its first crossing of the direction's level.
+func (th Thresholds) InputCross(in *PWL, d Direction) (float64, error) {
+	t, ok := in.CrossTime(th.Level(d), d, in.Start()-1)
+	if !ok {
+		return 0, fmt.Errorf("%w: input never crosses %.3fV %s", ErrNoCrossing, th.Level(d), d)
+	}
+	return t, nil
+}
+
+// Separation returns s12 = t2 - t1, the temporal separation of input 2
+// measured from input 1, each timed at its own direction's level.
+func (th Thresholds) Separation(in1 *PWL, d1 Direction, in2 *PWL, d2 Direction) (float64, error) {
+	t1, err := th.InputCross(in1, d1)
+	if err != nil {
+		return 0, fmt.Errorf("input 1: %w", err)
+	}
+	t2, err := th.InputCross(in2, d2)
+	if err != nil {
+		return 0, fmt.Errorf("input 2: %w", err)
+	}
+	return t2 - t1, nil
+}
+
+// OutputCross returns the time the output completes a transition in
+// direction d through the measurement level. The *last* crossing is used so
+// that proximity-induced glitches do not register as the final transition.
+func (th Thresholds) OutputCross(out *Trace, d Direction) (float64, error) {
+	t, ok := out.LastCrossTime(th.Level(d), d)
+	if !ok {
+		return 0, fmt.Errorf("%w: output never crosses %.3fV %s", ErrNoCrossing, th.Level(d), d)
+	}
+	return t, nil
+}
+
+// Delay measures propagation delay from a PWL input transitioning in
+// direction din to a traced output transitioning in direction dout.
+func (th Thresholds) Delay(in *PWL, din Direction, out *Trace, dout Direction) (float64, error) {
+	ti, err := th.InputCross(in, din)
+	if err != nil {
+		return 0, err
+	}
+	to, err := th.OutputCross(out, dout)
+	if err != nil {
+		return 0, err
+	}
+	return to - ti, nil
+}
+
+// DelayFromTime measures delay from a known input measurement time.
+func (th Thresholds) DelayFromTime(tin float64, out *Trace, dout Direction) (float64, error) {
+	to, err := th.OutputCross(out, dout)
+	if err != nil {
+		return 0, err
+	}
+	return to - tin, nil
+}
+
+// TransitionTime measures the output transition time in direction d: the
+// Vil-to-Vih (rising) or Vih-to-Vil (falling) interval around the final
+// transition, scaled to full swing so it is commensurate with input ramp
+// durations.
+func (th Thresholds) TransitionTime(out *Trace, d Direction) (float64, error) {
+	far := th.FarLevel(d)
+	near := th.Level(d)
+	tFar, ok := out.LastCrossTime(far, d)
+	if !ok {
+		return 0, fmt.Errorf("%w: output never crosses far level %.3fV %s", ErrNoCrossing, far, d)
+	}
+	// The matching near-level crossing is the last one before tFar.
+	tNear := out.Start()
+	found := false
+	for after := out.Start() - 1; ; {
+		t, ok := out.CrossTime(near, d, after)
+		if !ok || t > tFar {
+			break
+		}
+		tNear, found = t, true
+		after = t + 1e-18
+	}
+	if !found {
+		return 0, fmt.Errorf("%w: output never crosses near level %.3fV %s before far level", ErrNoCrossing, near, d)
+	}
+	return (tFar - tNear) * th.swingScale(), nil
+}
+
+// RampTransition returns the threshold-measured transition time of an ideal
+// full-swing ramp of duration tt — by construction equal to tt after swing
+// scaling. Exposed for tests and documentation of the convention.
+func (th Thresholds) RampTransition(tt float64) float64 { return tt }

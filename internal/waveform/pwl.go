@@ -1,0 +1,206 @@
+// Package waveform provides the signal representations and measurement
+// primitives used throughout the proximity-delay model: piecewise-linear
+// (PWL) stimulus waveforms, sampled simulation traces, threshold-crossing
+// searches, and the paper's delay/transition-time/separation measurement
+// conventions (rising signals timed at Vil, falling signals at Vih).
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Direction labels the sense of a signal transition.
+type Direction int
+
+const (
+	Rising Direction = iota
+	Falling
+)
+
+func (d Direction) String() string {
+	if d == Rising {
+		return "rising"
+	}
+	return "falling"
+}
+
+// Opposite returns the other direction.
+func (d Direction) Opposite() Direction {
+	if d == Rising {
+		return Falling
+	}
+	return Rising
+}
+
+// Waveform is anything that can be evaluated as a voltage versus time.
+type Waveform interface {
+	Eval(t float64) float64
+}
+
+// Point is one breakpoint of a PWL waveform.
+type Point struct {
+	T float64 // seconds
+	V float64 // volts
+}
+
+// PWL is a piecewise-linear waveform, the stimulus format used by the paper
+// ("piecewise-linear inputs were used" — Section 5). Outside the breakpoint
+// range the waveform holds its first/last value.
+type PWL struct {
+	pts []Point
+}
+
+// NewPWL builds a PWL waveform from breakpoints, which must be in strictly
+// increasing time order.
+func NewPWL(pts ...Point) (*PWL, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("waveform: PWL needs at least one point")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			return nil, fmt.Errorf("waveform: PWL breakpoints must strictly increase in time (point %d: %g after %g)",
+				i, pts[i].T, pts[i-1].T)
+		}
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	return &PWL{pts: cp}, nil
+}
+
+// MustPWL is NewPWL that panics on error; for use with literal breakpoints.
+func MustPWL(pts ...Point) *PWL {
+	p, err := NewPWL(pts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Ramp returns a single full-swing linear ramp from v0 to v1 starting at t0
+// with ramp duration tt (> 0). This is the stimulus the paper calls an input
+// with "transition time" tt.
+func Ramp(t0, tt, v0, v1 float64) *PWL {
+	if tt <= 0 {
+		panic("waveform: ramp duration must be positive")
+	}
+	return MustPWL(Point{T: t0, V: v0}, Point{T: t0 + tt, V: v1})
+}
+
+// RisingRamp returns a 0 -> vdd ramp starting at t0 with duration tt.
+func RisingRamp(t0, tt, vdd float64) *PWL { return Ramp(t0, tt, 0, vdd) }
+
+// FallingRamp returns a vdd -> 0 ramp starting at t0 with duration tt.
+func FallingRamp(t0, tt, vdd float64) *PWL { return Ramp(t0, tt, vdd, 0) }
+
+// Pulse returns a waveform that goes v0 -> v1 at t0 (rise time tr) and back
+// v1 -> v0 at t0+width (fall time tf). Width is measured between the starts
+// of the two edges and must exceed tr.
+func Pulse(t0, tr, width, tf, v0, v1 float64) *PWL {
+	if width <= tr {
+		panic("waveform: pulse width must exceed leading edge duration")
+	}
+	return MustPWL(
+		Point{T: t0, V: v0},
+		Point{T: t0 + tr, V: v1},
+		Point{T: t0 + width, V: v1},
+		Point{T: t0 + width + tf, V: v0},
+	)
+}
+
+// Eval returns the waveform value at time t.
+func (p *PWL) Eval(t float64) float64 {
+	pts := p.pts
+	if t <= pts[0].T {
+		return pts[0].V
+	}
+	last := pts[len(pts)-1]
+	if t >= last.T {
+		return last.V
+	}
+	// Binary search for the segment containing t.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].T > t })
+	a, b := pts[i-1], pts[i]
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + frac*(b.V-a.V)
+}
+
+// Points returns a copy of the breakpoints.
+func (p *PWL) Points() []Point {
+	cp := make([]Point, len(p.pts))
+	copy(cp, p.pts)
+	return cp
+}
+
+// Start and End return the time extent of the breakpoints.
+func (p *PWL) Start() float64 { return p.pts[0].T }
+func (p *PWL) End() float64   { return p.pts[len(p.pts)-1].T }
+
+// Shift returns a copy of the waveform translated by dt (positive = later).
+func (p *PWL) Shift(dt float64) *PWL {
+	pts := make([]Point, len(p.pts))
+	for i, q := range p.pts {
+		pts[i] = Point{T: q.T + dt, V: q.V}
+	}
+	return &PWL{pts: pts}
+}
+
+// CrossTime returns the first time at or after 'after' when the PWL crosses
+// 'level' in the given direction. The boolean result is false when no such
+// crossing exists.
+func (p *PWL) CrossTime(level float64, dir Direction, after float64) (float64, bool) {
+	pts := p.pts
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if b.T < after {
+			continue
+		}
+		t, ok := segmentCross(a, b, level, dir)
+		if ok && t >= after {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// segmentCross solves a single linear segment for a directional crossing.
+func segmentCross(a, b Point, level float64, dir Direction) (float64, bool) {
+	if a.V == b.V {
+		return 0, false
+	}
+	if dir == Rising && !(a.V < level && b.V >= level) {
+		return 0, false
+	}
+	if dir == Falling && !(a.V > level && b.V <= level) {
+		return 0, false
+	}
+	frac := (level - a.V) / (b.V - a.V)
+	return a.T + frac*(b.T-a.T), true
+}
+
+// Breakpoints merges the breakpoint times of several PWL waveforms, used by
+// the transient engine to align time steps with stimulus corners.
+func Breakpoints(ws ...*PWL) []float64 {
+	var ts []float64
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		for _, p := range w.pts {
+			ts = append(ts, p.T)
+		}
+	}
+	sort.Float64s(ts)
+	// Deduplicate with a small tolerance.
+	out := ts[:0]
+	for _, t := range ts {
+		if len(out) == 0 || t-out[len(out)-1] > 1e-18 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }

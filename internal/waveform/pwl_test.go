@@ -1,0 +1,168 @@
+package waveform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPWLValidation(t *testing.T) {
+	if _, err := NewPWL(); err == nil {
+		t.Error("empty PWL accepted")
+	}
+	if _, err := NewPWL(Point{1, 0}, Point{1, 5}); err == nil {
+		t.Error("non-increasing breakpoints accepted")
+	}
+	if _, err := NewPWL(Point{2, 0}, Point{1, 5}); err == nil {
+		t.Error("decreasing breakpoints accepted")
+	}
+}
+
+func TestPWLEvalClamping(t *testing.T) {
+	w := MustPWL(Point{1, 2}, Point{3, 6})
+	cases := []struct{ t, v float64 }{
+		{0, 2}, {1, 2}, {2, 4}, {3, 6}, {10, 6},
+	}
+	for _, c := range cases {
+		if got := w.Eval(c.t); math.Abs(got-c.v) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.t, got, c.v)
+		}
+	}
+}
+
+func TestRampBuilders(t *testing.T) {
+	r := RisingRamp(1e-9, 2e-9, 5)
+	if got := r.Eval(2e-9); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("rising ramp midpoint = %g, want 2.5", got)
+	}
+	f := FallingRamp(0, 1e-9, 5)
+	if got := f.Eval(0.2e-9); math.Abs(got-4) > 1e-12 {
+		t.Errorf("falling ramp at 20%% = %g, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Ramp with non-positive duration should panic")
+		}
+	}()
+	Ramp(0, 0, 0, 5)
+}
+
+func TestPulse(t *testing.T) {
+	p := Pulse(1e-9, 0.1e-9, 1e-9, 0.2e-9, 0, 5)
+	if got := p.Eval(1.5e-9); got != 5 {
+		t.Errorf("pulse top = %g", got)
+	}
+	if got := p.Eval(3e-9); got != 0 {
+		t.Errorf("pulse tail = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("pulse narrower than its edge should panic")
+		}
+	}()
+	Pulse(0, 1e-9, 0.5e-9, 1e-9, 0, 5)
+}
+
+func TestCrossTimeDirections(t *testing.T) {
+	w := MustPWL(Point{0, 0}, Point{1, 5}, Point{2, 0})
+	up, ok := w.CrossTime(2.5, Rising, -1)
+	if !ok || math.Abs(up-0.5) > 1e-12 {
+		t.Errorf("rising cross = %g ok=%v, want 0.5", up, ok)
+	}
+	down, ok := w.CrossTime(2.5, Falling, -1)
+	if !ok || math.Abs(down-1.5) > 1e-12 {
+		t.Errorf("falling cross = %g ok=%v, want 1.5", down, ok)
+	}
+	if _, ok := w.CrossTime(6, Rising, -1); ok {
+		t.Error("crossing above the waveform range reported")
+	}
+	// 'after' skips the first crossing.
+	if _, ok := w.CrossTime(2.5, Rising, 0.6); ok {
+		t.Error("rising crossing after 0.6 should not exist")
+	}
+}
+
+func TestShiftPreservesShape(t *testing.T) {
+	w := RisingRamp(0, 1e-9, 5)
+	s := w.Shift(2e-9)
+	if got := s.Eval(2.5e-9); math.Abs(got-w.Eval(0.5e-9)) > 1e-12 {
+		t.Errorf("shifted eval mismatch: %g", got)
+	}
+	if s.Start() != 2e-9 {
+		t.Errorf("shifted start = %g", s.Start())
+	}
+}
+
+func TestBreakpointsMergeDedup(t *testing.T) {
+	a := RisingRamp(0, 1e-9, 5)
+	b := RisingRamp(0, 2e-9, 5)
+	bps := Breakpoints(a, b, nil)
+	want := []float64{0, 1e-9, 2e-9}
+	if len(bps) != len(want) {
+		t.Fatalf("breakpoints = %v, want %v", bps, want)
+	}
+	for i := range want {
+		if math.Abs(bps[i]-want[i]) > 1e-18 {
+			t.Errorf("breakpoint %d = %g, want %g", i, bps[i], want[i])
+		}
+	}
+}
+
+// TestRampCrossingProperty: for random ramps, the crossing time of any
+// interior level satisfies Eval(cross) == level.
+func TestRampCrossingProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		t0 := r.Float64() * 1e-9
+		tt := 1e-12 + r.Float64()*2e-9
+		vdd := 1 + r.Float64()*5
+		w := RisingRamp(t0, tt, vdd)
+		level := vdd * (0.05 + 0.9*r.Float64())
+		tc, ok := w.CrossTime(level, Rising, t0-1)
+		if !ok {
+			return false
+		}
+		return math.Abs(w.Eval(tc)-level) < 1e-9*vdd
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPWLEvalMonotoneSegments: eval between two breakpoints stays within
+// the segment's value range.
+func TestPWLEvalBoundsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		pts := make([]Point, n)
+		tcur := 0.0
+		for i := range pts {
+			tcur += 1e-12 + r.Float64()*1e-10
+			pts[i] = Point{T: tcur, V: r.Float64() * 5}
+		}
+		w := MustPWL(pts...)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range pts {
+			lo = math.Min(lo, p.V)
+			hi = math.Max(hi, p.V)
+		}
+		for k := 0; k < 20; k++ {
+			v := w.Eval(pts[0].T + r.Float64()*(pts[n-1].T-pts[0].T))
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+}

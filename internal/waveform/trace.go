@@ -1,0 +1,159 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Trace is a sampled waveform, typically a node voltage produced by the
+// transient simulator. Sample times are strictly increasing but need not be
+// uniform (the transient engine uses adaptive steps).
+type Trace struct {
+	T []float64
+	V []float64
+}
+
+// NewTrace wraps sample slices (not copied) after validating them.
+func NewTrace(t, v []float64) (*Trace, error) {
+	if len(t) != len(v) {
+		return nil, fmt.Errorf("waveform: trace length mismatch %d vs %d", len(t), len(v))
+	}
+	if len(t) == 0 {
+		return nil, fmt.Errorf("waveform: empty trace")
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] <= t[i-1] {
+			return nil, fmt.Errorf("waveform: trace times must strictly increase (sample %d)", i)
+		}
+	}
+	return &Trace{T: t, V: v}, nil
+}
+
+// Len returns the number of samples.
+func (tr *Trace) Len() int { return len(tr.T) }
+
+// Start and End return the sampled time extent.
+func (tr *Trace) Start() float64 { return tr.T[0] }
+func (tr *Trace) End() float64   { return tr.T[len(tr.T)-1] }
+
+// Eval linearly interpolates the trace at time t, clamping outside the
+// sampled range.
+func (tr *Trace) Eval(t float64) float64 {
+	if t <= tr.T[0] {
+		return tr.V[0]
+	}
+	n := len(tr.T)
+	if t >= tr.T[n-1] {
+		return tr.V[n-1]
+	}
+	i := sort.SearchFloat64s(tr.T, t)
+	if tr.T[i] == t {
+		return tr.V[i]
+	}
+	t0, t1 := tr.T[i-1], tr.T[i]
+	v0, v1 := tr.V[i-1], tr.V[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// CrossTime returns the first time at or after 'after' when the trace
+// crosses 'level' in the given direction, using linear interpolation between
+// samples. ok is false when no crossing exists.
+func (tr *Trace) CrossTime(level float64, dir Direction, after float64) (t float64, ok bool) {
+	for i := 1; i < len(tr.T); i++ {
+		if tr.T[i] < after {
+			continue
+		}
+		a := Point{T: tr.T[i-1], V: tr.V[i-1]}
+		b := Point{T: tr.T[i], V: tr.V[i]}
+		tc, hit := segmentCross(a, b, level, dir)
+		if hit && tc >= after {
+			return tc, true
+		}
+	}
+	return 0, false
+}
+
+// LastCrossTime returns the final crossing of 'level' in the given
+// direction, or ok=false when none exists. Delay measurement uses the last
+// crossing so that glitch-induced early crossings do not masquerade as the
+// real transition.
+func (tr *Trace) LastCrossTime(level float64, dir Direction) (t float64, ok bool) {
+	for i := len(tr.T) - 1; i >= 1; i-- {
+		a := Point{T: tr.T[i-1], V: tr.V[i-1]}
+		b := Point{T: tr.T[i], V: tr.V[i]}
+		if tc, hit := segmentCross(a, b, level, dir); hit {
+			return tc, true
+		}
+	}
+	return 0, false
+}
+
+// Min returns the minimum sampled voltage and the time it occurs.
+func (tr *Trace) Min() (v, t float64) {
+	v, t = tr.V[0], tr.T[0]
+	for i, x := range tr.V {
+		if x < v {
+			v, t = x, tr.T[i]
+		}
+	}
+	return v, t
+}
+
+// Max returns the maximum sampled voltage and the time it occurs.
+func (tr *Trace) Max() (v, t float64) {
+	v, t = tr.V[0], tr.T[0]
+	for i, x := range tr.V {
+		if x > v {
+			v, t = x, tr.T[i]
+		}
+	}
+	return v, t
+}
+
+// Final returns the last sampled voltage.
+func (tr *Trace) Final() float64 { return tr.V[len(tr.V)-1] }
+
+// Resample returns the trace interpolated onto the given time grid.
+func (tr *Trace) Resample(ts []float64) *Trace {
+	vs := make([]float64, len(ts))
+	for i, t := range ts {
+		vs[i] = tr.Eval(t)
+	}
+	cp := make([]float64, len(ts))
+	copy(cp, ts)
+	return &Trace{T: cp, V: vs}
+}
+
+// Window returns the sub-trace with t in [t0, t1], always keeping at least
+// one sample.
+func (tr *Trace) Window(t0, t1 float64) *Trace {
+	lo := sort.SearchFloat64s(tr.T, t0)
+	hi := sort.SearchFloat64s(tr.T, t1)
+	if hi < len(tr.T) && tr.T[hi] == t1 {
+		hi++
+	}
+	if lo >= hi {
+		if lo >= len(tr.T) {
+			lo = len(tr.T) - 1
+		}
+		hi = lo + 1
+	}
+	return &Trace{T: tr.T[lo:hi], V: tr.V[lo:hi]}
+}
+
+// Settles reports whether the trace ends within tol of target and has
+// stayed there for at least the trailing 'hold' seconds.
+func (tr *Trace) Settles(target, tol, hold float64) bool {
+	end := tr.End()
+	for i := len(tr.T) - 1; i >= 0; i-- {
+		if end-tr.T[i] > hold {
+			return true
+		}
+		if math.Abs(tr.V[i]-target) > tol {
+			return false
+		}
+	}
+	// The whole trace is within tolerance but shorter than hold.
+	return tr.End()-tr.Start() >= hold
+}

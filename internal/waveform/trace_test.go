@@ -1,0 +1,206 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func mkTrace(t *testing.T, ts, vs []float64) *Trace {
+	t.Helper()
+	tr, err := NewTrace(ts, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTraceValidation(t *testing.T) {
+	if _, err := NewTrace([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewTrace(nil, nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTrace([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("non-increasing times accepted")
+	}
+}
+
+func TestTraceEvalInterpolates(t *testing.T) {
+	tr := mkTrace(t, []float64{0, 1, 2}, []float64{0, 10, 0})
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.25, 7.5}, {3, 0},
+	}
+	for _, c := range cases {
+		if got := tr.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestTraceCrossAndLastCross(t *testing.T) {
+	// Rises, dips (glitch), rises again.
+	tr := mkTrace(t,
+		[]float64{0, 1, 2, 3, 4},
+		[]float64{0, 4, 1, 5, 5})
+	first, ok := tr.CrossTime(2.5, Rising, -1)
+	if !ok || math.Abs(first-0.625) > 1e-12 {
+		t.Errorf("first rising cross = %g ok=%v, want 0.625", first, ok)
+	}
+	last, ok := tr.LastCrossTime(2.5, Rising)
+	if !ok || math.Abs(last-2.375) > 1e-12 {
+		t.Errorf("last rising cross = %g ok=%v, want 2.375", last, ok)
+	}
+	if _, ok := tr.CrossTime(9, Rising, -1); ok {
+		t.Error("impossible crossing reported")
+	}
+}
+
+func TestTraceMinMaxFinal(t *testing.T) {
+	tr := mkTrace(t, []float64{0, 1, 2}, []float64{3, -2, 5})
+	if v, at := tr.Min(); v != -2 || at != 1 {
+		t.Errorf("Min = %g@%g", v, at)
+	}
+	if v, at := tr.Max(); v != 5 || at != 2 {
+		t.Errorf("Max = %g@%g", v, at)
+	}
+	if tr.Final() != 5 {
+		t.Errorf("Final = %g", tr.Final())
+	}
+}
+
+func TestTraceResampleWindow(t *testing.T) {
+	tr := mkTrace(t, []float64{0, 1, 2, 3}, []float64{0, 1, 2, 3})
+	rs := tr.Resample([]float64{0.5, 1.5, 2.5})
+	for i, want := range []float64{0.5, 1.5, 2.5} {
+		if math.Abs(rs.V[i]-want) > 1e-12 {
+			t.Errorf("resample[%d] = %g, want %g", i, rs.V[i], want)
+		}
+	}
+	w := tr.Window(1, 2)
+	if w.Len() != 2 || w.Start() != 1 || w.End() != 2 {
+		t.Errorf("window = [%g,%g] len %d", w.Start(), w.End(), w.Len())
+	}
+}
+
+func TestTraceSettles(t *testing.T) {
+	tr := mkTrace(t,
+		[]float64{0, 1, 2, 3, 4, 5},
+		[]float64{0, 5, 5.01, 5.0, 5.0, 5.0})
+	if !tr.Settles(5, 0.05, 2) {
+		t.Error("trace should settle at 5 over the trailing 2s")
+	}
+	if tr.Settles(0, 0.05, 2) {
+		t.Error("trace does not settle at 0")
+	}
+}
+
+func TestThresholdsValidateAndLevels(t *testing.T) {
+	th := Thresholds{Vil: 1.5, Vih: 3.5, Vdd: 5}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Thresholds{Vil: 3.5, Vih: 1.5, Vdd: 5}
+	if err := bad.Validate(); err == nil {
+		t.Error("inverted thresholds accepted")
+	}
+	if th.Level(Rising) != 1.5 || th.Level(Falling) != 3.5 {
+		t.Error("measurement levels: rising->Vil, falling->Vih")
+	}
+	if th.FarLevel(Rising) != 3.5 || th.FarLevel(Falling) != 1.5 {
+		t.Error("far levels swapped")
+	}
+}
+
+func TestDelayMeasurementConvention(t *testing.T) {
+	th := Thresholds{Vil: 1.0, Vih: 4.0, Vdd: 5}
+	// Falling input: full-swing 5->0 over 1ns starting at t=0 crosses
+	// Vih=4 at t = 0.2ns.
+	in := FallingRamp(0, 1e-9, 5)
+	tin, err := th.InputCross(in, Falling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tin-0.2e-9) > 1e-15 {
+		t.Errorf("input cross = %g, want 0.2ns", tin)
+	}
+	// Output: rising ramp 0->5 over 1ns starting at 0.5ns crosses Vil=1
+	// at 0.5ns + (1/5)·1ns = 0.7ns. Delay = 0.7 - 0.2 = 0.5ns.
+	out := mkTrace(t, []float64{0, 0.5e-9, 1.5e-9}, []float64{0, 0, 5})
+	d, err := th.Delay(in, Falling, out, Rising)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5e-9) > 1e-15 {
+		t.Errorf("delay = %g, want 0.5ns", d)
+	}
+}
+
+func TestTransitionTimeSwingScaling(t *testing.T) {
+	th := Thresholds{Vil: 1.0, Vih: 4.0, Vdd: 5}
+	// Pure ramp output 0->5 over 1ns: Vil->Vih spans 0.6ns; scaled by
+	// Vdd/(Vih-Vil) = 5/3 gives exactly the 1ns ramp duration.
+	out := mkTrace(t, []float64{0, 1e-9}, []float64{0, 5})
+	tt, err := th.TransitionTime(out, Rising)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt-1e-9) > 1e-15 {
+		t.Errorf("transition time = %g, want 1ns (full-swing equivalent)", tt)
+	}
+}
+
+func TestTransitionTimeUsesFinalTransition(t *testing.T) {
+	th := Thresholds{Vil: 1.0, Vih: 4.0, Vdd: 5}
+	// Glitchy output: rises, collapses, rises again. The measurement must
+	// bracket the FINAL rise.
+	out := mkTrace(t,
+		[]float64{0, 1e-9, 2e-9, 4e-9},
+		[]float64{0, 5, 0, 5})
+	tt, err := th.TransitionTime(out, Rising)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final rise spans 2ns full swing.
+	if math.Abs(tt-2e-9) > 1e-15 {
+		t.Errorf("transition time = %g, want 2ns", tt)
+	}
+}
+
+func TestSeparationConvention(t *testing.T) {
+	th := Thresholds{Vil: 1.0, Vih: 4.0, Vdd: 5}
+	// Both falling 5->0 over 1ns; input 2 starts 0.3ns later.
+	in1 := FallingRamp(0, 1e-9, 5)
+	in2 := FallingRamp(0.3e-9, 1e-9, 5)
+	s, err := th.Separation(in1, Falling, in2, Falling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.3e-9) > 1e-15 {
+		t.Errorf("separation = %g, want 0.3ns", s)
+	}
+}
+
+func TestMeasurementErrors(t *testing.T) {
+	th := Thresholds{Vil: 1.0, Vih: 4.0, Vdd: 5}
+	flat := mkTrace(t, []float64{0, 1e-9}, []float64{0, 0})
+	if _, err := th.OutputCross(flat, Rising); err == nil {
+		t.Error("flat output produced a crossing")
+	}
+	if _, err := th.TransitionTime(flat, Rising); err == nil {
+		t.Error("flat output produced a transition time")
+	}
+	stuck := MustPWL(Point{0, 2}, Point{1e-9, 2.1})
+	if _, err := th.InputCross(stuck, Rising); err == nil {
+		t.Error("input that never reaches Vil produced a crossing")
+	}
+}
+
+func TestDirectionHelpers(t *testing.T) {
+	if Rising.Opposite() != Falling || Falling.Opposite() != Rising {
+		t.Error("Opposite broken")
+	}
+	if Rising.String() != "rising" || Falling.String() != "falling" {
+		t.Error("Direction strings changed")
+	}
+}

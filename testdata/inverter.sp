@@ -1,0 +1,12 @@
+* CMOS inverter step response.
+* Run: go run ./cmd/proxsim -deck testdata/inverter.sp -o waves.csv
+.title inverter
+Vdd vdd 0 5
+Vin in  0 PWL(0 0 0.5n 0 0.8n 5)
+M1  out in vdd vdd pmos W=8u L=1u
+M2  out in 0   0   nmos W=8u L=1u
+C1  out 0 100f
+.model nmos nmos KP=60u VTO=0.8 LAMBDA=0.05 GAMMA=0.4 PHI=0.65
+.model pmos pmos KP=25u VTO=-0.9 LAMBDA=0.05 GAMMA=0.5 PHI=0.65
+.tran 4n
+.end

@@ -1,0 +1,18 @@
+* The paper's Figure 1-1 three-input NAND: a slow fall, b fast fall, c high.
+* Run: go run ./cmd/proxsim -deck testdata/nand3.sp
+.title nand3 proximity
+Vdd vdd 0 5
+Va  a   0 PWL(0 5 0.5n 5 1.0n 0)
+Vb  b   0 PWL(0 5 0.62n 5 0.72n 0)
+Vc  c   0 5
+M1  out a vdd vdd pmos W=8u L=1u
+M2  out b vdd vdd pmos W=8u L=1u
+M3  out c vdd vdd pmos W=8u L=1u
+M4  out a x1  0   nmos W=8u L=1u
+M5  x1  b x2  0   nmos W=8u L=1u
+M6  x2  c 0   0   nmos W=8u L=1u
+CL  out 0 100f
+.model nmos nmos KP=60u VTO=0.8 LAMBDA=0.05 GAMMA=0.4 PHI=0.65
+.model pmos pmos KP=25u VTO=-0.9 LAMBDA=0.05 GAMMA=0.5 PHI=0.65
+.tran 5n
+.end
