@@ -497,3 +497,62 @@ func BenchmarkSTAAnalyze(b *testing.B) {
 		}
 	}
 }
+
+// staBench lazily builds the shared ≥10k-gate synthetic netlist for the
+// scaling benchmarks (no transient simulation behind the library, so the
+// cost measured is purely the proximity STA engine).
+var (
+	staBenchOnce sync.Once
+	staBenchC    *sta.Circuit
+	staBenchEvs  []sta.PIEvent
+	staBenchErr  error
+)
+
+func getSTABench(b *testing.B) (*sta.Circuit, []sta.PIEvent) {
+	b.Helper()
+	staBenchOnce.Do(func() {
+		staBenchC, staBenchErr = sta.SynthRandom(128, 12000, 11)
+		if staBenchErr == nil {
+			staBenchEvs = sta.SynthEvents(staBenchC, 5)
+		}
+	})
+	if staBenchErr != nil {
+		b.Fatal(staBenchErr)
+	}
+	return staBenchC, staBenchEvs
+}
+
+// BenchmarkAnalyzeParallel measures the levelized parallel Analyze on a
+// 12k-gate synthetic netlist across worker counts; workers=1 is the serial
+// baseline the speedup is read against.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	c, evs := getSTABench(b)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeBatch measures the heavy-traffic shape: N independent
+// stimulus vectors streamed through one shared levelization.
+func BenchmarkAnalyzeBatch(b *testing.B) {
+	c, _ := getSTABench(b)
+	batch := make([][]sta.PIEvent, 16)
+	for i := range batch {
+		batch[i] = sta.SynthEvents(c, int64(i))
+	}
+	for _, w := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AnalyzeBatch(batch, sta.Proximity, sta.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,11 @@
 // (-char nand2,inv — coarse grids unless -full) or loaded from JSON model
 // files produced by charz (-model nand2=nand2.json).
 //
+// Large netlists: -workers bounds the per-level evaluation concurrency
+// (0 = one per CPU, 1 = serial; results are identical either way). Several
+// independent stimulus vectors may be batched in one run by separating them
+// with ';' in -event — they share one levelization of the netlist.
+//
 // Netlist format:
 //
 //	input a b cin
@@ -41,19 +46,20 @@ func main() {
 		full    = flag.Bool("full", false, "use full characterization grids")
 		loadFF  = flag.Float64("cl", 100, "characterization load in fF")
 		reqPS   = flag.Float64("required", 0, "required time at primary outputs in ps (0 = no slack report)")
+		workers = flag.Int("workers", 0, "evaluation workers per level (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 	if *netlist == "" || *events == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS); err != nil {
+	if err := run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "sta: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64) error {
+func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int) error {
 	lib := sta.NewLibrary()
 
 	// Load pre-characterized models.
@@ -96,9 +102,14 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 	if err != nil {
 		return err
 	}
-	evs, err := sta.ParseEvents(c, eventSpec)
-	if err != nil {
-		return err
+	// ';' separates independent stimulus vectors (batch mode).
+	var batch [][]sta.PIEvent
+	for i, vec := range strings.Split(eventSpec, ";") {
+		evs, err := sta.ParseEvents(c, vec)
+		if err != nil {
+			return fmt.Errorf("vector %d: %w", i, err)
+		}
+		batch = append(batch, evs)
 	}
 
 	modes := map[string][]sta.Mode{
@@ -109,9 +120,15 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 	if modes == nil {
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+	opt := sta.Options{Workers: workers}
+
+	if len(batch) > 1 {
+		return runBatch(c, batch, modes, opt, reqPS)
+	}
+	evs := batch[0]
 
 	for _, m := range modes {
-		res, err := c.Analyze(evs, m)
+		res, err := c.AnalyzeOpts(evs, m, opt)
 		if err != nil {
 			return err
 		}
@@ -153,6 +170,43 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 				fmt.Printf("worst slack vs %.1f ps required: %.1f ps at %s (%v) — %s\n",
 					reqPS, slack*1e12, at.Name, warr.Dir, status)
 			}
+		}
+		printStats(res.Stats)
+	}
+	return nil
+}
+
+// printStats summarizes what the analysis did.
+func printStats(s sta.Stats) {
+	fmt.Printf("evaluated %d gates over %d levels (%d proximity, %d single-arc evals), %d workers\n",
+		s.GatesEvaluated, s.Levels, s.ProximityEvals, s.SingleArcEvals, s.Workers)
+}
+
+// runBatch analyzes several independent stimulus vectors against one shared
+// levelization and prints a compact per-vector summary.
+func runBatch(c *sta.Circuit, batch [][]sta.PIEvent, modes []sta.Mode, opt sta.Options, reqPS float64) error {
+	for _, m := range modes {
+		results, err := c.AnalyzeBatch(batch, m, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n== %s analysis — %d vectors ==\n", m, len(batch))
+		for i, res := range results {
+			fmt.Printf("vector %d:", i)
+			for _, po := range c.POs {
+				if arr, ok := res.Latest(po); ok {
+					fmt.Printf(" %s=%v@%.1fps", po.Name, arr.Dir, arr.Time*1e12)
+				}
+			}
+			if reqPS > 0 {
+				if slack, _, _, ok := res.WorstSlack(c.POs, reqPS*1e-12); ok {
+					fmt.Printf(" slack=%.1fps", slack*1e12)
+				}
+			}
+			fmt.Println()
+		}
+		if len(results) > 0 {
+			printStats(results[0].Stats)
 		}
 	}
 	return nil

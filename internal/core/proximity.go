@@ -25,7 +25,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"sync/atomic"
 
 	"repro/internal/macromodel"
 	"repro/internal/waveform"
@@ -56,6 +56,13 @@ type DualBackend interface {
 
 // Calculator evaluates proximity-aware delays against a characterized gate
 // model.
+//
+// Concurrency: Evaluate and SingleDelay never mutate the Calculator or its
+// Model, so one Calculator may be shared by any number of goroutines (the
+// levelized STA engine relies on this) — provided the configuration fields
+// below are not modified concurrently and the active DualBackend is itself
+// safe: the default table backend is read-only, SimBackend serializes its
+// cache behind a mutex.
 type Calculator struct {
 	Model *macromodel.GateModel
 	// Dual overrides the dual-input backend (nil = model tables).
@@ -68,6 +75,11 @@ type Calculator struct {
 	// CubicTables switches the table backend to cubic Hermite
 	// interpolation (smoother between characterization grid nodes).
 	CubicTables bool
+
+	// tb caches the boxed table backend so Evaluate does not allocate an
+	// interface value per call; rebuilt whenever the configuration it was
+	// derived from changes. Atomic so concurrent Evaluates stay race-free.
+	tb atomic.Pointer[tableBackend]
 }
 
 // NewCalculator builds a Calculator over the model's own tables.
@@ -121,7 +133,12 @@ func (c *Calculator) backend() DualBackend {
 	if c.Dual != nil {
 		return c.Dual
 	}
-	return tableBackend{c.Model, c.CubicTables}
+	tb := c.tb.Load()
+	if tb == nil || tb.m != c.Model || tb.cubic != c.CubicTables {
+		tb = &tableBackend{c.Model, c.CubicTables}
+		c.tb.Store(tb)
+	}
+	return tb
 }
 
 // Evaluate runs Algorithm ProximityDelay over the events, which must all
@@ -144,10 +161,12 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 		}
 	}
 
-	// Solo delays and solo output-crossing times.
-	d1 := make([]float64, len(events))
-	tt1 := make([]float64, len(events))
-	solo := make([]float64, len(events))
+	// Solo delays and solo output-crossing times, carved from one backing
+	// allocation (Evaluate runs once per gate arc on the STA hot path).
+	buf := make([]float64, 3*len(events))
+	d1 := buf[:len(events)]
+	tt1 := buf[len(events) : 2*len(events)]
+	solo := buf[2*len(events):]
 	for i, e := range events {
 		s := c.Model.Single(e.Pin, dir)
 		d1[i] = s.DelayAt(e.TT)
@@ -167,17 +186,15 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 	}
 	switch {
 	case c.NaiveOrdering:
-		sort.SliceStable(order, func(a, b int) bool {
-			return events[order[a]].Cross < events[order[b]].Cross
-		})
+		keys := make([]float64, len(events))
+		for i, e := range events {
+			keys[i] = e.Cross
+		}
+		sortByKey(order, keys, false)
 	case caus == macromodel.LastCause:
-		sort.SliceStable(order, func(a, b int) bool {
-			return solo[order[a]] > solo[order[b]]
-		})
+		sortByKey(order, solo, true)
 	default:
-		sort.SliceStable(order, func(a, b int) bool {
-			return solo[order[a]] < solo[order[b]]
-		})
+		sortByKey(order, solo, false)
 	}
 
 	y1 := order[0]
@@ -321,6 +338,25 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 		UsedTT:            usedTT,
 		CorrectionApplied: corr,
 	}, nil
+}
+
+// sortByKey stably sorts order by key[order[i]] — descending when desc is
+// set. A stable insertion sort: the event sets it orders are gate fan-ins
+// (a handful of entries), and unlike sort.SliceStable it allocates nothing.
+func sortByKey(order []int, key []float64, desc bool) {
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if desc {
+				if key[b] <= key[a] {
+					break
+				}
+			} else if key[b] >= key[a] {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
 }
 
 // SingleDelay returns the single-input delay and output transition time for

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cells"
 	"repro/internal/table"
@@ -155,6 +156,11 @@ func (g *GateSim) CharacterizeDual(ref, other int, dir waveform.Direction,
 		workers = 16
 	}
 
+	// stop flips once any worker fails: the others drain their queues
+	// without simulating and the feeder quits, so a failed
+	// characterization returns promptly instead of finishing every
+	// remaining transient first.
+	var stop atomic.Bool
 	var mu sync.Mutex
 	var firstErr error
 	var wg sync.WaitGroup
@@ -164,6 +170,9 @@ func (g *GateSim) CharacterizeDual(ref, other int, dir waveform.Direction,
 		go func() {
 			defer wg.Done()
 			for jb := range jobs {
+				if stop.Load() {
+					continue
+				}
 				tauRef := spec.Taus[jb.i]
 				d1 := refSingle.DelayAt(tauRef)
 				tt1 := refSingle.OutTTAt(tauRef)
@@ -184,6 +193,7 @@ func (g *GateSim) CharacterizeDual(ref, other int, dir waveform.Direction,
 				}
 				d2, tt2, err := sim.RunPair(ref, other, dir, tauRef, tauOther, s)
 				if err != nil {
+					stop.Store(true)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("macromodel: dual point (τ=%.3g, x2=%.3g, x3=%.3g): %w",
@@ -198,9 +208,13 @@ func (g *GateSim) CharacterizeDual(ref, other int, dir waveform.Direction,
 			}
 		}()
 	}
+feed:
 	for i := range spec.Taus {
 		for j := range spec.X2 {
 			for k := range spec.X3 {
+				if stop.Load() {
+					break feed
+				}
 				jobs <- job{i, j, k}
 			}
 		}

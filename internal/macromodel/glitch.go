@@ -3,6 +3,8 @@ package macromodel
 import (
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cells"
 	"repro/internal/table"
@@ -146,7 +148,8 @@ func (m *GlitchModel) MinSeparation(ttFall, ttRise float64, th waveform.Threshol
 }
 
 // parallelFill3 fills a 3-D grid with one simulation per point, cloning the
-// prototype GateSim per worker.
+// prototype GateSim per worker. The first failure stops every worker (not
+// just its own) and the feeder, so errors surface promptly.
 func parallelFill3(grid *table.Grid, workers int, f func(sim *GateSim, a, b, c float64) (float64, error), proto *GateSim) error {
 	ax0, ax1, ax2 := grid.Axis(0), grid.Axis(1), grid.Axis(2)
 	type job struct{ i, j, k int }
@@ -154,45 +157,47 @@ func parallelFill3(grid *table.Grid, workers int, f func(sim *GateSim, a, b, c f
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	errs := make(chan error, workers)
-	done := make(chan struct{})
+	var stop atomic.Bool
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		sim := proto.Clone()
 		go func() {
-			var firstErr error
+			defer wg.Done()
 			for jb := range jobs {
-				if firstErr != nil {
+				if stop.Load() {
 					continue
 				}
 				v, err := f(sim, ax0[jb.i], ax1[jb.j], ax2[jb.k])
 				if err != nil {
-					firstErr = err
+					stop.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 					continue
 				}
 				grid.Set(v, jb.i, jb.j, jb.k)
 			}
-			errs <- firstErr
 		}()
 	}
-	go func() {
-		for i := range ax0 {
-			for j := range ax1 {
-				for k := range ax2 {
-					jobs <- job{i, j, k}
+feed:
+	for i := range ax0 {
+		for j := range ax1 {
+			for k := range ax2 {
+				if stop.Load() {
+					break feed
 				}
+				jobs <- job{i, j, k}
 			}
 		}
-		close(jobs)
-		close(done)
-	}()
-	<-done
-	var first error
-	for w := 0; w < workers; w++ {
-		if err := <-errs; err != nil && first == nil {
-			first = err
-		}
 	}
-	return first
+	close(jobs)
+	wg.Wait()
+	return firstErr
 }
 
 func defaultWorkers() int {

@@ -71,17 +71,7 @@ func ParseNetlist(r io.Reader, lib *Library) (*Circuit, error) {
 	}
 	// Sanity: every non-primary net with loads must have a driver.
 	for name, n := range c.nets {
-		if n.Driver != nil {
-			continue
-		}
-		isPI := false
-		for _, pi := range c.PIs {
-			if pi == n {
-				isPI = true
-				break
-			}
-		}
-		if !isPI {
+		if n.Driver == nil && !c.IsPI(n) {
 			return nil, fmt.Errorf("sta: net %s is neither driven nor a declared input", name)
 		}
 	}

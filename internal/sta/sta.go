@@ -17,7 +17,11 @@ package sta
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/waveform"
@@ -59,24 +63,28 @@ type Circuit struct {
 	Gates []*Gate
 	PIs   []*Net
 	POs   []*Net
+	// piSet mirrors PIs for O(1) membership tests; without it, declaring n
+	// inputs is O(n²) and every Analyze revalidation rescans the slice.
+	piSet map[*Net]bool
 }
 
 // NewCircuit returns an empty circuit over a library.
 func NewCircuit(lib *Library) *Circuit {
-	return &Circuit{lib: lib, nets: map[string]*Net{}}
+	return &Circuit{lib: lib, nets: map[string]*Net{}, piSet: map[*Net]bool{}}
 }
 
 // Input declares (or returns) a primary-input net.
 func (c *Circuit) Input(name string) *Net {
 	n := c.net(name)
-	for _, pi := range c.PIs {
-		if pi == n {
-			return n
-		}
+	if !c.piSet[n] {
+		c.piSet[n] = true
+		c.PIs = append(c.PIs, n)
 	}
-	c.PIs = append(c.PIs, n)
 	return n
 }
+
+// IsPI reports whether n is a declared primary input.
+func (c *Circuit) IsPI(n *Net) bool { return c.piSet[n] }
 
 // net returns the named net, creating it if needed.
 func (c *Circuit) net(name string) *Net {
@@ -118,37 +126,88 @@ func (c *Circuit) AddGate(instName, typeName, outName string, inputs ...*Net) (*
 // MarkOutput declares a primary output.
 func (c *Circuit) MarkOutput(n *Net) { c.POs = append(c.POs, n) }
 
-// topoOrder returns the gates in topological order (inputs before outputs).
-func (c *Circuit) topoOrder() ([]*Gate, error) {
-	state := map[*Gate]int{} // 0 new, 1 visiting, 2 done
-	var order []*Gate
-	var visit func(g *Gate) error
-	visit = func(g *Gate) error {
-		switch state[g] {
-		case 1:
-			return fmt.Errorf("sta: combinational loop through gate %s", g.Name)
-		case 2:
-			return nil
-		}
-		state[g] = 1
+// levelize groups the gates into topological levels with Kahn's algorithm:
+// level 0 holds the gates fed only by primary inputs, and every other gate
+// sits one level past the deepest gate driving any of its inputs. All gates
+// within one level are therefore mutually independent — the unit of
+// parallelism Analyze exploits. The traversal is iterative, so arbitrarily
+// deep gate chains cannot overflow the stack (the previous recursive DFS
+// died on netlists ~100k gates deep), and deterministic: levels list gates
+// in netlist order.
+func (c *Circuit) levelize() ([][]*Gate, error) {
+	idx := make(map[*Gate]int, len(c.Gates))
+	for i, g := range c.Gates {
+		idx[g] = i
+	}
+	// Fanout edges in CSR form: counting pass, prefix sums, fill pass — two
+	// flat arrays instead of one growing slice per gate.
+	indeg := make([]int, len(c.Gates))
+	offs := make([]int32, len(c.Gates)+1)
+	for _, g := range c.Gates {
 		for _, in := range g.In {
 			if in.Driver != nil {
-				if err := visit(in.Driver); err != nil {
-					return err
+				offs[idx[in.Driver]+1]++
+			}
+		}
+	}
+	for i := 0; i < len(c.Gates); i++ {
+		offs[i+1] += offs[i]
+	}
+	edges := make([]int32, offs[len(c.Gates)])
+	pos := make([]int32, len(c.Gates))
+	copy(pos, offs[:len(c.Gates)])
+	for i, g := range c.Gates {
+		for _, in := range g.In {
+			if in.Driver == nil {
+				continue
+			}
+			d := idx[in.Driver]
+			edges[pos[d]] = int32(i)
+			pos[d]++
+			indeg[i]++
+		}
+	}
+	frontier := make([]int, 0, len(c.Gates))
+	for i := range c.Gates {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	var levels [][]*Gate
+	next := make([]int, 0, len(c.Gates))
+	placed := 0
+	for len(frontier) > 0 {
+		level := make([]*Gate, len(frontier))
+		for k, i := range frontier {
+			level[k] = c.Gates[i]
+		}
+		levels = append(levels, level)
+		placed += len(frontier)
+		next = next[:0]
+		for _, i := range frontier {
+			for _, j := range edges[offs[i]:offs[i+1]] {
+				indeg[j]--
+				if indeg[j] == 0 {
+					next = append(next, int(j))
 				}
 			}
 		}
-		state[g] = 2
-		order = append(order, g)
-		return nil
+		sort.Ints(next)
+		frontier, next = next, frontier
 	}
-	for _, g := range c.Gates {
-		if err := visit(g); err != nil {
-			return nil, err
+	if placed != len(c.Gates) {
+		for i, g := range c.Gates {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("sta: combinational loop through gate %s", g.Name)
+			}
 		}
+		return nil, fmt.Errorf("sta: combinational loop detected")
 	}
-	return order, nil
+	return levels, nil
 }
+
+// Levels exposes the levelized schedule (for reporting and tests).
+func (c *Circuit) Levels() ([][]*Gate, error) { return c.levelize() }
 
 // Mode selects the delay-calculation policy.
 type Mode int
@@ -187,21 +246,69 @@ type PIEvent struct {
 	TT   float64
 }
 
+// Options tunes how Analyze executes. The zero value picks defaults.
+type Options struct {
+	// Workers bounds evaluation concurrency within a topological level:
+	// 0 derives a default from the CPU count, 1 forces the serial
+	// reference path. Results are bit-identical at every setting — the
+	// schedule changes, the arithmetic does not.
+	Workers int
+}
+
+// defaultWorkers mirrors the characterization pools' policy (see
+// macromodel.parallelFill3): one worker per CPU, capped.
+func defaultWorkers() int {
+	n := runtime.NumCPU()
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// LevelStat records one topological level's share of an analysis.
+type LevelStat struct {
+	Gates int
+	Wall  time.Duration
+}
+
+// Stats counts what an analysis actually did, so benchmarks and reports
+// have something to read beyond arrival times.
+type Stats struct {
+	Workers        int
+	Levels         int
+	GatesEvaluated int // gates that produced at least one output arrival
+	Evaluations    int // per-direction delay calculations
+	ProximityEvals int // evaluations combining >1 switching input
+	SingleArcEvals int // evaluations timed from a single arc
+	PerLevel       []LevelStat
+}
+
+// dirArrivals stores a net's arrivals indexed by direction (Rising=0,
+// Falling=1) — a flat struct instead of a per-net map, so large analyses
+// allocate one small object per net rather than a hash table each.
+type dirArrivals struct {
+	a   [2]Arrival
+	has [2]bool
+}
+
 // Result holds per-net arrivals after analysis.
 type Result struct {
 	Mode     Mode
-	arrivals map[*Net]map[waveform.Direction]Arrival
+	Stats    Stats
+	arrivals map[*Net]*dirArrivals
 }
 
 // Arrival returns the arrival of a net in the given direction; ok=false if
 // the net never transitions that way.
 func (r *Result) Arrival(n *Net, dir waveform.Direction) (Arrival, bool) {
-	m, ok := r.arrivals[n]
-	if !ok {
+	da := r.arrivals[n]
+	if da == nil || !da.has[dir] {
 		return Arrival{}, false
 	}
-	a, ok := m[dir]
-	return a, ok
+	return da.a[dir], true
 }
 
 // Latest returns the latest arrival across both directions of a net.
@@ -225,58 +332,229 @@ func (r *Result) Latest(n *Net) (Arrival, bool) {
 // causing input within the dominant input's proximity window contributes via
 // Algorithm ProximityDelay; in Conventional mode the latest causing input's
 // single-input delay wins.
+//
+// Evaluation runs over the levelized schedule with a bounded worker pool
+// (Options.Workers via AnalyzeOpts; Analyze uses the default). Gates within
+// one topological level are independent, so the parallel schedule performs
+// exactly the serial arithmetic and the results are bit-identical.
 func (c *Circuit) Analyze(events []PIEvent, mode Mode) (*Result, error) {
-	res := &Result{Mode: mode, arrivals: map[*Net]map[waveform.Direction]Arrival{}}
-	set := func(n *Net, a Arrival) {
-		if res.arrivals[n] == nil {
-			res.arrivals[n] = map[waveform.Direction]Arrival{}
-		}
-		res.arrivals[n][a.Dir] = a
+	return c.AnalyzeOpts(events, mode, Options{})
+}
+
+// AnalyzeOpts is Analyze with explicit execution options.
+func (c *Circuit) AnalyzeOpts(events []PIEvent, mode Mode, opt Options) (*Result, error) {
+	levels, err := c.levelize()
+	if err != nil {
+		return nil, err
 	}
-	driven := map[*Net]bool{}
-	for _, pi := range c.PIs {
-		driven[pi] = true
+	return c.analyzeLevels(levels, events, mode, opt)
+}
+
+// AnalyzeBatch analyzes N independent primary-input vectors against ONE
+// shared levelization of the circuit — the heavy-traffic shape where the
+// netlist is fixed and stimuli stream through. Vectors are spread across
+// the worker budget (each vector runs the serial per-gate path, so the
+// budget is not oversubscribed); every result is bit-identical to Analyze
+// on the same events. The first failing vector (lowest index) aborts the
+// batch.
+func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Result, error) {
+	levels, err := c.levelize()
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	results := make([]*Result, len(batch))
+	errs := make([]error, len(batch))
+	if workers <= 1 {
+		for i, events := range batch {
+			results[i], errs[i] = c.analyzeLevels(levels, events, mode, Options{Workers: 1})
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= len(batch) {
+						return
+					}
+					results[i], errs[i] = c.analyzeLevels(levels, batch[i], mode, Options{Workers: 1})
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sta: batch vector %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// gateEval is one gate's computed output arrivals (or failure) within a
+// level, buffered so workers never touch the shared arrival map: results
+// are committed serially, in netlist order, after the level barrier. Plain
+// values (indexed by direction), so a level's evaluations allocate nothing.
+type gateEval struct {
+	a   [2]Arrival
+	has [2]bool
+	err error
+}
+
+// analyzeLevels seeds the primary-input arrivals and walks the levelized
+// schedule. Within a level every gate reads only arrivals committed by
+// earlier levels (or PIs) and writes only its private gateEval slot, so
+// the concurrent path is race-free by construction and bit-identical to
+// the serial one.
+func (c *Circuit) analyzeLevels(levels [][]*Gate, events []PIEvent, mode Mode, opt Options) (*Result, error) {
+	res := &Result{Mode: mode, arrivals: make(map[*Net]*dirArrivals, len(c.nets))}
+	// All per-net arrival records come from one slab: at most one per net,
+	// and the slab never grows, so interior pointers stay valid.
+	slab := make([]dirArrivals, len(c.nets))
+	used := 0
+	set := func(n *Net, a Arrival) {
+		da := res.arrivals[n]
+		if da == nil {
+			da = &slab[used]
+			used++
+			res.arrivals[n] = da
+		}
+		da.a[a.Dir] = a
+		da.has[a.Dir] = true
 	}
 	for _, ev := range events {
-		if !driven[ev.Net] {
+		if !c.piSet[ev.Net] {
 			return nil, fmt.Errorf("sta: event on non-primary-input net %s", ev.Net.Name)
 		}
 		if ev.TT <= 0 {
 			return nil, fmt.Errorf("sta: event on %s has non-positive transition time", ev.Net.Name)
 		}
+		if da := res.arrivals[ev.Net]; da != nil && da.has[ev.Dir] {
+			return nil, fmt.Errorf("sta: duplicate %v event on primary input %s", ev.Dir, ev.Net.Name)
+		}
 		set(ev.Net, Arrival{Dir: ev.Dir, Time: ev.Time, TT: ev.TT})
 	}
 
-	order, err := c.topoOrder()
-	if err != nil {
-		return nil, err
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
 	}
-	for _, g := range order {
-		for _, outDir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
-			inDir := outDir.Opposite()
-			var evs []core.InputEvent
-			var pins []int
-			for pin, in := range g.In {
-				if a, ok := res.Arrival(in, inDir); ok {
-					evs = append(evs, core.InputEvent{Pin: pin, Dir: inDir, TT: a.TT, Cross: a.Time})
-					pins = append(pins, pin)
+	res.Stats.Workers = workers
+	res.Stats.Levels = len(levels)
+	res.Stats.PerLevel = make([]LevelStat, 0, len(levels))
+
+	maxWidth := 0
+	for _, level := range levels {
+		if len(level) > maxWidth {
+			maxWidth = len(level)
+		}
+	}
+	outs := make([]gateEval, maxWidth)
+	var scratch []core.InputEvent // serial path's reusable event buffer
+
+	for _, level := range levels {
+		start := time.Now()
+		w := workers
+		if w > len(level) {
+			w = len(level)
+		}
+		if w <= 1 {
+			for k, g := range level {
+				outs[k] = evalGate(g, res, mode, &scratch)
+				if outs[k].err != nil {
+					return nil, outs[k].err
 				}
 			}
-			if len(evs) == 0 {
-				continue
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var evs []core.InputEvent
+					for {
+						k := int(next.Add(1) - 1)
+						if k >= len(level) {
+							return
+						}
+						outs[k] = evalGate(level[k], res, mode, &evs)
+					}
+				}()
 			}
-			a, err := g.eval(evs, outDir, mode)
-			if err != nil {
-				return nil, fmt.Errorf("sta: gate %s %v output: %w", g.Name, outDir, err)
-			}
-			set(g.Out, *a)
+			wg.Wait()
 		}
+		// Commit in netlist order: deterministic arrival maps, and the
+		// error reported is the one the serial walk would hit first.
+		for k, g := range level {
+			o := &outs[k]
+			if o.err != nil {
+				return nil, o.err
+			}
+			evaluated := false
+			for d := range o.a {
+				if !o.has[d] {
+					continue
+				}
+				a := o.a[d]
+				set(g.Out, a)
+				evaluated = true
+				res.Stats.Evaluations++
+				if a.UsedInputs > 1 {
+					res.Stats.ProximityEvals++
+				} else {
+					res.Stats.SingleArcEvals++
+				}
+			}
+			if evaluated {
+				res.Stats.GatesEvaluated++
+			}
+		}
+		res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{Gates: len(level), Wall: time.Since(start)})
 	}
 	return res, nil
 }
 
+// evalGate computes both output-direction arrivals of one gate from the
+// already-committed arrivals of earlier levels. It only reads res; buf is
+// the caller's reusable input-event scratch (one per worker).
+func evalGate(g *Gate, res *Result, mode Mode, buf *[]core.InputEvent) gateEval {
+	var out gateEval
+	for _, outDir := range [2]waveform.Direction{waveform.Rising, waveform.Falling} {
+		inDir := outDir.Opposite()
+		evs := (*buf)[:0]
+		for pin, in := range g.In {
+			if a, ok := res.Arrival(in, inDir); ok {
+				evs = append(evs, core.InputEvent{Pin: pin, Dir: inDir, TT: a.TT, Cross: a.Time})
+			}
+		}
+		*buf = evs // keep any capacity growth for the next gate
+		if len(evs) == 0 {
+			continue
+		}
+		a, err := g.eval(evs, outDir, mode)
+		if err != nil {
+			out.err = fmt.Errorf("sta: gate %s %v output: %w", g.Name, outDir, err)
+			return out
+		}
+		out.a[outDir] = a
+		out.has[outDir] = true
+	}
+	return out
+}
+
 // eval computes one gate-output arrival.
-func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode) (*Arrival, error) {
+func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode) (Arrival, error) {
 	if mode == Conventional {
 		// Latest (arrival + single-input delay) wins; TT comes from the
 		// winning arc.
@@ -284,19 +562,19 @@ func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode)
 		for _, e := range evs {
 			d, tt, err := g.Calc.SingleDelay(e.Pin, e.Dir, e.TT)
 			if err != nil {
-				return nil, err
+				return Arrival{}, err
 			}
 			if t := e.Cross + d; t > best.Time {
 				best = Arrival{Dir: outDir, Time: t, TT: tt, FromGate: g, FromPin: e.Pin, UsedInputs: 1}
 			}
 		}
-		return &best, nil
+		return best, nil
 	}
 	r, err := g.Calc.Evaluate(evs)
 	if err != nil {
-		return nil, err
+		return Arrival{}, err
 	}
-	return &Arrival{
+	return Arrival{
 		Dir:        outDir,
 		Time:       r.OutputCross,
 		TT:         r.OutTT,
@@ -362,7 +640,9 @@ func (r *Result) CriticalPath(n *Net, dir waveform.Direction) ([]PathStep, error
 			return nil, fmt.Errorf("sta: broken path at net %s", inNet.Name)
 		}
 		net, cur = inNet, prev
-		if len(path) > 10000 {
+		// A valid trace visits each net at most once per direction; more
+		// steps than that means the back-pointers form a cycle.
+		if len(path) > 2*len(r.arrivals)+2 {
 			return nil, fmt.Errorf("sta: path trace runaway")
 		}
 	}

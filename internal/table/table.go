@@ -45,6 +45,16 @@ func New(axes ...[]float64) (*Grid, error) {
 	return g, nil
 }
 
+// MustNew is New that panics on error, for callers with literal axes known
+// to be valid (tests, synthetic models).
+func MustNew(axes ...[]float64) *Grid {
+	g, err := New(axes...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
 func (g *Grid) buildStrides() {
 	d := len(g.axes)
 	g.stride = make([]int, d)
@@ -142,14 +152,22 @@ func (g *Grid) locate(d int, x float64) (i int, frac float64) {
 }
 
 // Eval interpolates the table at the given coordinates (multilinear with
-// clamped extrapolation).
+// clamped extrapolation). It performs no heap allocation for grids of rank
+// ≤ 4 — Eval sits on the per-gate hot path of the proximity STA.
 func (g *Grid) Eval(coords ...float64) float64 {
 	d := len(g.axes)
 	if len(coords) != d {
 		panic(fmt.Sprintf("table: eval rank %d, grid rank %d", len(coords), d))
 	}
-	base := make([]int, d)
-	frac := make([]float64, d)
+	var baseArr [4]int
+	var fracArr [4]float64
+	var base []int
+	var frac []float64
+	if d <= len(baseArr) {
+		base, frac = baseArr[:d], fracArr[:d]
+	} else {
+		base, frac = make([]int, d), make([]float64, d)
+	}
 	for k := 0; k < d; k++ {
 		base[k], frac[k] = g.locate(k, coords[k])
 	}
