@@ -13,6 +13,11 @@
 // independent stimulus vectors may be batched in one run by separating them
 // with ';' in -event — they share one levelization of the netlist.
 //
+// With -server http://host:port the analysis runs on a stad daemon instead
+// of in-process: the netlist is uploaded once, the vectors go through
+// /v1/analyze:batch, and the daemon's characterized model registry supplies
+// the cell models (-char/-model are ignored).
+//
 // Netlist format:
 //
 //	input a b cin
@@ -47,13 +52,20 @@ func main() {
 		loadFF  = flag.Float64("cl", 100, "characterization load in fF")
 		reqPS   = flag.Float64("required", 0, "required time at primary outputs in ps (0 = no slack report)")
 		workers = flag.Int("workers", 0, "evaluation workers per level (0 = one per CPU, 1 = serial)")
+		server  = flag.String("server", "", "stad base URL; analysis runs on the daemon instead of in-process")
 	)
 	flag.Parse()
 	if *netlist == "" || *events == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers); err != nil {
+	var err error
+	if *server != "" {
+		err = runRemote(*server, *netlist, *events, *mode)
+	} else {
+		err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "sta: %v\n", err)
 		os.Exit(1)
 	}
@@ -102,14 +114,9 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 	if err != nil {
 		return err
 	}
-	// ';' separates independent stimulus vectors (batch mode).
-	var batch [][]sta.PIEvent
-	for i, vec := range strings.Split(eventSpec, ";") {
-		evs, err := sta.ParseEvents(c, vec)
-		if err != nil {
-			return fmt.Errorf("vector %d: %w", i, err)
-		}
-		batch = append(batch, evs)
+	batch, err := parseBatch(c, eventSpec)
+	if err != nil {
+		return err
 	}
 
 	modes := map[string][]sta.Mode{
@@ -174,6 +181,30 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 		printStats(res.Stats)
 	}
 	return nil
+}
+
+// parseBatch splits a ';'-separated batch-vector spec into independent
+// stimulus vectors. Blank segments (a trailing ';', doubled separators) are
+// skipped; each non-blank segment must parse as a full event list, with
+// errors reporting the vector's position. Vectors are independent, so the
+// same primary-input event may appear in any number of segments — only
+// duplicates within one segment are rejected (by Analyze).
+func parseBatch(c *sta.Circuit, eventSpec string) ([][]sta.PIEvent, error) {
+	var batch [][]sta.PIEvent
+	for i, vec := range strings.Split(eventSpec, ";") {
+		if strings.TrimSpace(vec) == "" {
+			continue
+		}
+		evs, err := sta.ParseEvents(c, vec)
+		if err != nil {
+			return nil, fmt.Errorf("vector %d: %w", i, err)
+		}
+		batch = append(batch, evs)
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("no stimulus vectors in %q", eventSpec)
+	}
+	return batch, nil
 }
 
 // printStats summarizes what the analysis did.

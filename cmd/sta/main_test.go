@@ -1,0 +1,134 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/sta"
+)
+
+// testCircuit builds a tiny two-gate circuit with synthetic models, enough
+// for ParseEvents to resolve net names.
+func testCircuit(t *testing.T) *sta.Circuit {
+	t.Helper()
+	lib := sta.NewLibrary()
+	lib.Add("nand2", core.NewCalculator(macromodel.SynthModel("nand", 2)))
+	lib.Add("inv", core.NewCalculator(macromodel.SynthModel("inv", 1)))
+	const netlist = `
+input a b
+gate g1 nand2 n1 a b
+gate g2 inv   y n1
+output y
+`
+	c, err := sta.ParseNetlist(strings.NewReader(netlist), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseBatchSplitsVectors(t *testing.T) {
+	c := testCircuit(t)
+	batch, err := parseBatch(c, "a:rise:300:0,b:rise:250:30;a:fall:200:0;b:r:100:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("got %d vectors, want 3", len(batch))
+	}
+	if len(batch[0]) != 2 || len(batch[1]) != 1 || len(batch[2]) != 1 {
+		t.Fatalf("vector sizes %d/%d/%d, want 2/1/1", len(batch[0]), len(batch[1]), len(batch[2]))
+	}
+	if batch[0][0].Net.Name != "a" || batch[1][0].Net.Name != "a" || batch[2][0].Net.Name != "b" {
+		t.Fatal("events assigned to the wrong vectors")
+	}
+}
+
+func TestParseBatchSkipsEmptySegments(t *testing.T) {
+	c := testCircuit(t)
+	// Leading, doubled, and trailing separators — plus whitespace-only
+	// segments — must all be ignored, not parsed as empty vectors.
+	batch, err := parseBatch(c, ";a:rise:300:0;;  ;b:fall:200:10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("got %d vectors, want 2", len(batch))
+	}
+}
+
+func TestParseBatchAllEmpty(t *testing.T) {
+	c := testCircuit(t)
+	for _, spec := range []string{"", ";", " ; ; "} {
+		if _, err := parseBatch(c, spec); err == nil {
+			t.Errorf("spec %q: expected error for all-empty batch", spec)
+		}
+	}
+}
+
+// Duplicate PI events across segments are legal: the vectors are independent
+// stimuli sharing one levelization, so each may stimulate the same input.
+func TestParseBatchDuplicateEventsAcrossSegments(t *testing.T) {
+	c := testCircuit(t)
+	batch, err := parseBatch(c, "a:rise:300:0;a:rise:300:0;a:rise:300:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("got %d vectors, want 3", len(batch))
+	}
+	// And each vector still analyzes cleanly on its own.
+	if _, err := c.AnalyzeBatch(batch, sta.Proximity, sta.Options{Workers: 1}); err != nil {
+		t.Fatalf("batch with repeated PI events failed to analyze: %v", err)
+	}
+}
+
+func TestParseBatchMalformedEvents(t *testing.T) {
+	c := testCircuit(t)
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"a:rise:300:0;b:sideways:200:10", "vector 1"},   // bad direction, right index
+		{"a:rise:300:0;;nope:rise:100:0", "unknown net"}, // unknown net after a skipped segment
+		{"a:rise:300", "want net:dir:tt_ps:time_ps"},     // missing field
+		{"a:rise:-5:0", "bad transition time"},           // non-positive tt
+		{"a:rise:300:xyz", "bad time"},                   // unparseable arrival
+		{"a:rise:300:0;b:fall:zz:0", "vector 1"},         // second vector's tt malformed
+	}
+	for _, tc := range cases {
+		_, err := parseBatch(c, tc.spec)
+		if err == nil {
+			t.Errorf("spec %q: expected error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: error %q does not mention %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// The -server client parses the same syntax without a Circuit; its errors
+// must carry the vector index too, and blank segments behave identically.
+func TestParseWireBatch(t *testing.T) {
+	vecs, err := parseWireBatch("a:rise:300:0,b:r:250:30;;a:fall:200:5;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 2 || len(vecs[0]) != 2 || len(vecs[1]) != 1 {
+		t.Fatalf("got %d vectors (sizes %v), want 2", len(vecs), []int{len(vecs[0])})
+	}
+	if vecs[1][0].Net != "a" || vecs[1][0].Dir != "fall" || vecs[1][0].TTPs != 200 || vecs[1][0].TimePs != 5 {
+		t.Fatalf("wire event mismatch: %+v", vecs[1][0])
+	}
+	for _, spec := range []string{"", ";", "a:rise:300:0;b:bad:1:2", "a:rise:0:0"} {
+		if _, err := parseWireBatch(spec); err == nil {
+			t.Errorf("spec %q: expected error", spec)
+		}
+	}
+	if _, err := parseWireBatch("ok:rise:1:0;x:rise:nan-ish:0"); err == nil || !strings.Contains(err.Error(), "vector 1") {
+		t.Errorf("error %v does not carry the vector index", err)
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+)
+
+// runRemote ships the analysis to a stad daemon: upload the netlist once,
+// push every stimulus vector through /v1/analyze:batch, print the per-vector
+// primary-output arrivals. The daemon's model registry supplies the cell
+// models, so no characterization happens client-side.
+func runRemote(baseURL, netPath, eventSpec, mode string) error {
+	text, err := os.ReadFile(netPath)
+	if err != nil {
+		return err
+	}
+	vectors, err := parseWireBatch(eventSpec)
+	if err != nil {
+		return err
+	}
+	modes := map[string][]string{
+		"prox": {"prox"},
+		"conv": {"conv"},
+		"both": {"conv", "prox"},
+	}[mode]
+	if modes == nil {
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	base := strings.TrimRight(baseURL, "/")
+	var up service.UploadResponse
+	if err := postJSON(base+"/v1/netlists", service.UploadRequest{Netlist: string(text)}, &up); err != nil {
+		return fmt.Errorf("upload: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "sta: uploaded %s as %s (%d gates, %d levels)\n",
+		netPath, up.ID, up.Gates, up.Levels)
+
+	for _, m := range modes {
+		var resp service.BatchResponse
+		req := service.BatchRequest{Netlist: up.ID, Mode: m, Vectors: vectors}
+		if err := postJSON(base+"/v1/analyze:batch", req, &resp); err != nil {
+			return fmt.Errorf("analyze (%s): %w", m, err)
+		}
+		fmt.Printf("\n== %s analysis @ %s — %d vectors ==\n", resp.Mode, base, len(resp.Results))
+		for i, vr := range resp.Results {
+			fmt.Printf("vector %d:", i)
+			for _, a := range vr.Arrivals {
+				fmt.Printf(" %s=%s@%.1fps", a.Net, a.Dir, a.TimePs)
+			}
+			fmt.Println()
+		}
+		if len(resp.Results) > 0 {
+			gates, prox := 0, 0
+			for _, vr := range resp.Results {
+				gates += vr.GatesEvaluated
+				prox += vr.ProximityEvals
+			}
+			fmt.Printf("evaluated %d gates total (%d proximity evals) server-side\n", gates, prox)
+		}
+	}
+	return nil
+}
+
+// parseWireBatch parses the CLI event syntax (net:dir:tt_ps:time_ps, ','
+// between events, ';' between vectors) into wire events — syntactic only;
+// net names are validated by the server against the uploaded netlist.
+func parseWireBatch(eventSpec string) ([][]service.Event, error) {
+	var vectors [][]service.Event
+	for i, vec := range strings.Split(eventSpec, ";") {
+		if strings.TrimSpace(vec) == "" {
+			continue
+		}
+		var events []service.Event
+		for _, part := range strings.Split(vec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			fields := strings.Split(part, ":")
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("vector %d: event %q: want net:dir:tt_ps:time_ps", i, part)
+			}
+			switch fields[1] {
+			case "rise", "r", "fall", "f":
+			default:
+				return nil, fmt.Errorf("vector %d: event %q: bad direction %q", i, part, fields[1])
+			}
+			tt, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || tt <= 0 {
+				return nil, fmt.Errorf("vector %d: event %q: bad transition time %q", i, part, fields[2])
+			}
+			at, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("vector %d: event %q: bad time %q", i, part, fields[3])
+			}
+			events = append(events, service.Event{Net: fields[0], Dir: fields[1], TTPs: tt, TimePs: at})
+		}
+		if len(events) == 0 {
+			return nil, fmt.Errorf("vector %d: no events", i)
+		}
+		vectors = append(vectors, events)
+	}
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("no stimulus vectors in %q", eventSpec)
+	}
+	return vectors, nil
+}
+
+func postJSON(url string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		var er service.ErrorResponse
+		json.NewDecoder(r.Body).Decode(&er)
+		return fmt.Errorf("%s: status %d: %s", url, r.StatusCode, er.Error)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"repro/internal/table"
 	"repro/internal/waveform"
 )
 
@@ -192,16 +194,50 @@ func CharacterizeGate(sim *GateSim, spec CharSpec) (*GateModel, error) {
 	return m, nil
 }
 
-// Save writes the model as JSON.
+// Save writes the model as JSON, atomically: the bytes go to a temp file in
+// the destination directory and are renamed into place, so a crashed or
+// killed characterization run never leaves a truncated model for a registry
+// or a later run to trip over — readers see either the old file or the
+// complete new one.
 func (m *GateModel) Save(path string) error {
 	data, err := json.MarshalIndent(m, "", " ")
 	if err != nil {
 		return fmt.Errorf("macromodel: marshal: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("macromodel: save %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("macromodel: save %s: %w", path, err)
+	}
+	// CreateTemp opens 0600; models are world-readable artifacts.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("macromodel: save %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("macromodel: save %s: %w", path, err)
+	}
+	name := tmp.Name()
+	tmp = nil // rename owns the file now; skip the cleanup path
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("macromodel: save %s: %w", path, err)
+	}
+	return nil
 }
 
-// Load reads a model written by Save.
+// Load reads and validates a model written by Save. A structurally broken
+// model (wrong grid rank, non-monotone axis, out-of-range pin) is rejected
+// here, with an error naming the file and the offending table, instead of
+// failing later inside a hot-path Grid.Eval.
 func Load(path string) (*GateModel, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -211,5 +247,99 @@ func Load(path string) (*GateModel, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("macromodel: unmarshal %s: %w", path, err)
 	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("macromodel: model %s: %w", path, err)
+	}
 	return &m, nil
+}
+
+// Validate checks the structural consistency every evaluator assumes: pins
+// in range, single-input axes strictly increasing with matching sample
+// counts, dual/glitch/pulse grids present with the three-argument rank the
+// proximity algorithm interpolates. JSON decoding already rejects
+// non-monotone Grid axes (table.New runs inside Grid.UnmarshalJSON), so the
+// axis checks here guard the plain-slice tables and programmatically built
+// models.
+func (m *GateModel) Validate() error {
+	if m.NumInputs < 1 {
+		return fmt.Errorf("numInputs %d, want >= 1", m.NumInputs)
+	}
+	if len(m.Singles) == 0 {
+		return fmt.Errorf("no single-input models")
+	}
+	pinOK := func(pin int) bool { return pin >= 0 && pin < m.NumInputs }
+	for i, s := range m.Singles {
+		name := fmt.Sprintf("single[%d] (pin %d, %v)", i, s.Pin, s.Dir)
+		if !pinOK(s.Pin) {
+			return fmt.Errorf("%s: pin out of range for %d inputs", name, m.NumInputs)
+		}
+		if len(s.TauAxis) < 2 {
+			return fmt.Errorf("%s: τ axis has %d points, want >= 2", name, len(s.TauAxis))
+		}
+		if len(s.Delay) != len(s.TauAxis) || len(s.OutTT) != len(s.TauAxis) {
+			return fmt.Errorf("%s: %d τ points but %d delay / %d outTT samples",
+				name, len(s.TauAxis), len(s.Delay), len(s.OutTT))
+		}
+		for k := 1; k < len(s.TauAxis); k++ {
+			if s.TauAxis[k] <= s.TauAxis[k-1] {
+				return fmt.Errorf("%s: τ axis not strictly increasing at index %d (%g after %g)",
+					name, k, s.TauAxis[k], s.TauAxis[k-1])
+			}
+		}
+		if s.TauAxis[0] <= 0 {
+			return fmt.Errorf("%s: non-positive τ %g (log-τ interpolation needs τ > 0)", name, s.TauAxis[0])
+		}
+	}
+	checkGrid := func(owner, which string, g *table.Grid) error {
+		if g == nil {
+			return fmt.Errorf("%s: missing %s grid", owner, which)
+		}
+		if d := g.Dims(); d != 3 {
+			return fmt.Errorf("%s: %s grid rank %d, want 3", owner, which, d)
+		}
+		for d := 0; d < 3; d++ {
+			ax := g.Axis(d)
+			for k := 1; k < len(ax); k++ {
+				if ax[k] <= ax[k-1] {
+					return fmt.Errorf("%s: %s grid axis %d not strictly increasing at index %d",
+						owner, which, d, k)
+				}
+			}
+		}
+		return nil
+	}
+	for i, d := range m.Duals {
+		name := fmt.Sprintf("dual[%d] (ref %d, other %d, %v)", i, d.RefPin, d.OtherPin, d.Dir)
+		if !pinOK(d.RefPin) || !pinOK(d.OtherPin) {
+			return fmt.Errorf("%s: pin out of range for %d inputs", name, m.NumInputs)
+		}
+		if d.RefPin == d.OtherPin {
+			return fmt.Errorf("%s: reference and other pin coincide", name)
+		}
+		if err := checkGrid(name, "delayRatio", d.DelayRatio); err != nil {
+			return err
+		}
+		if err := checkGrid(name, "ttRatio", d.TTRatio); err != nil {
+			return err
+		}
+	}
+	for i, g := range m.Glitches {
+		name := fmt.Sprintf("glitch[%d] (fall %d, rise %d)", i, g.FallPin, g.RisePin)
+		if !pinOK(g.FallPin) || !pinOK(g.RisePin) || g.FallPin == g.RisePin {
+			return fmt.Errorf("%s: bad pin pair for %d inputs", name, m.NumInputs)
+		}
+		if err := checkGrid(name, "extreme", g.Extreme); err != nil {
+			return err
+		}
+	}
+	for i, p := range m.Pulses {
+		name := fmt.Sprintf("pulse[%d] (pin %d, %v)", i, p.Pin, p.FirstDir)
+		if !pinOK(p.Pin) {
+			return fmt.Errorf("%s: pin out of range for %d inputs", name, m.NumInputs)
+		}
+		if err := checkGrid(name, "extreme", p.Extreme); err != nil {
+			return err
+		}
+	}
+	return nil
 }

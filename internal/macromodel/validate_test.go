@@ -1,0 +1,149 @@
+package macromodel
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestSaveAtomic: Save must leave no temp droppings and the written file
+// must load back; an existing file must be replaced, never truncated in
+// place.
+func TestSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nand2.json")
+	m := SynthModel("nand", 2)
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a different model; the load must see the new content.
+	m3 := SynthModel("nand", 3)
+	if err := m3.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumInputs != 3 {
+		t.Fatalf("loaded numInputs %d, want 3 (stale content?)", got.NumInputs)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "nand2.json" {
+			t.Fatalf("leftover file %q after Save", e.Name())
+		}
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("saved mode %v, want 0644", info.Mode().Perm())
+	}
+}
+
+// TestSaveIntoMissingDir: the temp file is created in the destination
+// directory, so a bad path fails up front with an error, not a stray file.
+func TestSaveIntoMissingDir(t *testing.T) {
+	m := SynthModel("inv", 1)
+	if err := m.Save(filepath.Join(t.TempDir(), "no-such-dir", "inv.json")); err == nil {
+		t.Fatal("save into a missing directory succeeded")
+	}
+}
+
+// TestValidateCatchesBrokenModels mutates a good synthetic model one field
+// at a time and requires a validation error naming the offending table.
+func TestValidateCatchesBrokenModels(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(m *GateModel)
+		wantSub string
+	}{
+		{"pin out of range", func(m *GateModel) { m.Singles[0].Pin = 7 }, "single[0]"},
+		{"short tau axis", func(m *GateModel) {
+			s := m.Singles[0]
+			s.TauAxis, s.Delay, s.OutTT = s.TauAxis[:1], s.Delay[:1], s.OutTT[:1]
+		}, "τ axis"},
+		{"sample count mismatch", func(m *GateModel) { m.Singles[0].Delay = m.Singles[0].Delay[:2] }, "delay"},
+		{"non-monotone tau axis", func(m *GateModel) {
+			s := m.Singles[0]
+			s.TauAxis[1] = s.TauAxis[0]
+		}, "strictly increasing"},
+		{"dual pins coincide", func(m *GateModel) { m.Duals[0].OtherPin = m.Duals[0].RefPin }, "coincide"},
+		{"dual missing grid", func(m *GateModel) { m.Duals[0].DelayRatio = nil }, "missing delayRatio"},
+		{"dual wrong rank", func(m *GateModel) {
+			m.Duals[0].TTRatio = table.MustNew([]float64{0, 1}, []float64{0, 1})
+		}, "rank 2, want 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := SynthModel("nand", 2)
+			tc.mutate(m)
+			err := m.Validate()
+			if err == nil {
+				t.Fatal("broken model validated")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	if err := SynthModel("nand", 3).Validate(); err != nil {
+		t.Fatalf("good model rejected: %v", err)
+	}
+}
+
+// TestLoadRejectsBrokenFile: a structurally broken model on disk fails Load
+// with an error naming both the file and the table, before any evaluator
+// runs.
+func TestLoadRejectsBrokenFile(t *testing.T) {
+	dir := t.TempDir()
+
+	// Rank mismatch survives JSON decoding (Grid accepts any rank) and must
+	// be caught by validation.
+	m := SynthModel("nand", 2)
+	m.Duals[0].DelayRatio = table.MustNew([]float64{0, 1})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "badrank.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("rank-1 dual grid loaded")
+	} else if !strings.Contains(err.Error(), "badrank.json") || !strings.Contains(err.Error(), "dual[0]") {
+		t.Fatalf("error %q does not name file and table", err)
+	}
+
+	// A non-monotone Grid axis is rejected during decoding (table.New runs
+	// inside Grid.UnmarshalJSON); the Load error still names the file.
+	raw := strings.Replace(string(data), `"axes":[[0,1]`, `"axes":[[1,0]`, 1)
+	path2 := filepath.Join(dir, "badaxis.json")
+	if err := os.WriteFile(path2, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path2); err == nil {
+		t.Fatal("non-monotone axis loaded")
+	} else if !strings.Contains(err.Error(), "badaxis.json") {
+		t.Fatalf("error %q does not name the file", err)
+	}
+
+	// Truncated JSON (the crash Save's temp+rename prevents) is rejected.
+	path3 := filepath.Join(dir, "trunc.json")
+	if err := os.WriteFile(path3, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path3); err == nil {
+		t.Fatal("truncated model loaded")
+	}
+}

@@ -1,0 +1,173 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// histBounds are the latency histogram bucket upper bounds. Doubling from
+// 250µs covers sub-millisecond cache-hit analyzes up to multi-second batch
+// fan-outs; everything slower lands in the overflow bucket.
+var histBounds = []time.Duration{
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	4 * time.Millisecond,
+	8 * time.Millisecond,
+	16 * time.Millisecond,
+	32 * time.Millisecond,
+	64 * time.Millisecond,
+	128 * time.Millisecond,
+	256 * time.Millisecond,
+	512 * time.Millisecond,
+	1024 * time.Millisecond,
+	2048 * time.Millisecond,
+}
+
+// Histogram is a fixed-bucket latency histogram implementing expvar.Var:
+// String renders the JSON that /metrics embeds directly.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []int64 // len(histBounds)+1; last bucket is overflow
+	sum    time.Duration
+	n      int64
+}
+
+// Observe records one request duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(histBounds) && d > histBounds[i] {
+		i++
+	}
+	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(histBounds)+1)
+	}
+	h.counts[i]++
+	h.sum += d
+	h.n++
+	h.mu.Unlock()
+}
+
+// String renders {"count":N,"meanMs":M,"buckets":{"<=1ms":k,...}} with
+// empty buckets elided, so the histogram drops straight into /metrics JSON.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+	var b strings.Builder
+	mean := 0.0
+	if n > 0 {
+		mean = (sum.Seconds() * 1e3) / float64(n)
+	}
+	fmt.Fprintf(&b, `{"count":%d,"meanMs":%.3f,"buckets":{`, n, mean)
+	first := true
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		if i < len(histBounds) {
+			fmt.Fprintf(&b, `"<=%s":%d`, histBounds[i], c)
+		} else {
+			fmt.Fprintf(&b, `">%s":%d`, histBounds[len(histBounds)-1], c)
+		}
+	}
+	b.WriteString("}}")
+	return b.String()
+}
+
+// Metrics aggregates the server's counters on expvar primitives. The vars
+// are intentionally NOT published to the global expvar registry — multiple
+// servers (tests, bench harnesses) would collide on names; /metrics serves
+// them per instance instead.
+type Metrics struct {
+	Requests  expvar.Map // per-endpoint request counts
+	Status4xx expvar.Int
+	Status5xx expvar.Int
+
+	// Workload counters, fed from sta.Result.Stats.
+	Vectors        expvar.Int // stimulus vectors analyzed
+	GatesEvaluated expvar.Int
+	ProximityEvals expvar.Int
+	SingleArcEvals expvar.Int
+
+	mu      sync.Mutex
+	latency map[string]*Histogram // per endpoint
+}
+
+func newMetrics() *Metrics {
+	m := &Metrics{latency: map[string]*Histogram{}}
+	m.Requests.Init()
+	return m
+}
+
+// Latency returns (creating on first use) the named endpoint's histogram.
+func (m *Metrics) Latency(endpoint string) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &Histogram{}
+		m.latency[endpoint] = h
+	}
+	return h
+}
+
+// observe records one finished request.
+func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
+	m.Requests.Add(endpoint, 1)
+	switch {
+	case status >= 500:
+		m.Status5xx.Add(1)
+	case status >= 400:
+		m.Status4xx.Add(1)
+	}
+	m.Latency(endpoint).Observe(d)
+}
+
+// addStats folds one analysis result's counters into the workload totals.
+func (m *Metrics) addStats(gates, prox, single int) {
+	m.Vectors.Add(1)
+	m.GatesEvaluated.Add(int64(gates))
+	m.ProximityEvals.Add(int64(prox))
+	m.SingleArcEvals.Add(int64(single))
+}
+
+// writeJSON renders the full metrics document. Every embedded value is an
+// expvar.Var String() (already valid JSON), composed by hand so no
+// marshaling intermediate is needed.
+func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int) {
+	b.WriteString("{\n")
+	fmt.Fprintf(b, ` "requests": %s,`+"\n", m.Requests.String())
+	fmt.Fprintf(b, ` "status4xx": %s, "status5xx": %s,`+"\n", m.Status4xx.String(), m.Status5xx.String())
+	fmt.Fprintf(b, ` "vectors": %s, "gatesEvaluated": %s, "proximityEvals": %s, "singleArcEvals": %s,`+"\n",
+		m.Vectors.String(), m.GatesEvaluated.String(), m.ProximityEvals.String(), m.SingleArcEvals.String())
+	fmt.Fprintf(b, ` "modelCache": {"hits":%d,"misses":%d,"evictions":%d,"loadErrors":%d,"resident":%d},`+"\n",
+		reg.Hits, reg.Misses, reg.Evictions, reg.LoadErrors, reg.Resident)
+	fmt.Fprintf(b, ` "netlistsResident": %d,`+"\n", netlists)
+	b.WriteString(` "latencies": {`)
+	m.mu.Lock()
+	names := make([]string, 0, len(m.latency))
+	for name := range m.latency {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "\n  %q: %s", name, m.Latency(name).String())
+	}
+	b.WriteString("\n }\n}\n")
+}

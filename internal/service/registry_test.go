@@ -1,0 +1,177 @@
+package service
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/macromodel"
+)
+
+// writeSynthLibrary fills dir with synthetic characterized models (the same
+// JSON shape charz emits) and returns the directory.
+func writeSynthLibrary(t *testing.T, dir string, cells ...string) {
+	t.Helper()
+	for _, cell := range cells {
+		var m *macromodel.GateModel
+		switch {
+		case cell == "inv":
+			m = macromodel.SynthModel("inv", 1)
+		case strings.HasPrefix(cell, "nand"):
+			n := int(cell[len(cell)-1] - '0')
+			m = macromodel.SynthModel("nand", n)
+		default:
+			t.Fatalf("writeSynthLibrary: unknown cell %q", cell)
+		}
+		if err := m.Save(filepath.Join(dir, cell+".json")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegistryHitMiss(t *testing.T) {
+	dir := t.TempDir()
+	writeSynthLibrary(t, dir, "nand2", "nand3")
+	r := NewRegistry(dir, 8)
+
+	c1, err := r.Get("nand2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Get("nand2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("second Get returned a different calculator (cache missed)")
+	}
+	if _, err := r.Get("nand3"); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Misses != 2 || st.Hits != 1 || st.Resident != 2 {
+		t.Fatalf("stats %+v, want 2 misses / 1 hit / 2 resident", st)
+	}
+}
+
+// TestRegistrySingleflight holds the first load open while more requests
+// for the same cell queue up: exactly one file load must happen, and every
+// waiter must receive the same calculator.
+func TestRegistrySingleflight(t *testing.T) {
+	dir := t.TempDir()
+	writeSynthLibrary(t, dir, "nand2")
+	r := NewRegistry(dir, 8)
+
+	const waiters = 16
+	loading := make(chan struct{}) // closed when the loader is inside load()
+	release := make(chan struct{}) // closed once the waiters have launched
+	var hookOnce sync.Once         // the hook only gates the first load
+	r.testLoadHook = func(string) {
+		hookOnce.Do(func() {
+			close(loading)
+			<-release
+		})
+	}
+
+	results := make(chan interface{}, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := r.Get("nand2")
+		if err != nil {
+			results <- err
+			return
+		}
+		results <- c
+	}()
+	<-loading
+
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := r.Get("nand2")
+			if err != nil {
+				results <- err
+				return
+			}
+			results <- c
+		}()
+	}
+	// Every waiter either blocks on the in-flight entry or, launching after
+	// the release, hits the resident one — both count as cache hits.
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var first interface{}
+	n := 0
+	for res := range results {
+		if err, ok := res.(error); ok {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+		} else if res != first {
+			t.Fatal("waiters got different calculators")
+		}
+		n++
+	}
+	if n != waiters+1 {
+		t.Fatalf("collected %d results, want %d", n, waiters+1)
+	}
+	st := r.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("%d loads for %d concurrent requests, want exactly 1 (stats %+v)", st.Misses, waiters+1, st)
+	}
+	if st.Hits != int64(waiters) {
+		t.Fatalf("hits %d, want %d", st.Hits, waiters)
+	}
+}
+
+func TestRegistryEviction(t *testing.T) {
+	dir := t.TempDir()
+	writeSynthLibrary(t, dir, "nand2", "nand3", "inv")
+	r := NewRegistry(dir, 2)
+	for _, cell := range []string{"nand2", "nand3", "inv"} {
+		if _, err := r.Get(cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Resident != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 resident / 1 eviction", st)
+	}
+	// nand2 was the LRU victim: getting it again is a fresh load.
+	if _, err := r.Get("nand2"); err != nil {
+		t.Fatal(err)
+	}
+	if st = r.Stats(); st.Misses != 4 {
+		t.Fatalf("misses %d, want 4 (evicted cell reloaded)", st.Misses)
+	}
+}
+
+func TestRegistryBadNamesAndMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeSynthLibrary(t, dir, "nand2")
+	r := NewRegistry(dir, 4)
+	for _, name := range []string{"", "../nand2", "a/b", "nand2.json", "x y"} {
+		if _, err := r.Get(name); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+	// A missing file errors but is not cached: creating it makes the next
+	// Get succeed.
+	if _, err := r.Get("inv"); err == nil {
+		t.Fatal("missing cell loaded")
+	}
+	writeSynthLibrary(t, dir, "inv")
+	if _, err := r.Get("inv"); err != nil {
+		t.Fatalf("cell not retried after failed load: %v", err)
+	}
+	if st := r.Stats(); st.LoadErrors != 1 {
+		t.Fatalf("loadErrors %d, want 1", st.LoadErrors)
+	}
+}

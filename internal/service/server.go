@@ -1,0 +1,520 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sta"
+	"repro/internal/waveform"
+)
+
+// Config tunes a Server. The zero value of every field picks a sane
+// production default.
+type Config struct {
+	// Registry supplies cell calculators (required).
+	Registry *Registry
+	// Workers is the sta.Options.Workers budget handed to every analysis
+	// (0 = one per CPU, the engine default).
+	Workers int
+	// MaxInflight bounds concurrently admitted analysis/upload requests;
+	// request MaxInflight+1 is answered 429 with Retry-After instead of
+	// queueing unboundedly. Default 64.
+	MaxInflight int
+	// RequestTimeout is the per-request context budget; an analysis that
+	// outlives it is abandoned at the next level boundary and answered 504.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// MaxNetlists bounds resident compiled netlists; the least recently
+	// used handle is evicted beyond it (clients see 404 and re-upload).
+	// Default 64.
+	MaxNetlists int
+}
+
+// Server is the timing-analysis HTTP service. It implements http.Handler;
+// mount it directly or via Handler().
+//
+//	POST /v1/netlists       upload + levelize a netlist, get a handle
+//	POST /v1/analyze        one stimulus vector against a handle
+//	POST /v1/analyze:batch  a vector set through AnalyzeBatch
+//	GET  /healthz           liveness
+//	GET  /metrics           expvar counters + latency histograms (JSON)
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	mux     *http.ServeMux
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	netlists map[string]*netlistEntry
+	order    *list.List // front = most recently used; values are *netlistEntry
+	nextID   int
+}
+
+// netlistEntry is one uploaded netlist: the circuit compiled (levelized)
+// exactly once at upload, reused by every analyze request that names it.
+type netlistEntry struct {
+	id       string
+	compiled *sta.Compiled
+	elem     *list.Element
+}
+
+// New builds a Server over a registry.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		panic("service: Config.Registry is required")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxNetlists <= 0 {
+		cfg.MaxNetlists = 64
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  newMetrics(),
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		netlists: map[string]*netlistEntry{},
+		order:    list.New(),
+	}
+	s.mux.HandleFunc("POST /v1/netlists", s.guard("netlists", s.handleUpload))
+	s.mux.HandleFunc("POST /v1/analyze", s.guard("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/analyze:batch", s.guard("analyze:batch", s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Handler returns the service as an http.Handler (identical to the Server
+// itself; kept for mounting clarity).
+func (s *Server) Handler() http.Handler { return s }
+
+// Metrics exposes the server's counters (for tests and the bench harness).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ---- wire types ------------------------------------------------------------
+
+// Event is one primary-input stimulus on the wire. Times are picoseconds,
+// matching the CLI event syntax net:dir:tt_ps:time_ps.
+type Event struct {
+	Net    string  `json:"net"`
+	Dir    string  `json:"dir"` // "rise" | "fall" (single letters accepted)
+	TTPs   float64 `json:"ttPs"`
+	TimePs float64 `json:"timePs"`
+}
+
+// UploadRequest carries a netlist in the text format sta.ParseNetlist reads.
+type UploadRequest struct {
+	Netlist string `json:"netlist"`
+}
+
+// UploadResponse describes the compiled handle.
+type UploadResponse struct {
+	ID      string   `json:"id"`
+	Gates   int      `json:"gates"`
+	Levels  int      `json:"levels"`
+	Inputs  []string `json:"inputs"`
+	Outputs []string `json:"outputs"`
+}
+
+// AnalyzeRequest runs one vector against an uploaded netlist.
+type AnalyzeRequest struct {
+	Netlist string  `json:"netlist"`
+	Mode    string  `json:"mode,omitempty"` // "prox" (default) | "conv"
+	Nets    string  `json:"nets,omitempty"` // "outputs" (default) | "all"
+	Vector  []Event `json:"vector"`
+}
+
+// BatchRequest fans a vector set through AnalyzeBatch.
+type BatchRequest struct {
+	Netlist string    `json:"netlist"`
+	Mode    string    `json:"mode,omitempty"`
+	Nets    string    `json:"nets,omitempty"`
+	Vectors [][]Event `json:"vectors"`
+}
+
+// Arrival is one reported net transition (picoseconds).
+type Arrival struct {
+	Net        string  `json:"net"`
+	Dir        string  `json:"dir"`
+	TimePs     float64 `json:"timePs"`
+	TTPs       float64 `json:"ttPs"`
+	UsedInputs int     `json:"usedInputs"`
+}
+
+// VectorResult is one vector's arrivals plus its workload counters.
+type VectorResult struct {
+	Arrivals       []Arrival `json:"arrivals"`
+	GatesEvaluated int       `json:"gatesEvaluated"`
+	ProximityEvals int       `json:"proximityEvals"`
+	SingleArcEvals int       `json:"singleArcEvals"`
+}
+
+// AnalyzeResponse answers /v1/analyze.
+type AnalyzeResponse struct {
+	Mode string `json:"mode"`
+	VectorResult
+}
+
+// BatchResponse answers /v1/analyze:batch, results indexed like the request
+// vectors.
+type BatchResponse struct {
+	Mode    string         `json:"mode"`
+	Results []VectorResult `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- plumbing --------------------------------------------------------------
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// guard wraps a handler with the admission semaphore, the per-request
+// timeout, and metrics. Overload is answered immediately with 429 and a
+// Retry-After hint — bounded latency beats an unbounded queue.
+func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"server at capacity (%d in flight); retry", s.cfg.MaxInflight)
+			s.metrics.observe(name, http.StatusTooManyRequests, time.Since(start))
+			return
+		}
+		defer func() { <-s.sem }()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.metrics.observe(name, sw.status, time.Since(start))
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody decodes a JSON request body with a size cap; analyze bodies
+// are small, netlists can be large but bounded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// analysisError maps an engine error to a status: timeouts to 504,
+// everything else (bad nets, bad events, missing dual models) to 400 — all
+// are properties of the request or the uploaded artifacts, not of the
+// server.
+func analysisError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusGatewayTimeout, "analysis timed out: %v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// ---- handlers --------------------------------------------------------------
+
+// handleUpload parses and levelizes a netlist once, caching the compiled
+// handle. Every cell type the netlist references is resolved through the
+// registry — the first upload of a library pays the model loads, later
+// uploads and every analyze hit the cache.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if err := decodeBody(w, r, &req, 64<<20); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Netlist) == "" {
+		writeError(w, http.StatusBadRequest, "empty netlist")
+		return
+	}
+	lib := sta.NewLibrary()
+	for _, typ := range scanGateTypes(req.Netlist) {
+		calc, err := s.cfg.Registry.Get(typ)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "cell %q: %v", typ, err)
+			return
+		}
+		lib.Add(typ, calc)
+	}
+	c, err := sta.ParseNetlist(strings.NewReader(req.Netlist), lib)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	compiled, err := c.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	e := &netlistEntry{id: fmt.Sprintf("n%d", s.nextID), compiled: compiled}
+	e.elem = s.order.PushFront(e)
+	s.netlists[e.id] = e
+	for s.order.Len() > s.cfg.MaxNetlists {
+		back := s.order.Back()
+		victim := back.Value.(*netlistEntry)
+		s.order.Remove(back)
+		delete(s.netlists, victim.id)
+	}
+	s.mu.Unlock()
+
+	resp := UploadResponse{
+		ID:     e.id,
+		Gates:  compiled.NumGates(),
+		Levels: compiled.NumLevels(),
+	}
+	for _, pi := range c.PIs {
+		resp.Inputs = append(resp.Inputs, pi.Name)
+	}
+	for _, po := range c.POs {
+		resp.Outputs = append(resp.Outputs, po.Name)
+	}
+	writeJSON(w, resp)
+}
+
+// lookupNetlist returns the compiled handle for an id, refreshing its LRU
+// position.
+func (s *Server) lookupNetlist(id string) (*sta.Compiled, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.netlists[id]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(e.elem)
+	return e.compiled, true
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeBody(w, r, &req, 16<<20); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	compiled, ok := s.lookupNetlist(req.Netlist)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	evs, err := resolveVector(compiled.Circuit(), req.Vector)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := compiled.Analyze(r.Context(), evs, mode, sta.Options{Workers: s.cfg.Workers})
+	if err != nil {
+		analysisError(w, err)
+		return
+	}
+	vr := buildVectorResult(compiled.Circuit(), res, req.Nets)
+	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
+	writeJSON(w, AnalyzeResponse{Mode: mode.String(), VectorResult: vr})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req, 64<<20); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Vectors) == 0 {
+		writeError(w, http.StatusBadRequest, "empty vector set")
+		return
+	}
+	compiled, ok := s.lookupNetlist(req.Netlist)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	batch := make([][]sta.PIEvent, len(req.Vectors))
+	for i, vec := range req.Vectors {
+		if batch[i], err = resolveVector(compiled.Circuit(), vec); err != nil {
+			writeError(w, http.StatusBadRequest, "vector %d: %v", i, err)
+			return
+		}
+	}
+	results, err := compiled.AnalyzeBatch(r.Context(), batch, mode, sta.Options{Workers: s.cfg.Workers})
+	if err != nil {
+		analysisError(w, err)
+		return
+	}
+	resp := BatchResponse{Mode: mode.String(), Results: make([]VectorResult, len(results))}
+	for i, res := range results {
+		vr := buildVectorResult(compiled.Circuit(), res, req.Nets)
+		s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
+		resp.Results[i] = vr
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := s.order.Len()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"netlists": n,
+		"models":   s.cfg.Registry.Stats().Resident,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := s.order.Len()
+	s.mu.Unlock()
+	var b strings.Builder
+	s.metrics.writeJSON(&b, s.cfg.Registry.Stats(), n)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(b.String()))
+}
+
+// ---- request helpers -------------------------------------------------------
+
+// scanGateTypes extracts the distinct cell types a netlist references, in
+// first-use order, without building a circuit — the registry must resolve
+// them before parsing can start.
+func scanGateTypes(netlist string) []string {
+	seen := map[string]bool{}
+	var types []string
+	for _, line := range strings.Split(netlist, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		f := strings.Fields(line)
+		if len(f) >= 3 && f[0] == "gate" && !seen[f[2]] {
+			seen[f[2]] = true
+			types = append(types, f[2])
+		}
+	}
+	return types
+}
+
+func parseMode(s string) (sta.Mode, error) {
+	switch s {
+	case "", "prox", "proximity":
+		return sta.Proximity, nil
+	case "conv", "conventional":
+		return sta.Conventional, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want prox or conv)", s)
+}
+
+func parseDir(s string) (waveform.Direction, error) {
+	switch s {
+	case "rise", "r", "rising":
+		return waveform.Rising, nil
+	case "fall", "f", "falling":
+		return waveform.Falling, nil
+	}
+	return 0, fmt.Errorf("bad direction %q (want rise or fall)", s)
+}
+
+// resolveVector maps wire events onto circuit nets. Unknown nets fail here
+// with the net named; PI-membership, positive transition times and
+// duplicate events are enforced by the engine itself.
+func resolveVector(c *sta.Circuit, vec []Event) ([]sta.PIEvent, error) {
+	if len(vec) == 0 {
+		return nil, fmt.Errorf("empty stimulus vector")
+	}
+	evs := make([]sta.PIEvent, len(vec))
+	for i, ev := range vec {
+		n := c.Net(ev.Net)
+		if n == nil {
+			return nil, fmt.Errorf("event %d: unknown net %q", i, ev.Net)
+		}
+		dir, err := parseDir(ev.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("event %d (net %s): %v", i, ev.Net, err)
+		}
+		evs[i] = sta.PIEvent{Net: n, Dir: dir, TT: ev.TTPs * 1e-12, Time: ev.TimePs * 1e-12}
+	}
+	return evs, nil
+}
+
+// buildVectorResult flattens a Result into wire arrivals: primary outputs
+// by default, every net when nets == "all". Arrivals are listed in
+// deterministic order (output declaration order, or sorted net names).
+func buildVectorResult(c *sta.Circuit, res *sta.Result, nets string) VectorResult {
+	vr := VectorResult{
+		GatesEvaluated: res.Stats.GatesEvaluated,
+		ProximityEvals: res.Stats.ProximityEvals,
+		SingleArcEvals: res.Stats.SingleArcEvals,
+	}
+	appendNet := func(n *sta.Net) {
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			if a, ok := res.Arrival(n, dir); ok {
+				vr.Arrivals = append(vr.Arrivals, Arrival{
+					Net:        n.Name,
+					Dir:        dir.String(),
+					TimePs:     a.Time * 1e12,
+					TTPs:       a.TT * 1e12,
+					UsedInputs: a.UsedInputs,
+				})
+			}
+		}
+	}
+	if nets == "all" {
+		for _, name := range c.NetsByName() {
+			appendNet(c.Net(name))
+		}
+	} else {
+		for _, po := range c.POs {
+			appendNet(po)
+		}
+	}
+	return vr
+}

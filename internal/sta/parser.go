@@ -78,6 +78,39 @@ func ParseNetlist(r io.Reader, lib *Library) (*Circuit, error) {
 	return c, nil
 }
 
+// WriteNetlist serializes a circuit back into the text format ParseNetlist
+// reads: one input line, the gates in netlist order, one output line. A
+// round trip through WriteNetlist and ParseNetlist over the same library
+// reproduces the circuit structure exactly (names, pin order, levelization).
+func WriteNetlist(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	if len(c.PIs) > 0 {
+		bw.WriteString("input")
+		for _, pi := range c.PIs {
+			bw.WriteByte(' ')
+			bw.WriteString(pi.Name)
+		}
+		bw.WriteByte('\n')
+	}
+	for _, g := range c.Gates {
+		fmt.Fprintf(bw, "gate %s %s %s", g.Name, g.Type, g.Out.Name)
+		for _, in := range g.In {
+			bw.WriteByte(' ')
+			bw.WriteString(in.Name)
+		}
+		bw.WriteByte('\n')
+	}
+	if len(c.POs) > 0 {
+		bw.WriteString("output")
+		for _, po := range c.POs {
+			bw.WriteByte(' ')
+			bw.WriteString(po.Name)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
 // ParseEvents parses a comma-separated primary-input event list of the form
 // net:dir:tt_ps:time_ps (dir = rise|fall, abbreviations r|f accepted).
 func ParseEvents(c *Circuit, s string) ([]PIEvent, error) {

@@ -15,6 +15,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -343,11 +344,11 @@ func (c *Circuit) Analyze(events []PIEvent, mode Mode) (*Result, error) {
 
 // AnalyzeOpts is Analyze with explicit execution options.
 func (c *Circuit) AnalyzeOpts(events []PIEvent, mode Mode, opt Options) (*Result, error) {
-	levels, err := c.levelize()
+	p, err := c.Compile()
 	if err != nil {
 		return nil, err
 	}
-	return c.analyzeLevels(levels, events, mode, opt)
+	return p.Analyze(context.Background(), events, mode, opt)
 }
 
 // AnalyzeBatch analyzes N independent primary-input vectors against ONE
@@ -358,10 +359,58 @@ func (c *Circuit) AnalyzeOpts(events []PIEvent, mode Mode, opt Options) (*Result
 // on the same events. The first failing vector (lowest index) aborts the
 // batch.
 func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Result, error) {
+	p, err := c.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return p.AnalyzeBatch(context.Background(), batch, mode, opt)
+}
+
+// Compiled is a reusable analysis handle: a circuit bound to its levelized
+// schedule. Compiling once and analyzing many times is the long-lived
+// service shape — the topological sort is paid per netlist upload, not per
+// stimulus vector. The handle snapshots the schedule: structural edits to
+// the circuit (AddGate, Input) after Compile are not reflected until the
+// circuit is compiled again.
+//
+// A Compiled handle is safe for concurrent use: Analyze and AnalyzeBatch
+// only read the circuit and schedule.
+type Compiled struct {
+	c      *Circuit
+	levels [][]*Gate
+	gates  int
+}
+
+// Compile levelizes the circuit into a reusable analysis handle. It fails
+// exactly when Analyze would: on a combinational loop.
+func (c *Circuit) Compile() (*Compiled, error) {
 	levels, err := c.levelize()
 	if err != nil {
 		return nil, err
 	}
+	return &Compiled{c: c, levels: levels, gates: len(c.Gates)}, nil
+}
+
+// Circuit returns the underlying circuit (for net lookup and reporting).
+func (p *Compiled) Circuit() *Circuit { return p.c }
+
+// NumGates returns the gate count captured at compile time.
+func (p *Compiled) NumGates() int { return p.gates }
+
+// NumLevels returns the depth of the levelized schedule.
+func (p *Compiled) NumLevels() int { return len(p.levels) }
+
+// Analyze runs one stimulus vector over the precompiled schedule. The
+// context is checked at every level boundary, so a canceled or expired
+// request abandons a deep netlist promptly instead of walking it to the end.
+func (p *Compiled) Analyze(ctx context.Context, events []PIEvent, mode Mode, opt Options) (*Result, error) {
+	return p.c.analyzeLevels(ctx, p.levels, events, mode, opt)
+}
+
+// AnalyzeBatch fans N independent vectors across the worker budget against
+// the precompiled schedule (see Circuit.AnalyzeBatch for the semantics).
+// Cancellation aborts the batch between vectors and between levels.
+func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mode, opt Options) ([]*Result, error) {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -373,7 +422,7 @@ func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Re
 	errs := make([]error, len(batch))
 	if workers <= 1 {
 		for i, events := range batch {
-			results[i], errs[i] = c.analyzeLevels(levels, events, mode, Options{Workers: 1})
+			results[i], errs[i] = p.c.analyzeLevels(ctx, p.levels, events, mode, Options{Workers: 1})
 		}
 	} else {
 		var next atomic.Int64
@@ -387,7 +436,7 @@ func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Re
 					if i >= len(batch) {
 						return
 					}
-					results[i], errs[i] = c.analyzeLevels(levels, batch[i], mode, Options{Workers: 1})
+					results[i], errs[i] = p.c.analyzeLevels(ctx, p.levels, batch[i], mode, Options{Workers: 1})
 				}
 			}()
 		}
@@ -397,6 +446,9 @@ func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Re
 		if err != nil {
 			return nil, fmt.Errorf("sta: batch vector %d: %w", i, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sta: batch interrupted: %w", err)
 	}
 	return results, nil
 }
@@ -415,8 +467,9 @@ type gateEval struct {
 // schedule. Within a level every gate reads only arrivals committed by
 // earlier levels (or PIs) and writes only its private gateEval slot, so
 // the concurrent path is race-free by construction and bit-identical to
-// the serial one.
-func (c *Circuit) analyzeLevels(levels [][]*Gate, events []PIEvent, mode Mode, opt Options) (*Result, error) {
+// the serial one. The context is polled once per level — cheap against the
+// per-level work, frequent enough that request timeouts bite mid-walk.
+func (c *Circuit) analyzeLevels(ctx context.Context, levels [][]*Gate, events []PIEvent, mode Mode, opt Options) (*Result, error) {
 	res := &Result{Mode: mode, arrivals: make(map[*Net]*dirArrivals, len(c.nets))}
 	// All per-net arrival records come from one slab: at most one per net,
 	// and the slab never grows, so interior pointers stay valid.
@@ -463,6 +516,9 @@ func (c *Circuit) analyzeLevels(levels [][]*Gate, events []PIEvent, mode Mode, o
 	var scratch []core.InputEvent // serial path's reusable event buffer
 
 	for _, level := range levels {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sta: analysis interrupted: %w", err)
+		}
 		start := time.Now()
 		w := workers
 		if w > len(level) {
