@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sta"
+)
+
+// FuzzParseBatch: the ';'-separated batch-vector spec must never panic the
+// splitter, and any spec it accepts must yield at least one vector with at
+// least one event each (blank segments are skipped, not materialized).
+func FuzzParseBatch(f *testing.F) {
+	seeds := []string{
+		"a:rise:300:0;b:fall:200:10",
+		"a:rise:300:0",
+		";;a:rise:300:0;;",
+		"a:rise:NaN:0;b:fall:200:10",
+		"a:rise:300:0;bogus",
+		"a:rise:300:0,b:fall:200:5;a:fall:250:40",
+		";",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lib := sta.SynthLibrary(2)
+	c, err := sta.ParseNetlist(strings.NewReader(
+		"input a b\ngate g1 nand2 x a b\noutput x\n"), lib)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 1<<12 {
+			return
+		}
+		batch, err := parseBatch(c, spec)
+		if err != nil {
+			return
+		}
+		if len(batch) == 0 {
+			t.Fatalf("parseBatch accepted %q with zero vectors", spec)
+		}
+		for i, vec := range batch {
+			if len(vec) == 0 {
+				t.Fatalf("parseBatch accepted %q with empty vector %d", spec, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/waveform"
+)
+
+// TestEvaluateRejectsNonFinite is the regression test for the NaN hole: the
+// old guard `e.TT <= 0` let NaN through (NaN fails every ordered
+// comparison), poisoning the dominance sort and the table interpolation.
+// Every non-finite TT or Cross must be rejected with the pin named.
+func TestEvaluateRejectsNonFinite(t *testing.T) {
+	calc := core.NewCalculator(macromodel.SynthModel("nand", 2))
+	good := core.InputEvent{Pin: 0, Dir: waveform.Falling, TT: 300e-12, Cross: 0}
+	cases := []struct {
+		name string
+		ev   core.InputEvent
+	}{
+		{"NaN TT", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: math.NaN(), Cross: 10e-12}},
+		{"+Inf TT", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: math.Inf(1), Cross: 10e-12}},
+		{"-Inf TT", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: math.Inf(-1), Cross: 10e-12}},
+		{"zero TT", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: 0, Cross: 10e-12}},
+		{"negative TT", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: -1e-12, Cross: 10e-12}},
+		{"NaN Cross", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: 300e-12, Cross: math.NaN()}},
+		{"+Inf Cross", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: 300e-12, Cross: math.Inf(1)}},
+		{"-Inf Cross", core.InputEvent{Pin: 1, Dir: waveform.Falling, TT: 300e-12, Cross: math.Inf(-1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := calc.Evaluate([]core.InputEvent{good, tc.ev})
+			if err == nil {
+				t.Fatalf("accepted %s event; result %+v", tc.name, res)
+			}
+			if !strings.Contains(err.Error(), "pin 1") {
+				t.Errorf("error %q does not name the offending pin", err)
+			}
+		})
+	}
+
+	// The valid pair must still evaluate — the guards must not over-reject.
+	res, err := calc.Evaluate([]core.InputEvent{
+		good,
+		{Pin: 1, Dir: waveform.Falling, TT: 250e-12, Cross: 15e-12},
+	})
+	if err != nil {
+		t.Fatalf("valid proximity pair rejected: %v", err)
+	}
+	if math.IsNaN(res.Delay) || math.IsNaN(res.OutTT) {
+		t.Fatalf("valid evaluation produced NaN: %+v", res)
+	}
+}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/macromodel"
@@ -153,8 +154,14 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 		if e.Dir != dir {
 			return nil, fmt.Errorf("core: mixed transition directions; use the glitch model for opposite transitions")
 		}
-		if e.TT <= 0 {
-			return nil, fmt.Errorf("core: non-positive transition time on pin %d", e.Pin)
+		// !(TT > 0) rather than TT <= 0: NaN fails every ordered comparison,
+		// and a NaN or infinite event would poison the dominance sort and
+		// every table lookup downstream.
+		if !(e.TT > 0) || math.IsInf(e.TT, 1) {
+			return nil, fmt.Errorf("core: non-positive or non-finite transition time %v on pin %d", e.TT, e.Pin)
+		}
+		if math.IsNaN(e.Cross) || math.IsInf(e.Cross, 0) {
+			return nil, fmt.Errorf("core: non-finite crossing time %v on pin %d", e.Cross, e.Pin)
 		}
 		if c.Model.Single(e.Pin, dir) == nil {
 			return nil, fmt.Errorf("core: pin %d has no single-input model for %v inputs", e.Pin, dir)
@@ -340,21 +347,36 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 	}, nil
 }
 
+// tieEps is the relative band within which two dominance keys are treated
+// as equal, so the original (pin) order decides. Without it, a tie is
+// decided by ULP-level rounding — and rounding is not invariant under time
+// translation, so the same stimulus shifted by Δt could flip the dominance
+// order and jump the result across the algorithm's inter-reference
+// discontinuity. Exact ties are not measure-zero in practice: reconvergent
+// fanout through identical cell types makes the upstream delay difference
+// cancel the downstream solo-delay difference exactly. The band (~1e-22 s
+// at circuit scale) sits many orders above accumulated rounding noise and
+// many below any physical delay, so it only captures genuine ties.
+const tieEps = 1e-11
+
 // sortByKey stably sorts order by key[order[i]] — descending when desc is
-// set. A stable insertion sort: the event sets it orders are gate fan-ins
-// (a handful of entries), and unlike sort.SliceStable it allocates nothing.
+// set. Keys within tieEps (relative to the larger magnitude) compare equal
+// and keep their original relative order. A stable insertion sort: the
+// event sets it orders are gate fan-ins (a handful of entries), and unlike
+// sort.SliceStable it allocates nothing.
 func sortByKey(order []int, key []float64, desc bool) {
+	precedes := func(a, b float64) bool {
+		if math.Abs(a-b) <= tieEps*math.Max(math.Abs(a), math.Abs(b)) {
+			return false
+		}
+		if desc {
+			return a > b
+		}
+		return a < b
+	}
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0; j-- {
-			a, b := order[j-1], order[j]
-			if desc {
-				if key[b] <= key[a] {
-					break
-				}
-			} else if key[b] >= key[a] {
-				break
-			}
-			order[j-1], order[j] = b, a
+		for j := i; j > 0 && precedes(key[order[j]], key[order[j-1]]); j-- {
+			order[j-1], order[j] = order[j], order[j-1]
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -230,13 +231,18 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // decodeBody decodes a JSON request body with a size cap; analyze bodies
-// are small, netlists can be large but bounded.
+// are small, netlists can be large but bounded. The body must be exactly
+// one JSON document: trailing garbage (`{"netlist":"n1"}{"junk":1}`) is an
+// error, not silently ignored half-read.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
 	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON document")
 	}
 	return nil
 }
@@ -302,10 +308,14 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	// Empty slices marshal as [] rather than null — clients iterating the
+	// field must never have to special-case a missing array.
 	resp := UploadResponse{
-		ID:     e.id,
-		Gates:  compiled.NumGates(),
-		Levels: compiled.NumLevels(),
+		ID:      e.id,
+		Gates:   compiled.NumGates(),
+		Levels:  compiled.NumLevels(),
+		Inputs:  make([]string, 0, len(c.PIs)),
+		Outputs: make([]string, 0, len(c.POs)),
 	}
 	for _, pi := range c.PIs {
 		resp.Inputs = append(resp.Inputs, pi.Name)
@@ -345,6 +355,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	nets, err := parseNets(req.Nets)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	evs, err := resolveVector(compiled.Circuit(), req.Vector)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -355,7 +370,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		analysisError(w, err)
 		return
 	}
-	vr := buildVectorResult(compiled.Circuit(), res, req.Nets)
+	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
 	writeJSON(w, AnalyzeResponse{Mode: mode.String(), VectorResult: vr})
 }
@@ -380,6 +395,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	nets, err := parseNets(req.Nets)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	batch := make([][]sta.PIEvent, len(req.Vectors))
 	for i, vec := range req.Vectors {
 		if batch[i], err = resolveVector(compiled.Circuit(), vec); err != nil {
@@ -394,7 +414,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Mode: mode.String(), Results: make([]VectorResult, len(results))}
 	for i, res := range results {
-		vr := buildVectorResult(compiled.Circuit(), res, req.Nets)
+		vr := buildVectorResult(compiled.Circuit(), res, nets)
 		s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
 		resp.Results[i] = vr
 	}
@@ -453,6 +473,27 @@ func parseMode(s string) (sta.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want prox or conv)", s)
 }
 
+// parseNets validates the report-scope selector with the same strictness
+// parseMode applies: a typo like "al" is a 400 naming the bad value, never
+// silently treated as the default.
+func parseNets(s string) (netScope, error) {
+	switch s {
+	case "", "outputs":
+		return netsOutputs, nil
+	case "all":
+		return netsAll, nil
+	}
+	return netsOutputs, fmt.Errorf("unknown nets %q (want outputs or all)", s)
+}
+
+// netScope selects which nets an analysis response reports.
+type netScope int
+
+const (
+	netsOutputs netScope = iota
+	netsAll
+)
+
 func parseDir(s string) (waveform.Direction, error) {
 	switch s {
 	case "rise", "r", "rising":
@@ -486,10 +527,12 @@ func resolveVector(c *sta.Circuit, vec []Event) ([]sta.PIEvent, error) {
 }
 
 // buildVectorResult flattens a Result into wire arrivals: primary outputs
-// by default, every net when nets == "all". Arrivals are listed in
-// deterministic order (output declaration order, or sorted net names).
-func buildVectorResult(c *sta.Circuit, res *sta.Result, nets string) VectorResult {
+// by default, every net when nets == all. Arrivals are listed in
+// deterministic order (output declaration order, or sorted net names) and
+// marshal as [] rather than null when empty.
+func buildVectorResult(c *sta.Circuit, res *sta.Result, nets netScope) VectorResult {
 	vr := VectorResult{
+		Arrivals:       []Arrival{},
 		GatesEvaluated: res.Stats.GatesEvaluated,
 		ProximityEvals: res.Stats.ProximityEvals,
 		SingleArcEvals: res.Stats.SingleArcEvals,
@@ -507,7 +550,7 @@ func buildVectorResult(c *sta.Circuit, res *sta.Result, nets string) VectorResul
 			}
 		}
 	}
-	if nets == "all" {
+	if nets == netsAll {
 		for _, name := range c.NetsByName() {
 			appendNet(c.Net(name))
 		}

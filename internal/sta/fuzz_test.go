@@ -1,0 +1,116 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetlist: ParseNetlist must never panic on arbitrary text, and
+// any netlist it accepts must survive serialize → reparse → serialize as a
+// fixed point — WriteNetlist's output parses back to a circuit that
+// serializes identically, with the same structure counts.
+func FuzzParseNetlist(f *testing.F) {
+	seeds := []string{
+		"input a b\ngate g1 nand2 x a b\noutput x\n",
+		"# comment\ninput a\ngate g1 inv y a\ngate g2 inv z y\noutput z\n",
+		"input a b c\ngate g1 nand3 x a b c\noutput x x\n",
+		"input a\ngate g1 inv y a\n",
+		"gate g1 inv y a\n",
+		"input a\ngate g1 nand2 y a a\noutput y\n",
+		"output q\n",
+		"input a\ngate g1 frob y a\n",
+		"input\n",
+		"bogus directive\n",
+		"input a # trailing comment\ngate g1 inv b a # more\noutput b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lib := SynthLibrary(3)
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 1<<16 {
+			return
+		}
+		c, err := ParseNetlist(strings.NewReader(text), lib)
+		if err != nil {
+			return
+		}
+		var first strings.Builder
+		if err := WriteNetlist(&first, c); err != nil {
+			t.Fatalf("serialize accepted netlist: %v", err)
+		}
+		c2, err := ParseNetlist(strings.NewReader(first.String()), lib)
+		if err != nil {
+			t.Fatalf("reparse of serialized netlist failed: %v\n%s", err, first.String())
+		}
+		if len(c2.Gates) != len(c.Gates) || len(c2.PIs) != len(c.PIs) || len(c2.POs) != len(c.POs) {
+			t.Fatalf("round trip changed structure: %d/%d/%d gates/PIs/POs -> %d/%d/%d",
+				len(c.Gates), len(c.PIs), len(c.POs), len(c2.Gates), len(c2.PIs), len(c2.POs))
+		}
+		var second strings.Builder
+		if err := WriteNetlist(&second, c2); err != nil {
+			t.Fatal(err)
+		}
+		if first.String() != second.String() {
+			t.Fatalf("serialization not a fixed point:\n-- first --\n%s-- second --\n%s",
+				first.String(), second.String())
+		}
+	})
+}
+
+// FuzzParseEvents: ParseEvents must never panic, and every event list it
+// accepts must be non-empty with resolved nets, strictly positive finite
+// transition times, and finite arrival times — the properties the engine's
+// own validation depends on (the NaN-through-"tt <= 0" bug class).
+func FuzzParseEvents(f *testing.F) {
+	seeds := []string{
+		"a:rise:300:0",
+		"a:r:300:12.5,b:f:200:0",
+		"a:rise:NaN:0",
+		"a:rise:Inf:0",
+		"a:rise:-Inf:0",
+		"a:rise:300:NaN",
+		"a:rise:300:Inf",
+		"a:rise:-5:0",
+		"a:rise:0:0",
+		"a:fall:1e3:-2.5",
+		" , ,a:rise:300:0, ",
+		"nope:rise:300:0",
+		"a:sideways:300:0",
+		"a:rise:300",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lib := SynthLibrary(2)
+	c, err := ParseNetlist(strings.NewReader(
+		"input a b\ngate g1 nand2 x a b\ngate g2 inv y x\noutput y\n"), lib)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 1<<12 {
+			return
+		}
+		evs, err := ParseEvents(c, spec)
+		if err != nil {
+			return
+		}
+		if len(evs) == 0 {
+			t.Fatalf("ParseEvents accepted %q with zero events", spec)
+		}
+		for _, ev := range evs {
+			if ev.Net == nil {
+				t.Fatalf("accepted event with nil net in %q", spec)
+			}
+			if !(ev.TT > 0) || math.IsInf(ev.TT, 0) {
+				t.Fatalf("accepted non-positive or non-finite TT %v in %q", ev.TT, spec)
+			}
+			if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+				t.Fatalf("accepted non-finite time %v in %q", ev.Time, spec)
+			}
+		}
+	})
+}

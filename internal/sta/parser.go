@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -137,12 +138,15 @@ func ParseEvents(c *Circuit, s string) ([]PIEvent, error) {
 		default:
 			return nil, fmt.Errorf("sta: event %q: bad direction %q", part, fields[1])
 		}
+		// ParseFloat accepts "NaN" and "Inf", and NaN fails tt <= 0 — guard
+		// with !(tt > 0) plus explicit infinity checks so non-finite inputs
+		// are rejected here instead of flowing into the engine.
 		tt, err := strconv.ParseFloat(fields[2], 64)
-		if err != nil || tt <= 0 {
+		if err != nil || !(tt > 0) || math.IsInf(tt, 1) {
 			return nil, fmt.Errorf("sta: event %q: bad transition time %q", part, fields[2])
 		}
 		at, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(at) || math.IsInf(at, 0) {
 			return nil, fmt.Errorf("sta: event %q: bad time %q", part, fields[3])
 		}
 		out = append(out, PIEvent{Net: n, Dir: dir, TT: tt * 1e-12, Time: at * 1e-12})

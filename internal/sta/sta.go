@@ -67,11 +67,14 @@ type Circuit struct {
 	// piSet mirrors PIs for O(1) membership tests; without it, declaring n
 	// inputs is O(n²) and every Analyze revalidation rescans the slice.
 	piSet map[*Net]bool
+	// poSet mirrors POs so repeated output declarations collapse to one —
+	// a duplicated `output` line must not duplicate arrivals in reports.
+	poSet map[*Net]bool
 }
 
 // NewCircuit returns an empty circuit over a library.
 func NewCircuit(lib *Library) *Circuit {
-	return &Circuit{lib: lib, nets: map[string]*Net{}, piSet: map[*Net]bool{}}
+	return &Circuit{lib: lib, nets: map[string]*Net{}, piSet: map[*Net]bool{}, poSet: map[*Net]bool{}}
 }
 
 // Input declares (or returns) a primary-input net.
@@ -124,8 +127,16 @@ func (c *Circuit) AddGate(instName, typeName, outName string, inputs ...*Net) (*
 	return out, nil
 }
 
-// MarkOutput declares a primary output.
-func (c *Circuit) MarkOutput(n *Net) { c.POs = append(c.POs, n) }
+// MarkOutput declares a primary output. Re-declaring the same net is a
+// no-op, so a duplicated `output` line cannot double its arrivals in
+// responses and reports.
+func (c *Circuit) MarkOutput(n *Net) {
+	if c.poSet[n] {
+		return
+	}
+	c.poSet[n] = true
+	c.POs = append(c.POs, n)
+}
 
 // levelize groups the gates into topological levels with Kahn's algorithm:
 // level 0 holds the gates fed only by primary inputs, and every other gate
@@ -485,12 +496,20 @@ func (c *Circuit) analyzeLevels(ctx context.Context, levels [][]*Gate, events []
 		da.a[a.Dir] = a
 		da.has[a.Dir] = true
 	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("sta: empty stimulus vector (no primary-input events)")
+	}
 	for _, ev := range events {
 		if !c.piSet[ev.Net] {
 			return nil, fmt.Errorf("sta: event on non-primary-input net %s", ev.Net.Name)
 		}
-		if ev.TT <= 0 {
-			return nil, fmt.Errorf("sta: event on %s has non-positive transition time", ev.Net.Name)
+		// !(TT > 0) rather than TT <= 0: NaN fails every ordered comparison,
+		// so the naive guard waves NaN through into the interpolators.
+		if !(ev.TT > 0) || math.IsInf(ev.TT, 1) {
+			return nil, fmt.Errorf("sta: event on %s has non-positive or non-finite transition time %v", ev.Net.Name, ev.TT)
+		}
+		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+			return nil, fmt.Errorf("sta: event on %s has non-finite time %v", ev.Net.Name, ev.Time)
 		}
 		if da := res.arrivals[ev.Net]; da != nil && da.has[ev.Dir] {
 			return nil, fmt.Errorf("sta: duplicate %v event on primary input %s", ev.Dir, ev.Net.Name)
