@@ -48,6 +48,7 @@ func main() {
 		lib         = flag.String("lib", ".", "model library directory (charz JSON files)")
 		cacheSize   = flag.Int("cache", 32, "model cache capacity (cells)")
 		workers     = flag.Int("workers", 0, "analysis workers (0 = one per CPU)")
+		sparse      = flag.Bool("sparse", true, "cone-pruned sparse scheduling (false = dense full-schedule walk; results are identical)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request analysis budget")
 		maxInflight = flag.Int("max-inflight", 64, "admitted concurrent requests; beyond it requests get 429")
 		maxNetlists = flag.Int("max-netlists", 64, "resident compiled netlists (LRU beyond)")
@@ -63,6 +64,7 @@ func main() {
 
 	cfg := service.Config{
 		Workers:        *workers,
+		Dense:          !*sparse,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		MaxNetlists:    *maxNetlists,

@@ -111,6 +111,24 @@ func (cfg Config) WireVector(c *sta.Circuit, k int) []service.Event {
 	return vec
 }
 
+// PartialWireVector is WireVector k restricted to a seeded subset of about
+// a quarter of the primary inputs (always at least one) — the
+// partial-activity stimulus shape cone-pruned sparse scheduling exists for,
+// where dense and sparse walks genuinely schedule different gate sets.
+func (cfg Config) PartialWireVector(c *sta.Circuit, k int) []service.Event {
+	full := cfg.WireVector(c, k)
+	rng := rand.New(rand.NewSource(cfg.Seed*2_000_003 + int64(k)))
+	keep := len(full) / 4
+	if keep < 1 {
+		keep = 1
+	}
+	out := make([]service.Event, 0, keep)
+	for _, i := range rng.Perm(len(full))[:keep] {
+		out = append(out, full[i])
+	}
+	return out
+}
+
 // ToPIEvents converts wire events to engine events with the same arithmetic
 // the service applies (ps × 1e-12), resolving nets by name.
 func ToPIEvents(c *sta.Circuit, vec []service.Event) ([]sta.PIEvent, error) {

@@ -92,6 +92,7 @@ func (h *Histogram) String() string {
 // them per instance instead.
 type Metrics struct {
 	Requests  expvar.Map // per-endpoint request counts
+	Status2xx expvar.Int
 	Status4xx expvar.Int
 	Status5xx expvar.Int
 
@@ -131,6 +132,11 @@ func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
 		m.Status5xx.Add(1)
 	case status >= 400:
 		m.Status4xx.Add(1)
+	case status >= 200 && status < 300:
+		// Implicit 200s (Write with no WriteHeader) land here too — the
+		// statusWriter records them on first Write, so the class counters
+		// always sum to the request count.
+		m.Status2xx.Add(1)
 	}
 	m.Latency(endpoint).Observe(d)
 }
@@ -149,7 +155,8 @@ func (m *Metrics) addStats(gates, prox, single int) {
 func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int) {
 	b.WriteString("{\n")
 	fmt.Fprintf(b, ` "requests": %s,`+"\n", m.Requests.String())
-	fmt.Fprintf(b, ` "status4xx": %s, "status5xx": %s,`+"\n", m.Status4xx.String(), m.Status5xx.String())
+	fmt.Fprintf(b, ` "status2xx": %s, "status4xx": %s, "status5xx": %s,`+"\n",
+		m.Status2xx.String(), m.Status4xx.String(), m.Status5xx.String())
 	fmt.Fprintf(b, ` "vectors": %s, "gatesEvaluated": %s, "proximityEvals": %s, "singleArcEvals": %s,`+"\n",
 		m.Vectors.String(), m.GatesEvaluated.String(), m.ProximityEvals.String(), m.SingleArcEvals.String())
 	fmt.Fprintf(b, ` "modelCache": {"hits":%d,"misses":%d,"evictions":%d,"loadErrors":%d,"resident":%d},`+"\n",

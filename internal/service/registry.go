@@ -44,13 +44,28 @@ type Registry struct {
 // regEntry is one cell's cache slot. ready is closed when the load
 // completes (calc/err are immutable afterwards); elem is nil while the load
 // is still in flight — such entries live in the map but not yet in the LRU
-// list, so they cannot be evicted mid-load.
+// list. Eviction additionally skips any entry whose load has not finished
+// (see evictExcess): evicting an in-flight entry would detach it from the
+// map while its loader still holds it, so a concurrent requester of the
+// same cold cell would start a duplicate disk load and re-insert a second,
+// stale entry over the first.
 type regEntry struct {
 	name  string
 	elem  *list.Element
 	ready chan struct{}
 	calc  *core.Calculator
 	err   error
+}
+
+// loaded reports whether the entry's load has completed (success or
+// failure). Must not be called with calc/err access before it returns true.
+func (e *regEntry) loaded() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
 }
 
 // NewRegistry serves models from dir, keeping at most capacity cells
@@ -125,16 +140,32 @@ func (r *Registry) Get(name string) (*core.Calculator, error) {
 		delete(r.entries, name) // don't cache failures; retry next request
 	} else {
 		e.elem = r.lru.PushFront(e)
-		for r.lru.Len() > r.cap {
-			back := r.lru.Back()
-			victim := back.Value.(*regEntry)
-			r.lru.Remove(back)
-			delete(r.entries, victim.name)
-			r.evictions++
-		}
+		r.evictExcess()
 	}
 	r.mu.Unlock()
 	return calc, err
+}
+
+// evictExcess trims the LRU down to capacity, walking from the cold end.
+// Entries whose load has not completed are skipped rather than evicted:
+// dropping one mid-load would orphan the waiters parked on its ready
+// channel from the map, and a concurrent Get for the same cell would kick
+// off a duplicate load of a file already being read. (In-flight entries
+// normally are not in the LRU at all — elem is nil until the load lands —
+// but the skip keeps the invariant local to this function instead of
+// depending on that.) Caller must hold r.mu.
+func (r *Registry) evictExcess() {
+	for el := r.lru.Back(); el != nil && r.lru.Len() > r.cap; {
+		victim := el.Value.(*regEntry)
+		prev := el.Prev()
+		if victim.loaded() {
+			r.lru.Remove(el)
+			victim.elem = nil
+			delete(r.entries, victim.name)
+			r.evictions++
+		}
+		el = prev
+	}
 }
 
 // load reads, validates (macromodel.Load checks grid ranks and axes) and

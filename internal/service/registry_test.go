@@ -153,6 +153,90 @@ func TestRegistryEviction(t *testing.T) {
 	}
 }
 
+// TestRegistryEvictionSkipsInflight applies eviction pressure while a slow
+// load is in flight: a capacity-1 registry is overflowed with other cells
+// while the first cell's file read is held open and waiters are parked on
+// it. The in-flight entry must survive the evictions — every waiter gets
+// the one shared calculator, and the cell is loaded exactly once. Runs in
+// the -race matrix: the loader, the waiters and the evicting Gets all touch
+// the entry concurrently.
+func TestRegistryEvictionSkipsInflight(t *testing.T) {
+	dir := t.TempDir()
+	writeSynthLibrary(t, dir, "nand2", "nand3", "inv")
+	r := NewRegistry(dir, 1)
+
+	loading := make(chan struct{}) // closed when the nand2 loader is inside load()
+	release := make(chan struct{}) // closed once eviction pressure has been applied
+	var hookOnce sync.Once
+	r.testLoadHook = func(name string) {
+		if name == "nand2" {
+			hookOnce.Do(func() {
+				close(loading)
+				<-release
+			})
+		}
+	}
+
+	const waiters = 8
+	results := make(chan interface{}, waiters+1)
+	var wg sync.WaitGroup
+	get := func() {
+		defer wg.Done()
+		c, err := r.Get("nand2")
+		if err != nil {
+			results <- err
+			return
+		}
+		results <- c
+	}
+	wg.Add(1)
+	go get()
+	<-loading
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go get()
+	}
+
+	// While nand2's load is open, churn the single cache slot: nand3 fills
+	// it, inv overflows it and forces an eviction pass. Neither may disturb
+	// the in-flight nand2 entry.
+	if _, err := r.Get("nand3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("inv"); err != nil {
+		t.Fatal(err)
+	}
+
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var first interface{}
+	for res := range results {
+		if err, ok := res.(error); ok {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+		} else if res != first {
+			t.Fatal("waiters got different calculators — in-flight entry was dropped and reloaded")
+		}
+	}
+	st := r.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("misses %d, want 3 (one per cell; an evicted in-flight entry would reload nand2)", st.Misses)
+	}
+	if st.Hits != waiters {
+		t.Fatalf("hits %d, want %d (every waiter coalesces onto the in-flight load)", st.Hits, waiters)
+	}
+	if st.Resident != 1 {
+		t.Fatalf("resident %d, want 1 (capacity enforced after the slow load lands)", st.Resident)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions %d, want 2 (nand3 by inv, inv by nand2)", st.Evictions)
+	}
+}
+
 func TestRegistryBadNamesAndMissingFiles(t *testing.T) {
 	dir := t.TempDir()
 	writeSynthLibrary(t, dir, "nand2")

@@ -36,6 +36,13 @@ type Config struct {
 	// used handle is evicted beyond it (clients see 404 and re-upload).
 	// Default 64.
 	MaxNetlists int
+	// Dense disables cone-pruned sparse scheduling (stad -sparse=false).
+	// Results are bit-identical either way; dense also sheds the per-netlist
+	// cone tables. Default false: analyses schedule only the gates inside
+	// the stimulated inputs' fanout cones, reusing the cones precomputed on
+	// the uploaded netlist's compiled handle across every request and batch
+	// vector that names it.
+	Dense bool
 }
 
 // Server is the timing-analysis HTTP service. It implements http.Handler;
@@ -184,15 +191,29 @@ type ErrorResponse struct {
 
 // ---- plumbing --------------------------------------------------------------
 
-// statusWriter captures the response code for metrics.
+// statusWriter captures the response code for metrics. A handler that
+// calls Write without an explicit WriteHeader sends an implicit 200 — that
+// must be recorded on the first Write, not left at the zero value (which
+// would skew the per-class status counters and latency-by-status), and a
+// later out-of-order WriteHeader must not overwrite it (net/http ignores
+// the second header, so the metrics must too).
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status int // 0 until the handler commits a status
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if w.status == 0 {
+		w.status = code
+	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // guard wraps a handler with the admission semaphore, the per-request
@@ -213,9 +234,14 @@ func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) 
 		defer func() { <-s.sem }()
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r.WithContext(ctx))
-		s.metrics.observe(name, sw.status, time.Since(start))
+		status := sw.status
+		if status == 0 {
+			// The handler wrote nothing at all; net/http will send 200.
+			status = http.StatusOK
+		}
+		s.metrics.observe(name, status, time.Since(start))
 	}
 }
 
@@ -365,7 +391,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := compiled.Analyze(r.Context(), evs, mode, sta.Options{Workers: s.cfg.Workers})
+	res, err := compiled.Analyze(r.Context(), evs, mode, sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense})
 	if err != nil {
 		analysisError(w, err)
 		return
@@ -407,7 +433,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	results, err := compiled.AnalyzeBatch(r.Context(), batch, mode, sta.Options{Workers: s.cfg.Workers})
+	results, err := compiled.AnalyzeBatch(r.Context(), batch, mode, sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense})
 	if err != nil {
 		analysisError(w, err)
 		return

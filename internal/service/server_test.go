@@ -371,6 +371,43 @@ func TestBadRequests(t *testing.T) {
 
 // TestMetricsEndpoint: /metrics must be valid JSON carrying the request,
 // cache and workload counters plus per-endpoint latency histograms.
+// TestImplicitOKCountedInStatusClasses pins the statusWriter contract: the
+// success paths write JSON bodies without ever calling WriteHeader, so the
+// implicit 200 must be captured on the first Write and land in the 2xx
+// class counter — not vanish into an unclassified zero status. The class
+// counters must always sum to the request count.
+func TestImplicitOKCountedInStatusClasses(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// A successful upload: handleUpload ends in writeJSON — Write with no
+	// explicit WriteHeader, i.e. an implicit 200.
+	uploadTestNetlist(t, ts.URL)
+	if got := s.Metrics().Status2xx.Value(); got != 1 {
+		t.Fatalf("status2xx = %d after one implicit-200 response, want 1", got)
+	}
+
+	// An explicit-status error response lands in its own class and must not
+	// leak into (or reset) the 2xx count.
+	if code := post(t, ts.URL+"/v1/netlists", UploadRequest{Netlist: "gate g bad x y"}, nil); code != 400 {
+		t.Fatalf("bad netlist status %d, want 400", code)
+	}
+	if got := s.Metrics().Status4xx.Value(); got != 1 {
+		t.Fatalf("status4xx = %d, want 1", got)
+	}
+	if got := s.Metrics().Status2xx.Value(); got != 1 {
+		t.Fatalf("status2xx = %d after a 4xx response, want still 1", got)
+	}
+
+	// Every further implicit-200 response keeps counting.
+	uploadTestNetlist(t, ts.URL)
+	if got := s.Metrics().Status2xx.Value(); got != 2 {
+		t.Fatalf("status2xx = %d after second upload, want 2", got)
+	}
+	if reqs, classes := 3, s.Metrics().Status2xx.Value()+s.Metrics().Status4xx.Value()+s.Metrics().Status5xx.Value(); classes != int64(reqs) {
+		t.Fatalf("status classes sum to %d, want the request count %d", classes, reqs)
+	}
+}
+
 func TestMetricsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	up := uploadTestNetlist(t, ts.URL)

@@ -1,0 +1,324 @@
+package sta
+
+// Cone-pruned sparse scheduling. The paper's Algorithm ProximityDelay only
+// ever combines inputs that actually switch, and a gate can only switch if
+// an event reaches it — so for a stimulus vector that touches a handful of
+// primary inputs, walking every gate at every level is almost entirely
+// wasted work. The compiled handle precomputes each PI's fanout cone (the
+// gates an event on that PI can ever reach); per vector the active set is
+// the union of the stimulated PIs' cones, bucketed by topological level and
+// walked in the same netlist order the dense schedule uses. Gates outside
+// the union cannot receive an input arrival, so skipping them is exact:
+// sparse and dense evaluation are bit-identical, arrival for arrival
+// (enforced by the internal/difftest sparse-vs-dense oracle).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// evalScratch is the per-vector working set, pooled on the Compiled handle
+// so steady-state batch traffic allocates only the Result it returns. One
+// scratch is checked out per in-flight vector; all fields are sized once
+// against the compiled shape and reused.
+type evalScratch struct {
+	outs    []gateEval        // per-level evaluation buffer (maxWidth wide)
+	evs     []core.InputEvent // serial path's reusable input-event buffer
+	inCone  []bool            // per gate: member of this vector's active set
+	marked  []int32           // active gate indices, for O(active) reset
+	buckets [][]int32         // per level: active gate indices, netlist order
+}
+
+func newEvalScratch(p *Compiled) *evalScratch {
+	return &evalScratch{
+		outs:    make([]gateEval, p.maxWidth),
+		inCone:  make([]bool, p.gates),
+		buckets: make([][]int32, len(p.levelIdx)),
+	}
+}
+
+// ensureCones builds the per-PI fanout cones on first use. The Dense escape
+// hatch never calls this, so turning sparse scheduling off also sheds the
+// cone memory. Building is one forward BFS per PI over a CSR of
+// net-to-consumer edges: O(sum of cone sizes), paid once per Compiled.
+func (p *Compiled) ensureCones() {
+	p.coneOnce.Do(func() {
+		// Net -> consuming-gate edges in CSR form over net IDs.
+		consOff := make([]int32, p.numNets+1)
+		for _, g := range p.gateList {
+			for _, in := range g.In {
+				if int(in.id) < p.numNets {
+					consOff[in.id+1]++
+				}
+			}
+		}
+		for i := 0; i < p.numNets; i++ {
+			consOff[i+1] += consOff[i]
+		}
+		cons := make([]int32, consOff[p.numNets])
+		pos := make([]int32, p.numNets)
+		copy(pos, consOff[:p.numNets])
+		for gi, g := range p.gateList {
+			for _, in := range g.In {
+				if int(in.id) < p.numNets {
+					cons[pos[in.id]] = int32(gi)
+					pos[in.id]++
+				}
+			}
+		}
+
+		// Gate index -> topological level.
+		p.gateLevel = make([]int32, p.gates)
+		for li, row := range p.levelIdx {
+			for _, gi := range row {
+				p.gateLevel[gi] = int32(li)
+			}
+		}
+
+		// Net ID -> PI ordinal.
+		p.piOrd = make([]int32, p.numNets)
+		for i := range p.piOrd {
+			p.piOrd[i] = -1
+		}
+		for ord, pi := range p.pis {
+			if int(pi.id) < p.numNets {
+				p.piOrd[pi.id] = int32(ord)
+			}
+		}
+
+		// One BFS per PI; seen is epoch-stamped with the PI ordinal so it
+		// is allocated once, never cleared.
+		seen := make([]int32, p.gates)
+		for i := range seen {
+			seen[i] = -1
+		}
+		p.coneOff = make([]int32, len(p.pis)+1)
+		var cones []int32
+		var queue []int32
+		for ord, pi := range p.pis {
+			queue = queue[:0]
+			if int(pi.id) < p.numNets {
+				for _, gi := range cons[consOff[pi.id]:consOff[pi.id+1]] {
+					if seen[gi] != int32(ord) {
+						seen[gi] = int32(ord)
+						queue = append(queue, gi)
+					}
+				}
+			}
+			for head := 0; head < len(queue); head++ {
+				out := p.gateList[queue[head]].Out
+				if int(out.id) >= p.numNets {
+					continue
+				}
+				for _, gi := range cons[consOff[out.id]:consOff[out.id+1]] {
+					if seen[gi] != int32(ord) {
+						seen[gi] = int32(ord)
+						queue = append(queue, gi)
+					}
+				}
+			}
+			cones = append(cones, queue...)
+			p.coneOff[ord+1] = int32(len(cones))
+		}
+		p.cones = cones
+	})
+}
+
+// Cone returns the fanout cone of a primary input as gate indices into the
+// compiled netlist order (shared storage — callers must not mutate). ok is
+// false if n was not a primary input at compile time.
+func (p *Compiled) Cone(n *Net) (gates []int32, ok bool) {
+	p.ensureCones()
+	if n == nil || int(n.id) >= p.numNets || p.piOrd[n.id] < 0 {
+		return nil, false
+	}
+	ord := p.piOrd[n.id]
+	return p.cones[p.coneOff[ord]:p.coneOff[ord+1]], true
+}
+
+// sparseSchedule builds the per-level active gate lists for one stimulus
+// vector: the union of the stimulated PIs' cones, bucketed by level and
+// sorted into netlist order (the order the dense walk commits in, so the
+// first error reported matches too). Returns ok=false when a stimulated PI
+// is unknown to the compiled cone tables (declared a PI only after
+// Compile) — the caller falls back to the dense schedule, which handles
+// such nets by walking everything.
+func (p *Compiled) sparseSchedule(events []PIEvent, s *evalScratch) (schedule [][]int32, ok bool) {
+	p.ensureCones()
+	s.marked = s.marked[:0]
+	for _, ev := range events {
+		if int(ev.Net.id) >= p.numNets || p.piOrd[ev.Net.id] < 0 {
+			for _, gi := range s.marked {
+				s.inCone[gi] = false
+			}
+			return nil, false
+		}
+		if len(s.marked) == p.gates {
+			break // every gate already active; further cones are no-ops
+		}
+		ord := p.piOrd[ev.Net.id]
+		for _, gi := range p.cones[p.coneOff[ord]:p.coneOff[ord+1]] {
+			if !s.inCone[gi] {
+				s.inCone[gi] = true
+				s.marked = append(s.marked, gi)
+			}
+		}
+	}
+	if len(s.marked) == p.gates {
+		// Saturated: the union is the whole netlist, so the precomputed
+		// dense schedule is the same thing without the bucketing work.
+		for _, gi := range s.marked {
+			s.inCone[gi] = false
+		}
+		return p.levelIdx, true
+	}
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	for _, gi := range s.marked {
+		lv := p.gateLevel[gi]
+		s.buckets[lv] = append(s.buckets[lv], gi)
+	}
+	for i := range s.buckets {
+		slices.Sort(s.buckets[i])
+	}
+	for _, gi := range s.marked {
+		s.inCone[gi] = false
+	}
+	return s.buckets, true
+}
+
+// analyze seeds the primary-input arrivals and walks the schedule — the
+// full levelized one in Dense mode, the cone-pruned active subset
+// otherwise. Within a level every gate reads only arrivals committed by
+// earlier levels (or PIs) and writes only its private gateEval slot, so the
+// concurrent path is race-free by construction and bit-identical to the
+// serial one. The context is polled once per level — cheap against the
+// per-level work, frequent enough that request timeouts bite mid-walk.
+func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt Options) (*Result, error) {
+	c := p.c
+	res := &Result{Mode: mode, idx: make([]int32, p.numNets), arr: make([]dirArrivals, 0, 2*len(events))}
+	set := func(n *Net, a Arrival) {
+		da := res.slot(n)
+		da.a[a.Dir] = a
+		da.has[a.Dir] = true
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("sta: empty stimulus vector (no primary-input events)")
+	}
+	for _, ev := range events {
+		if !c.piSet[ev.Net] {
+			return nil, fmt.Errorf("sta: event on non-primary-input net %s", ev.Net.Name)
+		}
+		if int(ev.Net.id) >= p.numNets {
+			return nil, fmt.Errorf("sta: event on net %s declared after compile (recompile the circuit)", ev.Net.Name)
+		}
+		// !(TT > 0) rather than TT <= 0: NaN fails every ordered comparison,
+		// so the naive guard waves NaN through into the interpolators.
+		if !(ev.TT > 0) || math.IsInf(ev.TT, 1) {
+			return nil, fmt.Errorf("sta: event on %s has non-positive or non-finite transition time %v", ev.Net.Name, ev.TT)
+		}
+		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+			return nil, fmt.Errorf("sta: event on %s has non-finite time %v", ev.Net.Name, ev.Time)
+		}
+		if slot := res.idx[ev.Net.id]; slot != 0 && res.arr[slot-1].has[ev.Dir] {
+			return nil, fmt.Errorf("sta: duplicate %v event on primary input %s", ev.Dir, ev.Net.Name)
+		}
+		set(ev.Net, Arrival{Dir: ev.Dir, Time: ev.Time, TT: ev.TT})
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	res.Stats.Workers = workers
+	res.Stats.Levels = len(p.levelIdx)
+	res.Stats.PerLevel = make([]LevelStat, 0, len(p.levelIdx))
+
+	s := p.scratch.Get().(*evalScratch)
+	defer p.scratch.Put(s)
+
+	schedule := p.levelIdx
+	if !opt.Dense {
+		if sp, ok := p.sparseSchedule(events, s); ok {
+			schedule = sp
+		}
+	}
+
+	for _, level := range schedule {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sta: analysis interrupted: %w", err)
+		}
+		if len(level) == 0 {
+			res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{})
+			continue
+		}
+		start := time.Now()
+		w := workers
+		if w > len(level) {
+			w = len(level)
+		}
+		if w <= 1 {
+			for k, gi := range level {
+				s.outs[k] = evalGate(p.gateList[gi], res, mode, &s.evs)
+				if s.outs[k].err != nil {
+					return nil, s.outs[k].err
+				}
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var evs []core.InputEvent
+					for {
+						k := int(next.Add(1) - 1)
+						if k >= len(level) {
+							return
+						}
+						s.outs[k] = evalGate(p.gateList[level[k]], res, mode, &evs)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		// Commit in netlist order: deterministic arrival stores, and the
+		// error reported is the one the serial walk would hit first.
+		for k, gi := range level {
+			o := &s.outs[k]
+			if o.err != nil {
+				return nil, o.err
+			}
+			evaluated := false
+			for d := range o.a {
+				if !o.has[d] {
+					continue
+				}
+				a := o.a[d]
+				set(p.gateList[gi].Out, a)
+				evaluated = true
+				res.Stats.Evaluations++
+				if a.UsedInputs > 1 {
+					res.Stats.ProximityEvals++
+				} else {
+					res.Stats.SingleArcEvals++
+				}
+			}
+			if evaluated {
+				res.Stats.GatesEvaluated++
+			}
+		}
+		res.Stats.GatesScheduled += len(level)
+		res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{Gates: len(level), Wall: time.Since(start)})
+	}
+	return res, nil
+}

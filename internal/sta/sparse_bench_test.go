@@ -1,0 +1,186 @@
+package sta_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sta"
+)
+
+// The sparse-scheduling benchmark netlist: 240 independent 50-gate tiles
+// (12k gates total, 1920 PIs). A tile-local stimulus vector touches 8 PIs —
+// 0.42% of the inputs — the block-partitioned locality shape cone pruning
+// is built for; the dense walk visits all 240 tiles regardless.
+const (
+	benchTiles        = 240
+	benchPIsPerTile   = 8
+	benchGatesPerTile = 50
+)
+
+var (
+	tiledOnce sync.Once
+	tiledC    *sta.Circuit
+	tiledErr  error
+)
+
+func getTiledBench(tb testing.TB) *sta.Circuit {
+	tb.Helper()
+	tiledOnce.Do(func() {
+		tiledC, tiledErr = sta.SynthTiled(benchTiles, benchPIsPerTile, benchGatesPerTile, 17)
+	})
+	if tiledErr != nil {
+		tb.Fatal(tiledErr)
+	}
+	return tiledC
+}
+
+// tiledBatch builds n stimulus vectors, each confined to one tile (cycling
+// through the tiles), the partial-activity batch shape.
+func tiledBatch(tb testing.TB, c *sta.Circuit, n int) [][]sta.PIEvent {
+	tb.Helper()
+	batch := make([][]sta.PIEvent, n)
+	for i := range batch {
+		pis := sta.TilePIs(c, i%benchTiles)
+		if len(pis) != benchPIsPerTile {
+			tb.Fatalf("tile %d has %d PIs, want %d", i%benchTiles, len(pis), benchPIsPerTile)
+		}
+		batch[i] = sta.SynthEventsFor(pis, int64(i))
+	}
+	return batch
+}
+
+// fullBatch builds n all-PI stimulus vectors — the saturated shape where
+// sparse must not regress against dense.
+func fullBatch(c *sta.Circuit, n int) [][]sta.PIEvent {
+	batch := make([][]sta.PIEvent, n)
+	for i := range batch {
+		batch[i] = sta.SynthEvents(c, int64(i))
+	}
+	return batch
+}
+
+// BenchmarkSparseBatch compares the dense full-schedule walk against
+// cone-pruned sparse scheduling on the tiled netlist, for both a
+// tile-local (partial) batch and an all-PI (full) batch. The partial/dense
+// vs partial/sparse pair is the headline number recorded in
+// BENCH_sparse.json.
+func BenchmarkSparseBatch(b *testing.B) {
+	c := getTiledBench(b)
+	for _, stim := range []struct {
+		name  string
+		batch [][]sta.PIEvent
+	}{
+		{"partial", tiledBatch(b, c, 16)},
+		{"full", fullBatch(c, 4)},
+	} {
+		for _, sched := range []struct {
+			name  string
+			dense bool
+		}{
+			{"dense", true},
+			{"sparse", false},
+		} {
+			b.Run(fmt.Sprintf("stimulus=%s/sched=%s", stim.name, sched.name), func(b *testing.B) {
+				opt := sta.Options{Workers: 1, Dense: sched.dense}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.AnalyzeBatch(stim.batch, sta.Proximity, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(len(stim.batch))*float64(b.N)/b.Elapsed().Seconds(), "vectors/s")
+			})
+		}
+	}
+}
+
+// sparseBenchResult is the BENCH_sparse.json schema — the before/after
+// record for cone-pruned sparse scheduling. "Before" is the dense schedule
+// (Options.Dense, the pre-sparse walk preserved as the oracle reference)
+// run on the same engine build, so the comparison isolates the scheduler.
+type sparseBenchResult struct {
+	Timestamp    string `json:"timestamp"`
+	NetlistGates int    `json:"netlistGates"`
+	NetlistPIs   int    `json:"netlistPIs"`
+	Tiles        int    `json:"tiles"`
+
+	PartialPIsPerVector  int     `json:"partialPIsPerVector"`
+	PartialPIFraction    float64 `json:"partialPIFraction"`
+	PartialVectors       int     `json:"partialVectors"`
+	PartialDenseSecPerV  float64 `json:"partialDenseSecPerVector"`
+	PartialSparseSecPerV float64 `json:"partialSparseSecPerVector"`
+	PartialSpeedup       float64 `json:"partialSpeedup"`
+
+	FullVectors       int     `json:"fullVectors"`
+	FullDenseSecPerV  float64 `json:"fullDenseSecPerVector"`
+	FullSparseSecPerV float64 `json:"fullSparseSecPerVector"`
+	FullSpeedup       float64 `json:"fullSpeedup"`
+}
+
+// TestWriteSparseBench regenerates BENCH_sparse.json when BENCH_SPARSE_OUT
+// names the output path (it is skipped in normal test runs):
+//
+//	BENCH_SPARSE_OUT=$(pwd)/BENCH_sparse.json go test -run TestWriteSparseBench ./internal/sta/
+//
+// The acceptance bar it documents: ≥3x on batches stimulating ≤10% of the
+// PIs, no regression on full-stimulus batches.
+func TestWriteSparseBench(t *testing.T) {
+	out := os.Getenv("BENCH_SPARSE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SPARSE_OUT to regenerate BENCH_sparse.json")
+	}
+	c := getTiledBench(t)
+	partial := tiledBatch(t, c, 32)
+	full := fullBatch(c, 4)
+
+	secPerVector := func(batch [][]sta.PIEvent, dense bool) float64 {
+		opt := sta.Options{Workers: 1, Dense: dense}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AnalyzeBatch(batch, sta.Proximity, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return r.T.Seconds() / float64(r.N) / float64(len(batch))
+	}
+
+	res := sparseBenchResult{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		NetlistGates: benchTiles * benchGatesPerTile,
+		NetlistPIs:   benchTiles * benchPIsPerTile,
+		Tiles:        benchTiles,
+
+		PartialPIsPerVector: benchPIsPerTile,
+		PartialPIFraction:   1.0 / benchTiles,
+		PartialVectors:      len(partial),
+		FullVectors:         len(full),
+	}
+	res.PartialDenseSecPerV = secPerVector(partial, true)
+	res.PartialSparseSecPerV = secPerVector(partial, false)
+	res.PartialSpeedup = res.PartialDenseSecPerV / res.PartialSparseSecPerV
+	res.FullDenseSecPerV = secPerVector(full, true)
+	res.FullSparseSecPerV = secPerVector(full, false)
+	res.FullSpeedup = res.FullDenseSecPerV / res.FullSparseSecPerV
+
+	if res.PartialSpeedup < 3 {
+		t.Errorf("partial-stimulus speedup %.2fx, acceptance bar is 3x", res.PartialSpeedup)
+	}
+	if res.FullSpeedup < 0.9 {
+		t.Errorf("full-stimulus sparse/dense ratio %.2fx — sparse regressed on saturated batches", res.FullSpeedup)
+	}
+
+	data, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("partial %.2fx (%.3fms -> %.3fms per vector), full %.2fx; wrote %s",
+		res.PartialSpeedup, res.PartialDenseSecPerV*1e3, res.PartialSparseSecPerV*1e3, res.FullSpeedup, out)
+}

@@ -46,6 +46,11 @@ func (l *Library) Get(name string) *core.Calculator { return l.calcs[name] }
 type Net struct {
 	Name   string
 	Driver *Gate // nil for primary inputs
+	// id is the net's dense integer identity within its circuit, assigned
+	// at creation in declaration order. It indexes the Result arrival store
+	// and the compiled cone tables, so arrival lookup is a slice index, not
+	// a map probe.
+	id int32
 }
 
 // Gate is one logic-cell instance.
@@ -70,6 +75,23 @@ type Circuit struct {
 	// poSet mirrors POs so repeated output declarations collapse to one —
 	// a duplicated `output` line must not duplicate arrivals in reports.
 	poSet map[*Net]bool
+
+	// compiled memoizes Compile so the Analyze entry points don't pay
+	// levelization (and cone construction) per call on an unchanged
+	// netlist. Structural mutations (Input, AddGate, net creation) clear
+	// it; concurrent Analyze callers may race to fill it, which is safe —
+	// every handle built from the same structure is equivalent.
+	compileMu sync.Mutex
+	compiled  *Compiled
+}
+
+// invalidateCompiled drops the memoized analysis handle after a structural
+// mutation. Handles already obtained by callers keep working against the
+// snapshot they hold.
+func (c *Circuit) invalidateCompiled() {
+	c.compileMu.Lock()
+	c.compiled = nil
+	c.compileMu.Unlock()
 }
 
 // NewCircuit returns an empty circuit over a library.
@@ -83,6 +105,7 @@ func (c *Circuit) Input(name string) *Net {
 	if !c.piSet[n] {
 		c.piSet[n] = true
 		c.PIs = append(c.PIs, n)
+		c.invalidateCompiled()
 	}
 	return n
 }
@@ -95,10 +118,15 @@ func (c *Circuit) net(name string) *Net {
 	if n, ok := c.nets[name]; ok {
 		return n
 	}
-	n := &Net{Name: name}
+	n := &Net{Name: name, id: int32(len(c.nets))}
 	c.nets[name] = n
+	c.invalidateCompiled()
 	return n
 }
+
+// NumNets returns how many nets the circuit currently holds. Net IDs are
+// dense in [0, NumNets).
+func (c *Circuit) NumNets() int { return len(c.nets) }
 
 // Net returns an existing net by name (nil if undeclared).
 func (c *Circuit) Net(name string) *Net { return c.nets[name] }
@@ -124,6 +152,7 @@ func (c *Circuit) AddGate(instName, typeName, outName string, inputs ...*Net) (*
 	g := &Gate{Name: instName, Type: typeName, Calc: calc, In: inputs, Out: out}
 	out.Driver = g
 	c.Gates = append(c.Gates, g)
+	c.invalidateCompiled()
 	return out, nil
 }
 
@@ -265,6 +294,12 @@ type Options struct {
 	// reference path. Results are bit-identical at every setting — the
 	// schedule changes, the arithmetic does not.
 	Workers int
+	// Dense disables cone-pruned sparse scheduling and walks every gate at
+	// every level, the pre-sparse reference schedule. The default (false)
+	// schedules only the gates inside the fanout cones of the stimulated
+	// primary inputs; both schedules are bit-identical in their results, so
+	// Dense exists as an escape hatch and as the oracle's reference.
+	Dense bool
 }
 
 // defaultWorkers mirrors the characterization pools' policy (see
@@ -295,7 +330,14 @@ type Stats struct {
 	Evaluations    int // per-direction delay calculations
 	ProximityEvals int // evaluations combining >1 switching input
 	SingleArcEvals int // evaluations timed from a single arc
-	PerLevel       []LevelStat
+	// GatesScheduled counts gates the schedule visited: every gate of every
+	// level in dense mode, only the active-cone gates in sparse mode. The
+	// difference against the gate count is what cone pruning saved.
+	GatesScheduled int
+	// PerLevel has one entry per topological level; Gates is the number of
+	// gates scheduled at that level (in sparse mode, levels outside the
+	// active cones record zero).
+	PerLevel []LevelStat
 }
 
 // dirArrivals stores a net's arrivals indexed by direction (Rising=0,
@@ -306,18 +348,37 @@ type dirArrivals struct {
 	has [2]bool
 }
 
-// Result holds per-net arrivals after analysis.
+// Result holds per-net arrivals after analysis. The store is indexed by net
+// ID through a flat int32 table into a compact arrival slab, so Arrival is
+// two bounds checks and two array reads, and a cone-pruned analysis that
+// touches 50 of 14000 nets allocates (and the GC later scans) 50 arrival
+// slots, not 14000 — only the pointer-free index scales with the netlist.
+// A Result is only meaningful for nets of the circuit that produced it.
 type Result struct {
-	Mode     Mode
-	Stats    Stats
-	arrivals map[*Net]*dirArrivals
+	Mode  Mode
+	Stats Stats
+	idx   []int32       // net ID -> 1-based slot in arr (0 = no arrivals)
+	arr   []dirArrivals // compact: one entry per net that carries an arrival
+}
+
+// slot returns (creating if needed) the net's arrival store.
+func (r *Result) slot(n *Net) *dirArrivals {
+	if r.idx[n.id] == 0 {
+		r.arr = append(r.arr, dirArrivals{})
+		r.idx[n.id] = int32(len(r.arr))
+	}
+	return &r.arr[r.idx[n.id]-1]
 }
 
 // Arrival returns the arrival of a net in the given direction; ok=false if
-// the net never transitions that way.
+// the net never transitions that way (or was created after the analysis
+// compiled, and therefore cannot carry one).
 func (r *Result) Arrival(n *Net, dir waveform.Direction) (Arrival, bool) {
-	da := r.arrivals[n]
-	if da == nil || !da.has[dir] {
+	if n == nil || int(n.id) >= len(r.idx) || r.idx[n.id] == 0 {
+		return Arrival{}, false
+	}
+	da := &r.arr[r.idx[n.id]-1]
+	if !da.has[dir] {
 		return Arrival{}, false
 	}
 	return da.a[dir], true
@@ -385,21 +446,86 @@ func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Re
 // circuit is compiled again.
 //
 // A Compiled handle is safe for concurrent use: Analyze and AnalyzeBatch
-// only read the circuit and schedule.
+// only read the circuit and schedule (the lazily built cone tables are
+// guarded by a sync.Once, the per-vector scratch by a sync.Pool).
 type Compiled struct {
 	c      *Circuit
 	levels [][]*Gate
 	gates  int
+
+	// Snapshots taken at compile time; structural edits to the circuit
+	// afterwards are not reflected (and events on nets created after the
+	// compile are rejected rather than silently mis-indexed).
+	numNets  int
+	gateList []*Gate   // gate index -> *Gate, netlist order
+	levelIdx [][]int32 // the levelized schedule as gate indices
+	pis      []*Net    // primary inputs at compile time
+
+	maxWidth int // widest level, sizes the per-level eval buffer
+
+	// Per-PI fanout cones, built lazily on the first sparse analysis (the
+	// Dense escape hatch never pays for them). CSR layout: cone of PI
+	// ordinal k is cones[coneOff[k]:coneOff[k+1]], gate indices in BFS
+	// order. gateLevel maps gate index -> topological level; piOrd maps net
+	// ID -> PI ordinal (-1 for non-PIs).
+	coneOnce  sync.Once
+	coneOff   []int32
+	cones     []int32
+	gateLevel []int32
+	piOrd     []int32
+
+	scratch sync.Pool // *evalScratch
 }
 
 // Compile levelizes the circuit into a reusable analysis handle. It fails
-// exactly when Analyze would: on a combinational loop.
+// exactly when Analyze would: on a combinational loop. The handle is
+// memoized on the circuit until the next structural mutation, so repeated
+// Analyze/AnalyzeBatch calls share one levelization, one set of fanout
+// cones and one scratch pool.
 func (c *Circuit) Compile() (*Compiled, error) {
+	c.compileMu.Lock()
+	if p := c.compiled; p != nil {
+		c.compileMu.Unlock()
+		return p, nil
+	}
+	c.compileMu.Unlock()
+
 	levels, err := c.levelize()
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{c: c, levels: levels, gates: len(c.Gates)}, nil
+	p := &Compiled{
+		c:       c,
+		levels:  levels,
+		gates:   len(c.Gates),
+		numNets: len(c.nets),
+		pis:     append([]*Net(nil), c.PIs...),
+	}
+	p.gateList = append([]*Gate(nil), c.Gates...)
+	idxOf := make(map[*Gate]int32, len(p.gateList))
+	for i, g := range p.gateList {
+		idxOf[g] = int32(i)
+	}
+	p.levelIdx = make([][]int32, len(levels))
+	for li, level := range levels {
+		if len(level) > p.maxWidth {
+			p.maxWidth = len(level)
+		}
+		row := make([]int32, len(level))
+		for k, g := range level {
+			row[k] = idxOf[g]
+		}
+		p.levelIdx[li] = row
+	}
+	p.scratch.New = func() any { return newEvalScratch(p) }
+	c.compileMu.Lock()
+	if c.compiled == nil {
+		c.compiled = p
+	} else {
+		p = c.compiled // another caller filled it first; share theirs
+	}
+	c.compileMu.Unlock()
+	return p, nil
 }
 
 // Circuit returns the underlying circuit (for net lookup and reporting).
@@ -415,7 +541,7 @@ func (p *Compiled) NumLevels() int { return len(p.levels) }
 // context is checked at every level boundary, so a canceled or expired
 // request abandons a deep netlist promptly instead of walking it to the end.
 func (p *Compiled) Analyze(ctx context.Context, events []PIEvent, mode Mode, opt Options) (*Result, error) {
-	return p.c.analyzeLevels(ctx, p.levels, events, mode, opt)
+	return p.analyze(ctx, events, mode, opt)
 }
 
 // AnalyzeBatch fans N independent vectors across the worker budget against
@@ -431,9 +557,10 @@ func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mod
 	}
 	results := make([]*Result, len(batch))
 	errs := make([]error, len(batch))
+	perVector := Options{Workers: 1, Dense: opt.Dense}
 	if workers <= 1 {
 		for i, events := range batch {
-			results[i], errs[i] = p.c.analyzeLevels(ctx, p.levels, events, mode, Options{Workers: 1})
+			results[i], errs[i] = p.analyze(ctx, events, mode, perVector)
 		}
 	} else {
 		var next atomic.Int64
@@ -447,7 +574,7 @@ func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mod
 					if i >= len(batch) {
 						return
 					}
-					results[i], errs[i] = p.c.analyzeLevels(ctx, p.levels, batch[i], mode, Options{Workers: 1})
+					results[i], errs[i] = p.analyze(ctx, batch[i], mode, perVector)
 				}
 			}()
 		}
@@ -472,132 +599,6 @@ type gateEval struct {
 	a   [2]Arrival
 	has [2]bool
 	err error
-}
-
-// analyzeLevels seeds the primary-input arrivals and walks the levelized
-// schedule. Within a level every gate reads only arrivals committed by
-// earlier levels (or PIs) and writes only its private gateEval slot, so
-// the concurrent path is race-free by construction and bit-identical to
-// the serial one. The context is polled once per level — cheap against the
-// per-level work, frequent enough that request timeouts bite mid-walk.
-func (c *Circuit) analyzeLevels(ctx context.Context, levels [][]*Gate, events []PIEvent, mode Mode, opt Options) (*Result, error) {
-	res := &Result{Mode: mode, arrivals: make(map[*Net]*dirArrivals, len(c.nets))}
-	// All per-net arrival records come from one slab: at most one per net,
-	// and the slab never grows, so interior pointers stay valid.
-	slab := make([]dirArrivals, len(c.nets))
-	used := 0
-	set := func(n *Net, a Arrival) {
-		da := res.arrivals[n]
-		if da == nil {
-			da = &slab[used]
-			used++
-			res.arrivals[n] = da
-		}
-		da.a[a.Dir] = a
-		da.has[a.Dir] = true
-	}
-	if len(events) == 0 {
-		return nil, fmt.Errorf("sta: empty stimulus vector (no primary-input events)")
-	}
-	for _, ev := range events {
-		if !c.piSet[ev.Net] {
-			return nil, fmt.Errorf("sta: event on non-primary-input net %s", ev.Net.Name)
-		}
-		// !(TT > 0) rather than TT <= 0: NaN fails every ordered comparison,
-		// so the naive guard waves NaN through into the interpolators.
-		if !(ev.TT > 0) || math.IsInf(ev.TT, 1) {
-			return nil, fmt.Errorf("sta: event on %s has non-positive or non-finite transition time %v", ev.Net.Name, ev.TT)
-		}
-		if math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
-			return nil, fmt.Errorf("sta: event on %s has non-finite time %v", ev.Net.Name, ev.Time)
-		}
-		if da := res.arrivals[ev.Net]; da != nil && da.has[ev.Dir] {
-			return nil, fmt.Errorf("sta: duplicate %v event on primary input %s", ev.Dir, ev.Net.Name)
-		}
-		set(ev.Net, Arrival{Dir: ev.Dir, Time: ev.Time, TT: ev.TT})
-	}
-
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = defaultWorkers()
-	}
-	res.Stats.Workers = workers
-	res.Stats.Levels = len(levels)
-	res.Stats.PerLevel = make([]LevelStat, 0, len(levels))
-
-	maxWidth := 0
-	for _, level := range levels {
-		if len(level) > maxWidth {
-			maxWidth = len(level)
-		}
-	}
-	outs := make([]gateEval, maxWidth)
-	var scratch []core.InputEvent // serial path's reusable event buffer
-
-	for _, level := range levels {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("sta: analysis interrupted: %w", err)
-		}
-		start := time.Now()
-		w := workers
-		if w > len(level) {
-			w = len(level)
-		}
-		if w <= 1 {
-			for k, g := range level {
-				outs[k] = evalGate(g, res, mode, &scratch)
-				if outs[k].err != nil {
-					return nil, outs[k].err
-				}
-			}
-		} else {
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for i := 0; i < w; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					var evs []core.InputEvent
-					for {
-						k := int(next.Add(1) - 1)
-						if k >= len(level) {
-							return
-						}
-						outs[k] = evalGate(level[k], res, mode, &evs)
-					}
-				}()
-			}
-			wg.Wait()
-		}
-		// Commit in netlist order: deterministic arrival maps, and the
-		// error reported is the one the serial walk would hit first.
-		for k, g := range level {
-			o := &outs[k]
-			if o.err != nil {
-				return nil, o.err
-			}
-			evaluated := false
-			for d := range o.a {
-				if !o.has[d] {
-					continue
-				}
-				a := o.a[d]
-				set(g.Out, a)
-				evaluated = true
-				res.Stats.Evaluations++
-				if a.UsedInputs > 1 {
-					res.Stats.ProximityEvals++
-				} else {
-					res.Stats.SingleArcEvals++
-				}
-			}
-			if evaluated {
-				res.Stats.GatesEvaluated++
-			}
-		}
-		res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{Gates: len(level), Wall: time.Since(start)})
-	}
-	return res, nil
 }
 
 // evalGate computes both output-direction arrivals of one gate from the
@@ -637,11 +638,19 @@ func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode)
 		for _, e := range evs {
 			d, tt, err := g.Calc.SingleDelay(e.Pin, e.Dir, e.TT)
 			if err != nil {
-				return Arrival{}, err
+				// Name the pin and its net here; the caller prefixes the
+				// gate and output direction — same context the proximity
+				// path's core errors carry.
+				return Arrival{}, fmt.Errorf("input pin %d (net %s) %v: %w", e.Pin, g.In[e.Pin].Name, e.Dir, err)
 			}
 			if t := e.Cross + d; t > best.Time {
 				best = Arrival{Dir: outDir, Time: t, TT: tt, FromGate: g, FromPin: e.Pin, UsedInputs: 1}
 			}
+		}
+		if best.FromGate == nil {
+			// Every arc produced a non-comparable (NaN) candidate; a
+			// zero-FromGate arrival would break path tracing downstream.
+			return Arrival{}, fmt.Errorf("no finite single-arc delay among %d switching inputs", len(evs))
 		}
 		return best, nil
 	}
@@ -715,9 +724,12 @@ func (r *Result) CriticalPath(n *Net, dir waveform.Direction) ([]PathStep, error
 			return nil, fmt.Errorf("sta: broken path at net %s", inNet.Name)
 		}
 		net, cur = inNet, prev
-		// A valid trace visits each net at most once per direction; more
-		// steps than that means the back-pointers form a cycle.
-		if len(path) > 2*len(r.arrivals)+2 {
+		// A valid trace visits each populated net at most once per
+		// direction; more steps than that means the back-pointers form a
+		// cycle. (Bounded by the compact store size, not the net count: a
+		// sparse result indexes every net, but only nets inside the
+		// stimulated cones carry arrivals a trace can visit.)
+		if len(path) > 2*len(r.arr)+2 {
 			return nil, fmt.Errorf("sta: path trace runaway")
 		}
 	}

@@ -106,13 +106,95 @@ func SynthRandom(nPIs, nGates int, seed int64) (*Circuit, error) {
 	return c, nil
 }
 
+// SynthTiled builds nTiles independent pseudo-random blocks in one circuit:
+// each tile is a small layered DAG (the SynthRandom construction with a
+// tile-local pool) over its own pisPerTile primary inputs, with no nets
+// shared between tiles. This is the block-partitioned shape of real designs
+// where batch timing queries have locality — a vector that stimulates one
+// tile's inputs can only ever reach that tile's gates, so it is the
+// reference workload for cone-pruned sparse scheduling (and the worst case
+// for a dense walk, which visits every tile regardless).
+func SynthTiled(nTiles, pisPerTile, gatesPerTile int, seed int64) (*Circuit, error) {
+	if nTiles < 1 || pisPerTile < 1 || gatesPerTile < 1 {
+		return nil, fmt.Errorf("sta: need at least one tile, PI and gate per tile")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCircuit(SynthLibrary(3))
+	for t := 0; t < nTiles; t++ {
+		pool := make([]*Net, 0, pisPerTile+gatesPerTile)
+		for i := 0; i < pisPerTile; i++ {
+			pool = append(pool, c.Input(fmt.Sprintf("t%d_p%d", t, i)))
+		}
+		width := gatesPerTile / 8
+		if width < 4 {
+			width = 4
+		}
+		hasFanout := make(map[*Net]bool, pisPerTile+gatesPerTile)
+		prevLayer := pool
+		var layer []*Net
+		for i := 0; i < gatesPerTile; i++ {
+			typ, arity := "nand2", 2
+			switch r := rng.Intn(10); {
+			case r < 2:
+				typ, arity = "inv", 1
+			case r >= 7:
+				typ, arity = "nand3", 3
+			}
+			ins := make([]*Net, arity)
+			ins[0] = prevLayer[rng.Intn(len(prevLayer))]
+			for k := 1; k < arity; k++ {
+				ins[k] = pool[rng.Intn(len(pool))]
+			}
+			out, err := c.AddGate(fmt.Sprintf("t%d_g%d", t, i), typ, fmt.Sprintf("t%d_n%d", t, i), ins...)
+			if err != nil {
+				return nil, err
+			}
+			for _, in := range ins {
+				hasFanout[in] = true
+			}
+			layer = append(layer, out)
+			if len(layer) >= width {
+				pool = append(pool, layer...)
+				prevLayer, layer = layer, nil
+			}
+		}
+		pool = append(pool, layer...)
+		for _, n := range pool {
+			if !hasFanout[n] && n.Driver != nil {
+				c.MarkOutput(n)
+			}
+		}
+	}
+	return c, nil
+}
+
+// TilePIs returns the primary inputs of one SynthTiled tile (by naming
+// convention), for building tile-local stimulus vectors.
+func TilePIs(c *Circuit, tile int) []*Net {
+	var pis []*Net
+	for i := 0; ; i++ {
+		n := c.Net(fmt.Sprintf("t%d_p%d", tile, i))
+		if n == nil {
+			break
+		}
+		pis = append(pis, n)
+	}
+	return pis
+}
+
 // SynthEvents builds one deterministic event per primary input — a
 // full-activity stimulus with staggered arrival times, varied transition
 // times, and alternating directions, seeded for reproducibility.
 func SynthEvents(c *Circuit, seed int64) []PIEvent {
+	return SynthEventsFor(c.PIs, seed)
+}
+
+// SynthEventsFor builds one deterministic event per net of a primary-input
+// subset — the partial-stimulus shape sparse scheduling exists for.
+func SynthEventsFor(pis []*Net, seed int64) []PIEvent {
 	rng := rand.New(rand.NewSource(seed))
-	evs := make([]PIEvent, len(c.PIs))
-	for i, pi := range c.PIs {
+	evs := make([]PIEvent, len(pis))
+	for i, pi := range pis {
 		dir := waveform.Rising
 		if rng.Intn(2) == 1 {
 			dir = waveform.Falling
