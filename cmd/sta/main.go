@@ -34,10 +34,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/cells"
 	"repro/internal/core"
 	"repro/internal/macromodel"
+	"repro/internal/obs"
 	"repro/internal/spice"
 	"repro/internal/sta"
 	"repro/internal/vtc"
@@ -57,17 +59,34 @@ func main() {
 		workers = flag.Int("workers", 0, "evaluation workers per level (0 = one per CPU, 1 = serial)")
 		sparse  = flag.Bool("sparse", true, "cone-pruned sparse scheduling (false = dense full-schedule walk; results are identical)")
 		server  = flag.String("server", "", "stad base URL; analysis runs on the daemon instead of in-process")
+		tracef  = flag.String("trace", "", "write a Chrome trace_event JSON of the engine phases to this file (load in chrome://tracing or Perfetto)")
+		explain = flag.String("explain", "", "comma-separated nets: print the proximity decision trace behind each net's arrivals")
+		vtrace  = flag.String("validate-trace", "", "validate a Chrome trace JSON file produced by -trace, then exit (used by CI)")
 	)
 	flag.Parse()
+	if *vtrace != "" {
+		if err := validateTraceFile(*vtrace); err != nil {
+			fmt.Fprintf(os.Stderr, "sta: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *netlist == "" || *events == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	var err error
 	if *server != "" {
-		err = runRemote(*server, *netlist, *events, *mode)
+		switch {
+		case *tracef != "":
+			err = fmt.Errorf("-trace runs in-process only (use POST /v1/analyze?trace=1 against the daemon)")
+		case *explain != "":
+			err = fmt.Errorf("-explain runs in-process only (use POST /v1/explain against the daemon)")
+		default:
+			err = runRemote(*server, *netlist, *events, *mode)
+		}
 	} else {
-		err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse)
+		err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse, *tracef, *explain)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sta: %v\n", err)
@@ -75,7 +94,7 @@ func main() {
 	}
 }
 
-func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool) error {
+func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool, tracePath, explainList string) error {
 	lib := sta.NewLibrary()
 
 	// Load pre-characterized models.
@@ -132,8 +151,29 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 		return fmt.Errorf("unknown mode %q", mode)
 	}
 	opt := sta.Options{Workers: workers, Dense: !sparse}
+	var tr *obs.Trace
+	if tracePath != "" {
+		tr = obs.NewTrace()
+		opt.Trace = tr
+		defer func() {
+			if werr := writeTraceFile(tracePath, tr); werr != nil {
+				fmt.Fprintf(os.Stderr, "sta: %v\n", werr)
+			}
+		}()
+	}
+	var explainNets []string
+	if explainList != "" {
+		for _, name := range strings.Split(explainList, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				explainNets = append(explainNets, name)
+			}
+		}
+	}
 
 	if len(batch) > 1 {
+		if len(explainNets) > 0 {
+			return fmt.Errorf("-explain works on a single stimulus vector (got %d)", len(batch))
+		}
 		return runBatch(c, batch, modes, opt, reqPS)
 	}
 	evs := batch[0]
@@ -182,8 +222,54 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 					reqPS, slack*1e12, at.Name, warr.Dir, status)
 			}
 		}
+		if len(explainNets) > 0 {
+			nes, err := sta.ExplainNets(c, res, explainNets)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n-- explain (%s) --\n", m)
+			for _, ne := range nes {
+				ne.Format(os.Stdout)
+			}
+		}
 		printStats(res.Stats)
 	}
+	return nil
+}
+
+// validateTraceFile checks that a -trace output decodes as the Chrome JSON
+// Object Format with well-formed, properly nested events — the structural
+// contract chrome://tracing and Perfetto rely on.
+func validateTraceFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	events, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: trace has no events", path)
+	}
+	fmt.Printf("%s: valid Chrome trace, %d events\n", path, len(events))
+	return nil
+}
+
+// writeTraceFile dumps the recorded spans as a Chrome trace_event document.
+func writeTraceFile(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sta: wrote %d trace events to %s\n", tr.Len(), path)
 	return nil
 }
 
@@ -211,10 +297,19 @@ func parseBatch(c *sta.Circuit, eventSpec string) ([][]sta.PIEvent, error) {
 	return batch, nil
 }
 
-// printStats summarizes what the analysis did.
+// printStats summarizes what the analysis did and where the time went.
 func printStats(s sta.Stats) {
 	fmt.Printf("evaluated %d of %d scheduled gates over %d levels (%d proximity, %d single-arc evals), %d workers\n",
 		s.GatesEvaluated, s.GatesScheduled, s.Levels, s.ProximityEvals, s.SingleArcEvals, s.Workers)
+	if s.Wall > 0 {
+		fmt.Printf("phases:")
+		for _, p := range obs.Phases() {
+			if d := s.Phases[p]; d > 0 {
+				fmt.Printf(" %s=%s", p, d.Round(time.Microsecond))
+			}
+		}
+		fmt.Printf(" wall=%s\n", s.Wall.Round(time.Microsecond))
+	}
 }
 
 // runBatch analyzes several independent stimulus vectors against one shared

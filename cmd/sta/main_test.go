@@ -1,11 +1,14 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/macromodel"
+	"repro/internal/obs"
 	"repro/internal/sta"
 )
 
@@ -130,5 +133,35 @@ func TestParseWireBatch(t *testing.T) {
 	}
 	if _, err := parseWireBatch("ok:rise:1:0;x:rise:nan-ish:0"); err == nil || !strings.Contains(err.Error(), "vector 1") {
 		t.Errorf("error %v does not carry the vector index", err)
+	}
+}
+
+// TestTraceFileIsValidChrome: the -trace path must produce a file the
+// Chrome trace viewer loads — decoded and structurally checked by the same
+// validator CI runs against the shipped binary.
+func TestTraceFileIsValidChrome(t *testing.T) {
+	c := testCircuit(t)
+	evs, err := sta.ParseEvents(c, "a:rise:300:0,b:rise:250:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	if _, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: 2, Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTraceFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file is empty")
 	}
 }

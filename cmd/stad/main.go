@@ -7,13 +7,22 @@
 // Endpoints:
 //
 //	POST /v1/netlists       upload + levelize a netlist, returns a handle
-//	POST /v1/analyze        run one stimulus vector
+//	POST /v1/analyze        run one stimulus vector (?trace=1 returns a
+//	                        Chrome trace_event document inline)
 //	POST /v1/analyze:batch  fan a vector set through the batch engine
+//	POST /v1/explain        per-net proximity decision traces
 //	GET  /healthz           liveness
-//	GET  /metrics           counters, cache stats, latency histograms
+//	GET  /metrics           counters, cache stats, latency + phase
+//	                        histograms (?format=prom for Prometheus text)
+//
+// With -ops 127.0.0.1:6060 a second listener serves net/http/pprof under
+// /debug/pprof/ plus /metrics and /healthz, so profiling and scraping stay
+// off the service port. Requests are logged structurally (one line per
+// request with id, endpoint, status, duration) to stderr.
 //
 // The server drains gracefully on SIGTERM/SIGINT: in-flight analyses finish
-// (bounded by -drain), new connections are refused.
+// (bounded by -drain), new connections are refused, and the shutdown logs
+// report how many requests were in flight and how long the drain took.
 //
 // Benchmark mode (-bench N) serves a synthetic netlist and library from a
 // temp directory, pushes N vectors through the batch endpoint over real
@@ -27,8 +36,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,6 +64,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 64, "admitted concurrent requests; beyond it requests get 429")
 		maxNetlists = flag.Int("max-netlists", 64, "resident compiled netlists (LRU beyond)")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown budget on SIGTERM")
+		opsAddr     = flag.String("ops", "", "ops listener address (pprof + metrics; keep off the service port and firewalled), e.g. 127.0.0.1:6060")
 
 		bench        = flag.Int("bench", 0, "benchmark mode: push N vectors through a synthetic service and exit")
 		benchGates   = flag.Int("bench-gates", 4000, "benchmark netlist size (gates)")
@@ -77,40 +89,86 @@ func main() {
 		return
 	}
 	cfg.Registry = service.NewRegistry(*lib, *cacheSize)
-	if err := serve(*addr, cfg, *drain); err != nil {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := serve(*addr, *opsAddr, cfg, *drain, logger); err != nil {
 		fmt.Fprintf(os.Stderr, "stad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// serve runs the daemon until SIGTERM/SIGINT, then drains.
-func serve(addr string, cfg service.Config, drain time.Duration) error {
+// serve binds the listeners and runs the daemon until SIGTERM/SIGINT, then
+// drains.
+func serve(addr, opsAddr string, cfg service.Config, drain time.Duration, logger *slog.Logger) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	var opsLn net.Listener
+	if opsAddr != "" {
+		if opsLn, err = net.Listen("tcp", opsAddr); err != nil {
+			ln.Close()
+			return fmt.Errorf("ops listener: %w", err)
+		}
+	}
+	return serveListeners(ln, opsLn, cfg, drain, logger)
+}
+
+// serveListeners runs the service on ln (and the ops endpoints on opsLn if
+// non-nil) until SIGTERM/SIGINT, then drains in-flight requests within the
+// drain budget, logging what the shutdown actually waited for. Split from
+// serve so tests can drive it on ephemeral ports and signal it directly.
+func serveListeners(ln, opsLn net.Listener, cfg service.Config, drain time.Duration, logger *slog.Logger) error {
+	cfg.Logger = logger
+	svc := service.New(cfg)
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           service.New(cfg),
+		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	if opsLn != nil {
+		opsSrv := &http.Server{Handler: opsHandler(svc), ReadHeaderTimeout: 10 * time.Second}
+		go opsSrv.Serve(opsLn)
+		defer opsSrv.Close()
+		logger.Info("ops listening", "addr", opsLn.Addr().String())
+	}
 	errc := make(chan error, 1)
-	go func() {
-		fmt.Fprintf(os.Stderr, "stad: listening on %s\n", addr)
-		errc <- srv.ListenAndServe()
-	}()
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", cfg.Workers, "dense", cfg.Dense, "maxInflight", cfg.MaxInflight)
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(os.Stderr, "stad: draining (up to %s)...\n", drain)
+	inFlight := svc.InFlight()
+	logger.Info("shutdown signal received, draining",
+		"inFlight", inFlight, "budget", drain.String())
+	start := time.Now()
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
+		logger.Error("drain failed", "after", time.Since(start).String(), "err", err.Error())
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Fprintln(os.Stderr, "stad: drained, bye")
+	logger.Info("drained", "drainDur", time.Since(start).String(), "inFlightAtSignal", inFlight)
 	return nil
+}
+
+// opsHandler is the operational mux: pprof for profiling a live daemon plus
+// the same health and metrics endpoints the service port carries, so a
+// scraper can stay entirely on the (firewalled) ops port.
+func opsHandler(svc *service.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", svc)
+	mux.Handle("/healthz", svc)
+	return mux
 }
 
 // benchResult is the BENCH_service.json schema — one record per run so the

@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/waveform"
+)
+
+// EvaluateExplain must perform the identical arithmetic: bit-equal Result
+// across a spread of event sets, including window-pruned and lapsed inputs.
+func TestExplainBitIdenticalToEvaluate(t *testing.T) {
+	calc := core.NewCalculator(macromodel.SynthModel("nand", 3))
+	cases := [][]core.InputEvent{
+		{{Pin: 0, Dir: waveform.Falling, TT: 300e-12, Cross: 0}},
+		{
+			{Pin: 0, Dir: waveform.Falling, TT: 300e-12, Cross: 0},
+			{Pin: 1, Dir: waveform.Falling, TT: 250e-12, Cross: 20e-12},
+			{Pin: 2, Dir: waveform.Falling, TT: 400e-12, Cross: 45e-12},
+		},
+		{ // far-out input: pruned by the first-cause delay window
+			{Pin: 0, Dir: waveform.Falling, TT: 300e-12, Cross: 0},
+			{Pin: 1, Dir: waveform.Falling, TT: 250e-12, Cross: 10e-9},
+		},
+		{ // rising inputs: last-cause ordering with a lapsed early input
+			{Pin: 0, Dir: waveform.Rising, TT: 200e-12, Cross: 0},
+			{Pin: 1, Dir: waveform.Rising, TT: 220e-12, Cross: -40e-9},
+			{Pin: 2, Dir: waveform.Rising, TT: 180e-12, Cross: 30e-12},
+		},
+	}
+	for i, evs := range cases {
+		want, err := calc.Evaluate(evs)
+		if err != nil {
+			t.Fatalf("case %d: Evaluate: %v", i, err)
+		}
+		got, ex, err := calc.EvaluateExplain(evs)
+		if err != nil {
+			t.Fatalf("case %d: EvaluateExplain: %v", i, err)
+		}
+		if got.Delay != want.Delay || got.OutTT != want.OutTT ||
+			got.OutputCross != want.OutputCross || got.Dominant != want.Dominant ||
+			got.UsedDelay != want.UsedDelay || got.UsedTT != want.UsedTT ||
+			got.CorrectionApplied != want.CorrectionApplied {
+			t.Fatalf("case %d: explained result differs: got %+v want %+v", i, got, want)
+		}
+		if len(ex.Inputs) != len(evs) || len(ex.Order) != len(evs) {
+			t.Fatalf("case %d: explain covers %d/%d inputs, %d order entries",
+				i, len(ex.Inputs), len(evs), len(ex.Order))
+		}
+		// Every non-dominant input appears exactly once per pass.
+		for pass, steps := range [][]core.AbsorbStep{ex.Delay, ex.TT} {
+			seen := map[int]int{}
+			for _, st := range steps {
+				seen[st.Input]++
+			}
+			if len(seen) != len(evs)-1 {
+				t.Fatalf("case %d pass %d: %d distinct inputs traced, want %d", i, pass, len(seen), len(evs)-1)
+			}
+			for in, n := range seen {
+				if n != 1 {
+					t.Fatalf("case %d pass %d: input %d traced %d times", i, pass, in, n)
+				}
+			}
+		}
+	}
+}
+
+// Hand-trace of the paper's §4 algorithm on a 3-input NAND with falling
+// inputs (first-cause: parallel pull-up conduction):
+//
+//   - dominance order = ascending solo output crossing (cross + Δ(1));
+//   - the second input is absorbed with s* = s + Δ(1) − Δ(1) = s and table
+//     coordinates (τ_ref/Δ(1), τ_i/Δ(1), s*/Δ(1));
+//   - an input whose separation exceeds the cumulative delay lies outside
+//     the proximity window s > Δ⁽ⁱ⁻¹⁾ and must be pruned.
+func TestExplainMatchesHandTraceNand(t *testing.T) {
+	m := macromodel.SynthModel("nand", 3)
+	calc := core.NewCalculator(m)
+	if m.Causation(waveform.Falling) != macromodel.FirstCause {
+		t.Fatal("nand falling inputs should be first-cause (parallel pull-up)")
+	}
+
+	evs := []core.InputEvent{
+		{Pin: 0, Dir: waveform.Falling, TT: 300e-12, Cross: 30e-12},
+		{Pin: 1, Dir: waveform.Falling, TT: 260e-12, Cross: 0},
+		{Pin: 2, Dir: waveform.Falling, TT: 280e-12, Cross: 5e-9}, // way outside any window
+	}
+	// Hand-compute the solo crossings from the characterized singles.
+	solo := make([]float64, len(evs))
+	d1 := make([]float64, len(evs))
+	for i, e := range evs {
+		d, _, err := calc.SingleDelay(e.Pin, e.Dir, e.TT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1[i] = d
+		solo[i] = e.Cross + d
+	}
+	res, ex, err := calc.EvaluateExplain(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Causation != macromodel.FirstCause {
+		t.Fatalf("explain causation = %v", ex.Causation)
+	}
+
+	// Expected dominance order: ascending solo crossing.
+	wantFirst := 0
+	for i := range evs {
+		if solo[i] < solo[wantFirst] {
+			wantFirst = i
+		}
+	}
+	if ex.Order[0] != wantFirst {
+		t.Fatalf("dominant input index %d (solo %.3gps), hand-trace says %d",
+			ex.Order[0], solo[ex.Order[0]]*1e12, wantFirst)
+	}
+	if res.Dominant != evs[wantFirst].Pin {
+		t.Fatalf("Result.Dominant = pin %d, want %d", res.Dominant, evs[wantFirst].Pin)
+	}
+	for k := 1; k < len(ex.Order); k++ {
+		if solo[ex.Order[k]] < solo[ex.Order[k-1]] {
+			t.Fatalf("dominance order not ascending in solo crossing: %v", ex.Order)
+		}
+	}
+
+	// The near input (index depends on solo order, but input 2 is 5ns out)
+	// must be absorbed; input 2 must be window-pruned.
+	var absorbed, pruned *core.AbsorbStep
+	for i := range ex.Delay {
+		st := &ex.Delay[i]
+		if st.Input == 2 {
+			pruned = st
+		} else {
+			absorbed = st
+		}
+	}
+	if pruned == nil || !pruned.Pruned {
+		t.Fatalf("input 2 (s=5ns) not pruned by the delay window: %+v", ex.Delay)
+	}
+	if pruned.S <= pruned.Window {
+		t.Fatalf("pruned input has s=%.3g <= window=%.3g — prune was wrong", pruned.S, pruned.Window)
+	}
+	if absorbed == nil || absorbed.Pruned {
+		t.Fatalf("near input not absorbed: %+v", ex.Delay)
+	}
+
+	// Hand-check the absorbed step's numbers: first absorption sees
+	// cum = Δ(1)_ref, so s* = s, and the normalized coordinates are the
+	// plain ratios against the dominant input's solo delay.
+	ref := evs[wantFirst]
+	refD1 := d1[wantFirst]
+	s := evs[absorbed.Input].Cross - ref.Cross
+	if absorbed.S != s {
+		t.Fatalf("absorbed step S=%g, hand-trace %g", absorbed.S, s)
+	}
+	if math.Abs(absorbed.SStar-s) > 1e-18 {
+		t.Fatalf("first absorption s*=%g, want s=%g (cum starts at the reference solo delay)", absorbed.SStar, s)
+	}
+	wantX1, wantX2, wantX3 := ref.TT/refD1, evs[absorbed.Input].TT/refD1, absorbed.SStar/refD1
+	if absorbed.X1 != wantX1 || absorbed.X2 != wantX2 || absorbed.X3 != wantX3 {
+		t.Fatalf("normalized lookup (%g,%g,%g), hand-trace (%g,%g,%g)",
+			absorbed.X1, absorbed.X2, absorbed.X3, wantX1, wantX2, wantX3)
+	}
+	if absorbed.CumBefore != refD1 {
+		t.Fatalf("cumBefore=%g, want the reference solo delay %g", absorbed.CumBefore, refD1)
+	}
+	wantCum := refD1 + refD1*(absorbed.DRatio-1)
+	if math.Abs(absorbed.CumAfter-wantCum) > 1e-18 {
+		t.Fatalf("cumAfter=%g, hand-trace %g", absorbed.CumAfter, wantCum)
+	}
+
+	// The rendered report names the dominant pin and the prune.
+	var sb strings.Builder
+	ex.Format(&sb)
+	out := sb.String()
+	for _, want := range []string{"dominant", "PRUNED", "first-cause"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Last-cause (rising NAND inputs): the LATEST solo crossing dominates and a
+// long-lapsed early input is pruned with the lapse rule.
+func TestExplainLastCauseLapse(t *testing.T) {
+	m := macromodel.SynthModel("nand", 2)
+	calc := core.NewCalculator(m)
+	if m.Causation(waveform.Rising) != macromodel.LastCause {
+		t.Fatal("nand rising inputs should be last-cause (series pull-down)")
+	}
+	evs := []core.InputEvent{
+		{Pin: 0, Dir: waveform.Rising, TT: 200e-12, Cross: -50e-9}, // long gone
+		{Pin: 1, Dir: waveform.Rising, TT: 220e-12, Cross: 0},
+	}
+	res, ex, err := calc.EvaluateExplain(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dominant != 1 {
+		t.Fatalf("last-cause dominant = pin %d, want the latest (pin 1)", res.Dominant)
+	}
+	if len(ex.Delay) != 1 || !ex.Delay[0].Pruned {
+		t.Fatalf("early input not lapse-pruned: %+v", ex.Delay)
+	}
+	if !strings.Contains(ex.Delay[0].Reason, "lapsed") {
+		t.Fatalf("prune reason %q does not name the lapse rule", ex.Delay[0].Reason)
+	}
+	if res.UsedDelay != 1 {
+		t.Fatalf("UsedDelay = %d, want 1 (lapsed input must not contribute)", res.UsedDelay)
+	}
+}

@@ -146,6 +146,14 @@ func (c *Calculator) backend() DualBackend {
 // switch in the same direction (opposite-direction proximity is the glitch
 // analysis; see InertialDelay).
 func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
+	return c.evaluate(events, nil)
+}
+
+// evaluate is Evaluate with an optional decision-trace capture. ex == nil
+// is the hot path: every capture hook is a dead nil-check, so the traced
+// and untraced runs perform the identical arithmetic (EvaluateExplain's
+// result is asserted bit-equal to Evaluate's in tests).
+func (c *Calculator) evaluate(events []InputEvent, ex *Explain) (*Result, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("core: no switching inputs")
 	}
@@ -203,6 +211,19 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 	default:
 		sortByKey(order, solo, false)
 	}
+	if ex != nil {
+		ex.Dir = dir
+		ex.Causation = caus
+		ex.NaiveOrdering = c.NaiveOrdering
+		ex.Inputs = make([]ExplainInput, len(events))
+		for i, e := range events {
+			ex.Inputs[i] = ExplainInput{
+				Pin: e.Pin, Dir: e.Dir, TT: e.TT, Cross: e.Cross,
+				D1: d1[i], TT1: tt1[i], Solo: solo[i],
+			}
+		}
+		ex.Order = append([]int(nil), order...)
+	}
 
 	y1 := order[0]
 	ref := events[y1]
@@ -227,13 +248,33 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 		s := events[yi].Cross - ref.Cross
 		if caus == macromodel.FirstCause {
 			if s >= cum {
+				if ex != nil {
+					// The breaking input and everything after it: dominance
+					// ordering guarantees later entries are only further out.
+					ex.Delay = append(ex.Delay, AbsorbStep{
+						Input: yi, Pin: events[yi].Pin, S: s, Window: cum,
+						Pruned: true, Reason: "arrives after the cumulative output crossing (s >= delta)",
+					})
+					for _, yj := range order[k+1:] {
+						ex.Delay = append(ex.Delay, AbsorbStep{
+							Input: yj, Pin: events[yj].Pin, S: events[yj].Cross - ref.Cross, Window: cum,
+							Pruned: true, Reason: "beyond the window edge (dominance order: no later input can re-enter)",
+						})
+					}
+				}
 				break
 			}
 		} else if s <= -(events[yi].TT + d1[yi] + refD1) {
+			if ex != nil {
+				ex.Delay = append(ex.Delay, AbsorbStep{
+					Input: yi, Pin: events[yi].Pin, S: s, Window: events[yi].TT + d1[yi] + refD1,
+					Pruned: true, Reason: "lapsed: ramp and solo response complete before the reference acts",
+				})
+			}
 			continue
 		}
 		sStar := s + refD1 - cum
-		dr, _, err := be.Ratios(ref.Pin, events[yi].Pin, dir, ref.TT, events[yi].TT, sStar, refD1, refTT1)
+		dr, tr, err := be.Ratios(ref.Pin, events[yi].Pin, dir, ref.TT, events[yi].TT, sStar, refD1, refTT1)
 		if err != nil {
 			return nil, err
 		}
@@ -242,9 +283,19 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 		} else {
 			lastWindow = events[yi].TT + d1[yi] + refD1
 		}
+		if ex != nil {
+			ex.Delay = append(ex.Delay, AbsorbStep{
+				Input: yi, Pin: events[yi].Pin, S: s, SStar: sStar, Window: lastWindow,
+				X1: ref.TT / refD1, X2: events[yi].TT / refD1, X3: sStar / refD1,
+				DRatio: dr, TRatio: tr, CumBefore: cum,
+			})
+		}
 		cum += refD1 * (dr - 1)
 		if cum < 1e-15 {
 			cum = 1e-15 // delay stays positive by the threshold policy
+		}
+		if ex != nil {
+			ex.Delay[len(ex.Delay)-1].CumAfter = cum
 		}
 		usedDelay++
 		lastSep = s
@@ -265,11 +316,29 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 		s := events[yi].Cross - ref.Cross
 		if caus == macromodel.FirstCause {
 			if s >= dcum+ttCum {
+				if ex != nil {
+					ex.TT = append(ex.TT, AbsorbStep{
+						Input: yi, Pin: events[yi].Pin, S: s, Window: dcum + ttCum,
+						Pruned: true, Reason: "arrives after the output transition completes (s >= delta + tau_out)",
+					})
+					for _, yj := range order[k+1:] {
+						ex.TT = append(ex.TT, AbsorbStep{
+							Input: yj, Pin: events[yj].Pin, S: events[yj].Cross - ref.Cross, Window: dcum + ttCum,
+							Pruned: true, Reason: "beyond the window edge (dominance order: no later input can re-enter)",
+						})
+					}
+				}
 				break
 			}
 			lastWindowTT = dcum + ttCum
 		} else {
 			if s <= -(events[yi].TT + d1[yi] + tt1[yi] + refD1) {
+				if ex != nil {
+					ex.TT = append(ex.TT, AbsorbStep{
+						Input: yi, Pin: events[yi].Pin, S: s, Window: events[yi].TT + d1[yi] + tt1[yi] + refD1,
+						Pruned: true, Reason: "lapsed: ramp, solo response and output transition complete before the reference acts",
+					})
+				}
 				continue
 			}
 			lastWindowTT = events[yi].TT + d1[yi] + tt1[yi] + refD1
@@ -278,6 +347,13 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 		dr, tr, err := be.Ratios(ref.Pin, events[yi].Pin, dir, ref.TT, events[yi].TT, sStar, refD1, refTT1)
 		if err != nil {
 			return nil, err
+		}
+		if ex != nil {
+			ex.TT = append(ex.TT, AbsorbStep{
+				Input: yi, Pin: events[yi].Pin, S: s, SStar: sStar, Window: lastWindowTT,
+				X1: ref.TT / refD1, X2: events[yi].TT / refD1, X3: sStar / refD1,
+				DRatio: dr, TRatio: tr, CumBefore: ttCum,
+			})
 		}
 		if tr > 0 {
 			ttCum *= tr
@@ -288,6 +364,9 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 			if dcum < 1e-15 {
 				dcum = 1e-15
 			}
+		}
+		if ex != nil {
+			ex.TT[len(ex.TT)-1].CumAfter = ttCum
 		}
 		usedTT++
 		lastSepTT = s
@@ -322,6 +401,9 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 			if cum < 1e-15 {
 				cum = 1e-15
 			}
+			if ex != nil {
+				ex.DelayCorrection = CorrectionTrace{Raw: cc.Delay, Factor: factor, Applied: corr}
+			}
 		}
 		if usedTT >= 2 {
 			factor := 1 - away(lastSepTT)/lastWindowTT
@@ -331,6 +413,9 @@ func (c *Calculator) Evaluate(events []InputEvent) (*Result, error) {
 			ttCum += cc.OutTT * factor
 			if ttCum < 1e-15 {
 				ttCum = 1e-15
+			}
+			if ex != nil {
+				ex.TTCorrection = CorrectionTrace{Raw: cc.OutTT, Factor: factor, Applied: cc.OutTT * factor}
 			}
 		}
 	}

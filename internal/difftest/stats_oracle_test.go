@@ -1,0 +1,74 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/sta"
+)
+
+// TestOracleStatsSparseVsDense: the workload counters in Result.Stats are
+// part of the observable contract — the service aggregates them into
+// /metrics — so sparse scheduling must report exactly the work dense does.
+// GatesScheduled is the one legitimate difference (that delta IS the
+// pruning); everything the engine actually evaluated must match, and the
+// always-on phase timers must be internally consistent (non-negative,
+// disjoint sum bounded by the measured wall) on every config.
+func TestOracleStatsSparseVsDense(t *testing.T) {
+	checkPhases := func(label string, s sta.Stats) {
+		t.Helper()
+		for _, p := range obs.Phases() {
+			if s.Phases[p] < 0 {
+				t.Fatalf("%s: phase %v negative: %v", label, p, s.Phases[p])
+			}
+		}
+		if s.Wall <= 0 {
+			t.Fatalf("%s: wall = %v", label, s.Wall)
+		}
+		if sum := s.Phases.Sum(); sum > s.Wall {
+			t.Fatalf("%s: phase sum %v exceeds wall %v", label, sum, s.Wall)
+		}
+	}
+	for _, cfg := range Configs(nConfigs) {
+		c, err := cfg.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", cfg.Name, err)
+		}
+		for _, vec := range []struct {
+			label  string
+			events []service.Event
+		}{
+			{"full", cfg.WireVector(c, 0)},
+			{"partial", cfg.PartialWireVector(c, 1)},
+		} {
+			evs, err := ToPIEvents(c, vec.events)
+			if err != nil {
+				t.Fatalf("%s/%s: events: %v", cfg.Name, vec.label, err)
+			}
+			dense, err := c.AnalyzeOpts(evs, cfg.Mode, sta.Options{Workers: 2, Dense: true})
+			if err != nil {
+				t.Fatalf("%s/%s: dense: %v", cfg.Name, vec.label, err)
+			}
+			sparse, err := c.AnalyzeOpts(evs, cfg.Mode, sta.Options{Workers: 2})
+			if err != nil {
+				t.Fatalf("%s/%s: sparse: %v", cfg.Name, vec.label, err)
+			}
+			d, s := dense.Stats, sparse.Stats
+			if d.GatesEvaluated != s.GatesEvaluated ||
+				d.Evaluations != s.Evaluations ||
+				d.ProximityEvals != s.ProximityEvals ||
+				d.SingleArcEvals != s.SingleArcEvals ||
+				d.Levels != s.Levels {
+				t.Errorf("%s/%s: stats diverge dense vs sparse:\n"+
+					"  gatesEvaluated %d/%d evaluations %d/%d proximity %d/%d singleArc %d/%d levels %d/%d",
+					cfg.Name, vec.label,
+					d.GatesEvaluated, s.GatesEvaluated, d.Evaluations, s.Evaluations,
+					d.ProximityEvals, s.ProximityEvals, d.SingleArcEvals, s.SingleArcEvals,
+					d.Levels, s.Levels)
+			}
+			checkPhases(cfg.Name+"/"+vec.label+"/dense", d)
+			checkPhases(cfg.Name+"/"+vec.label+"/sparse", s)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package obs is the engine's zero-dependency observability layer: cheap
+// always-on phase timers that extend sta.Result.Stats, and an opt-in span
+// recorder that emits Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// The design constraint is that the disabled path must cost nothing the hot
+// path can feel: a nil *Trace is a valid, fully inert recorder — every
+// method on it is a nil-check and a return — so the engine threads a
+// possibly-nil *Trace through unconditionally and never branches on a
+// separate "enabled" flag. Phase accounting (PhaseTimes) is a plain
+// fixed-size array of duration accumulators with no locking; each analyze
+// owns its own copy inside Result.Stats.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Phase identifies one accounting bucket of an analyze call. The buckets
+// are disjoint wall-clock intervals, so for any single-threaded view their
+// sum is bounded by the analyze wall time (asserted by the difftest stats
+// oracle).
+type Phase int
+
+const (
+	// PhaseCompile covers the Compile() call an analyze entry point makes:
+	// ~zero when the memoized handle is reused, the full levelization cost
+	// when the circuit changed.
+	PhaseCompile Phase = iota
+	// PhaseLevelize is the topological-sort portion inside a cold compile
+	// (a sub-interval of PhaseCompile; excluded from Sum totals).
+	PhaseLevelize
+	// PhaseCones is time spent waiting for the per-PI fanout cone tables
+	// (paid by the first sparse analyze on a handle, ~zero afterwards).
+	PhaseCones
+	// PhaseSchedule is the per-vector sparse schedule construction: cone
+	// union, level bucketing, netlist-order sort.
+	PhaseSchedule
+	// PhaseSeed is stimulus validation and primary-input arrival seeding.
+	PhaseSeed
+	// PhaseEval is the per-level gate evaluation wall time, summed over
+	// levels (the parallel region).
+	PhaseEval
+	// PhaseCommit is the serial netlist-order arrival commit, summed over
+	// levels.
+	PhaseCommit
+
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"compile", "levelize", "cones", "schedule", "seed", "eval", "commit",
+}
+
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return "phase(" + strconv.Itoa(int(p)) + ")"
+	}
+	return phaseNames[p]
+}
+
+// Phases enumerates all phases in accounting order.
+func Phases() []Phase {
+	out := make([]Phase, NumPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// PhaseTimes accumulates wall time per phase. The zero value is ready to
+// use. It is not synchronized: each analyze owns one, and only the
+// goroutine driving the level walk writes to it.
+type PhaseTimes [NumPhases]time.Duration
+
+// Add accumulates d into phase p (negative d is clamped to zero so clock
+// weirdness can never make a phase run backwards).
+func (pt *PhaseTimes) Add(p Phase, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	pt[p] += d
+}
+
+// Sum returns the total of the top-level phases. PhaseLevelize is excluded:
+// it is a sub-interval of PhaseCompile and would double-count.
+func (pt PhaseTimes) Sum() time.Duration {
+	var s time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		if p == PhaseLevelize {
+			continue
+		}
+		s += pt[p]
+	}
+	return s
+}
+
+// ---- Chrome trace_event recorder -------------------------------------------
+
+// TraceEvent is one record of the Chrome trace_event format (the "JSON
+// Array Format" with an object wrapper). Complete events (ph "X") carry a
+// duration; metadata events (ph "M") name processes and threads.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace records spans for one logical operation (a request, a CLI run). A
+// nil *Trace is the disabled recorder: every method no-ops, so callers
+// thread it through without branching. A non-nil Trace is safe for
+// concurrent use — worker goroutines record their spans under one mutex
+// (contention is irrelevant: spans are per level, not per gate).
+type Trace struct {
+	mu     sync.Mutex
+	t0     time.Time
+	events []TraceEvent
+}
+
+// NewTrace starts an empty trace; its clock zero is now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// Enabled reports whether the recorder actually records.
+func (t *Trace) Enabled() bool { return t != nil }
+
+func (t *Trace) since(at time.Time) float64 {
+	return float64(at.Sub(t.t0)) / float64(time.Microsecond)
+}
+
+// Span is an open interval created by Begin. End closes it and records a
+// complete ("X") event. The zero Span (from a nil Trace) is inert.
+type Span struct {
+	tr    *Trace
+	name  string
+	cat   string
+	pid   int64
+	tid   int64
+	start time.Time
+	args  map[string]any
+}
+
+// Begin opens a span on (pid, tid). pid groups rows in the viewer (one
+// vector per pid in a batch); tid separates concurrent workers within it.
+func (t *Trace) Begin(pid, tid int64, cat, name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, cat: cat, pid: pid, tid: tid, start: time.Now()}
+}
+
+// Arg attaches a key/value shown in the viewer's detail pane. Returns the
+// span for chaining.
+func (s Span) Arg(key string, value any) Span {
+	if s.tr == nil {
+		return s
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = value
+	return s
+}
+
+// End closes the span and records it.
+func (s Span) End() {
+	if s.tr == nil {
+		return
+	}
+	end := time.Now()
+	s.tr.mu.Lock()
+	s.tr.events = append(s.tr.events, TraceEvent{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   s.tr.since(s.start),
+		Dur:  float64(end.Sub(s.start)) / float64(time.Microsecond),
+		PID:  s.pid,
+		TID:  s.tid,
+		Args: s.args,
+	})
+	s.tr.mu.Unlock()
+}
+
+// Instant records a zero-duration marker ("i" event, thread scope).
+func (t *Trace) Instant(pid, tid int64, cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "i", TS: t.since(now), PID: pid, TID: tid, Args: args,
+	})
+	t.mu.Unlock()
+}
+
+// NameProcess attaches a human-readable name to a pid row ("M" metadata).
+func (t *Trace) NameProcess(pid int64, name string) {
+	t.meta("process_name", pid, 0, name)
+}
+
+// NameThread attaches a human-readable name to a tid row within a pid.
+func (t *Trace) NameThread(pid, tid int64, name string) {
+	t.meta("thread_name", pid, tid, name)
+}
+
+func (t *Trace) meta(kind string, pid, tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: kind, Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name},
+	})
+	t.mu.Unlock()
+}
+
+// Events returns a snapshot copy of the recorded events (for validation).
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON emits the trace in the Chrome trace_event JSON Object Format:
+// {"traceEvents":[...],"displayTimeUnit":"ns"} — the document format both
+// chrome://tracing and Perfetto load directly.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`)
+		return err
+	}
+	t.mu.Lock()
+	evs := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	return writeTraceJSON(w, evs)
+}
+
+// MarshalJSON renders the same document as WriteJSON, so a *Trace can be
+// embedded directly into a JSON response (the /v1/analyze?trace=1 path).
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	var b traceBuilder
+	if err := t.WriteJSON(&b); err != nil {
+		return nil, err
+	}
+	return b.buf, nil
+}
+
+type traceBuilder struct{ buf []byte }
+
+func (b *traceBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func writeTraceJSON(w io.Writer, evs []TraceEvent) error {
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i := range evs {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if err := writeEvent(w, &evs[i]); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, `],"displayTimeUnit":"ns"}`)
+	return err
+}
+
+func writeEvent(w io.Writer, e *TraceEvent) error {
+	// Hand-rolled for the fixed fields; args (rare) go through fmt with
+	// %q/%v per value type. Keeps the hot serialization allocation-free
+	// enough for inline trace responses.
+	if _, err := fmt.Fprintf(w, `{"name":%q,"ph":%q,"ts":%s,"pid":%d,"tid":%d`,
+		e.Name, e.Ph, formatFloat(e.TS), e.PID, e.TID); err != nil {
+		return err
+	}
+	if e.Cat != "" {
+		if _, err := fmt.Fprintf(w, `,"cat":%q`, e.Cat); err != nil {
+			return err
+		}
+	}
+	if e.Ph == "X" {
+		if _, err := fmt.Fprintf(w, `,"dur":%s`, formatFloat(e.Dur)); err != nil {
+			return err
+		}
+	}
+	if e.Ph == "i" {
+		// Instant events need a scope; "t" (thread) keeps them attached to
+		// their row in the viewer.
+		if _, err := io.WriteString(w, `,"s":"t"`); err != nil {
+			return err
+		}
+	}
+	if len(e.Args) > 0 {
+		if _, err := io.WriteString(w, `,"args":{`); err != nil {
+			return err
+		}
+		first := true
+		for _, k := range sortedKeys(e.Args) {
+			if !first {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			first = false
+			if err := writeArg(w, k, e.Args[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "}")
+	return err
+}
+
+func writeArg(w io.Writer, k string, v any) error {
+	switch x := v.(type) {
+	case string:
+		_, err := fmt.Fprintf(w, "%q:%q", k, x)
+		return err
+	case int:
+		_, err := fmt.Fprintf(w, "%q:%d", k, x)
+		return err
+	case int64:
+		_, err := fmt.Fprintf(w, "%q:%d", k, x)
+		return err
+	case float64:
+		_, err := fmt.Fprintf(w, "%q:%s", k, formatFloat(x))
+		return err
+	case bool:
+		_, err := fmt.Fprintf(w, "%q:%v", k, x)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%q:%q", k, fmt.Sprint(x))
+		return err
+	}
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', 3, 64)
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ValidateChromeTrace decodes a Chrome trace_event JSON document and checks
+// it is structurally sound: the wrapper object parses, every event carries a
+// known phase type, complete events have non-negative timestamps and
+// durations, and — per (pid, tid) row — complete events are properly nested
+// (an event that starts inside another ends inside it too), which is the
+// invariant trace viewers rely on to build flame-graph stacks. Returns the
+// decoded events for further inspection.
+func ValidateChromeTrace(data []byte) ([]TraceEvent, error) {
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: trace does not decode: %w", err)
+	}
+	byRow := map[[2]int64][]TraceEvent{}
+	for i, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "M", "B", "E", "C":
+		default:
+			return nil, fmt.Errorf("obs: event %d (%q): unknown phase type %q", i, e.Name, e.Ph)
+		}
+		if e.Name == "" {
+			return nil, fmt.Errorf("obs: event %d has an empty name", i)
+		}
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < 0 {
+			return nil, fmt.Errorf("obs: event %d (%q): negative timestamp %g", i, e.Name, e.TS)
+		}
+		if e.Ph == "X" {
+			if e.Dur < 0 {
+				return nil, fmt.Errorf("obs: event %d (%q): negative duration %g", i, e.Name, e.Dur)
+			}
+			byRow[[2]int64{e.PID, e.TID}] = append(byRow[[2]int64{e.PID, e.TID}], e)
+		}
+	}
+	for row, evs := range byRow {
+		if err := checkNesting(evs); err != nil {
+			return nil, fmt.Errorf("obs: pid=%d tid=%d: %w", row[0], row[1], err)
+		}
+	}
+	return doc.TraceEvents, nil
+}
+
+// checkNesting verifies that complete events on one row either nest or are
+// disjoint — partial overlap would render as a corrupt stack. A small
+// timestamp slop absorbs the microsecond rounding WriteJSON applies.
+func checkNesting(evs []TraceEvent) error {
+	const slop = 0.002 // µs; events are serialized with 3 decimal places
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		return evs[i].Dur > evs[j].Dur // outer span first at equal start
+	})
+	var stack []TraceEvent
+	for _, e := range evs {
+		for len(stack) > 0 && e.TS >= stack[len(stack)-1].TS+stack[len(stack)-1].Dur-slop {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			outer := stack[len(stack)-1]
+			if e.TS+e.Dur > outer.TS+outer.Dur+slop {
+				return fmt.Errorf("event %q [%g,%g] partially overlaps %q [%g,%g]",
+					e.Name, e.TS, e.TS+e.Dur, outer.Name, outer.TS, outer.TS+outer.Dur)
+			}
+		}
+		stack = append(stack, e)
+	}
+	return nil
+}

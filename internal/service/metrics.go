@@ -3,10 +3,15 @@ package service
 import (
 	"expvar"
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // histBounds are the latency histogram bucket upper bounds. Doubling from
@@ -29,44 +34,118 @@ var histBounds = []time.Duration{
 	2048 * time.Millisecond,
 }
 
-// Histogram is a fixed-bucket latency histogram implementing expvar.Var:
-// String renders the JSON that /metrics embeds directly.
-type Histogram struct {
-	mu     sync.Mutex
-	counts []int64 // len(histBounds)+1; last bucket is overflow
-	sum    time.Duration
-	n      int64
+// phaseBounds bucket engine-phase durations, which sit two to three orders
+// of magnitude below request latencies: a memoized analyze spends single
+// microseconds scheduling and tens of microseconds evaluating.
+var phaseBounds = []time.Duration{
+	1 * time.Microsecond,
+	2 * time.Microsecond,
+	4 * time.Microsecond,
+	8 * time.Microsecond,
+	16 * time.Microsecond,
+	32 * time.Microsecond,
+	64 * time.Microsecond,
+	128 * time.Microsecond,
+	256 * time.Microsecond,
+	512 * time.Microsecond,
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	4 * time.Millisecond,
+	8 * time.Millisecond,
+	16 * time.Millisecond,
+	32 * time.Millisecond,
 }
 
-// Observe records one request duration.
+// Histogram is a fixed-bucket duration histogram implementing expvar.Var:
+// String renders the JSON that /metrics embeds directly.
+//
+// Observe is lock-free: each observation is three independent atomic adds
+// (bucket, sum, n). A concurrent reader can therefore see a bucket
+// increment whose sum/n adds have not landed yet. Renderers take the count
+// from the bucket totals — so the buckets always sum to the reported count
+// — and accept that the mean may lag by the handful of in-flight
+// observations. Totals are monotone; nothing is ever lost.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last bucket is overflow
+	sum    atomic.Int64   // nanoseconds
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration. Safe for any number of concurrent callers;
+// never blocks.
 func (h *Histogram) Observe(d time.Duration) {
 	i := 0
-	for i < len(histBounds) && d > histBounds[i] {
+	for i < len(h.bounds) && d > h.bounds[i] {
 		i++
 	}
-	h.mu.Lock()
-	if h.counts == nil {
-		h.counts = make([]int64, len(histBounds)+1)
-	}
-	h.counts[i]++
-	h.sum += d
-	h.n++
-	h.mu.Unlock()
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.n.Add(1)
 }
 
-// String renders {"count":N,"meanMs":M,"buckets":{"<=1ms":k,...}} with
-// empty buckets elided, so the histogram drops straight into /metrics JSON.
-func (h *Histogram) String() string {
-	h.mu.Lock()
-	counts := append([]int64(nil), h.counts...)
-	sum, n := h.sum, h.n
-	h.mu.Unlock()
-	var b strings.Builder
-	mean := 0.0
-	if n > 0 {
-		mean = (sum.Seconds() * 1e3) / float64(n)
+// snapshot loads the buckets once. total is the sum of the loaded buckets,
+// not the n counter, so one snapshot is internally consistent.
+func (h *Histogram) snapshot() (counts []int64, total int64, sum time.Duration) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
 	}
-	fmt.Fprintf(&b, `{"count":%d,"meanMs":%.3f,"buckets":{`, n, mean)
+	return counts, total, time.Duration(h.sum.Load())
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding the target rank. The overflow bucket has no
+// upper edge, so ranks landing there clamp to the last finite bound — a
+// deliberate under-estimate rather than a fabricated tail.
+func (h *Histogram) quantile(counts []int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + time.Duration(frac*float64(h.bounds[i]-lo))
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// String renders
+// {"count":N,"meanMs":M,"p50Ms":…,"p95Ms":…,"p99Ms":…,"buckets":{"<=1ms":k,…}}
+// with empty buckets elided, so the histogram drops straight into /metrics
+// JSON. An empty histogram renders explicitly with zeroes — no division by
+// a zero count ever happens.
+func (h *Histogram) String() string {
+	counts, total, sum := h.snapshot()
+	if total == 0 {
+		return `{"count":0,"meanMs":0,"p50Ms":0,"p95Ms":0,"p99Ms":0,"buckets":{}}`
+	}
+	ms := func(d time.Duration) float64 { return d.Seconds() * 1e3 }
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"count":%d,"meanMs":%.3f,"p50Ms":%.3f,"p95Ms":%.3f,"p99Ms":%.3f,"buckets":{`,
+		total, ms(sum)/float64(total),
+		ms(h.quantile(counts, total, 0.50)),
+		ms(h.quantile(counts, total, 0.95)),
+		ms(h.quantile(counts, total, 0.99)))
 	first := true
 	for i, c := range counts {
 		if c == 0 {
@@ -76,14 +155,44 @@ func (h *Histogram) String() string {
 			b.WriteByte(',')
 		}
 		first = false
-		if i < len(histBounds) {
-			fmt.Fprintf(&b, `"<=%s":%d`, histBounds[i], c)
+		if i < len(h.bounds) {
+			fmt.Fprintf(&b, `"<=%s":%d`, h.bounds[i], c)
 		} else {
-			fmt.Fprintf(&b, `">%s":%d`, histBounds[len(histBounds)-1], c)
+			fmt.Fprintf(&b, `">%s":%d`, h.bounds[len(h.bounds)-1], c)
 		}
 	}
 	b.WriteString("}}")
 	return b.String()
+}
+
+// writeProm renders the histogram in Prometheus text exposition format
+// (cumulative le buckets, seconds). labels is either empty or a single
+// `key="value"` pair applied to every sample of this histogram.
+func (h *Histogram) writeProm(b *strings.Builder, name, labels string) {
+	counts, total, sum := h.snapshot()
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatSeconds(h.bounds[i])
+		}
+		if labels == "" {
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, le, cum)
+		} else {
+			fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, labels, le, cum)
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatSeconds(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, total)
+}
+
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
 }
 
 // Metrics aggregates the server's counters on expvar primitives. The vars
@@ -102,6 +211,10 @@ type Metrics struct {
 	ProximityEvals expvar.Int
 	SingleArcEvals expvar.Int
 
+	// phases aggregates the engine's per-phase wall timings across every
+	// analysis this server ran, one histogram per obs.Phase.
+	phases [obs.NumPhases]*Histogram
+
 	mu      sync.Mutex
 	latency map[string]*Histogram // per endpoint
 }
@@ -109,6 +222,9 @@ type Metrics struct {
 func newMetrics() *Metrics {
 	m := &Metrics{latency: map[string]*Histogram{}}
 	m.Requests.Init()
+	for _, p := range obs.Phases() {
+		m.phases[p] = newHistogram(phaseBounds)
+	}
 	return m
 }
 
@@ -118,11 +234,14 @@ func (m *Metrics) Latency(endpoint string) *Histogram {
 	defer m.mu.Unlock()
 	h := m.latency[endpoint]
 	if h == nil {
-		h = &Histogram{}
+		h = newHistogram(histBounds)
 		m.latency[endpoint] = h
 	}
 	return h
 }
+
+// Phase returns the named engine phase's histogram (for tests).
+func (m *Metrics) Phase(p obs.Phase) *Histogram { return m.phases[p] }
 
 // observe records one finished request.
 func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
@@ -149,10 +268,30 @@ func (m *Metrics) addStats(gates, prox, single int) {
 	m.SingleArcEvals.Add(int64(single))
 }
 
+// observePhases folds one analysis's phase timings in. The per-call phases
+// (schedule, seed, eval, commit) are recorded unconditionally; the
+// amortized ones (compile, levelize, cone build) only when this call
+// actually paid them — a memoized hit reports them as zero, and recording
+// those would drown the one real build in a flood of zero observations.
+func (m *Metrics) observePhases(pt obs.PhaseTimes) {
+	for _, p := range obs.Phases() {
+		d := pt[p]
+		switch p {
+		case obs.PhaseCompile, obs.PhaseLevelize, obs.PhaseCones:
+			if d <= 0 {
+				continue
+			}
+		}
+		m.phases[p].Observe(d)
+	}
+}
+
 // writeJSON renders the full metrics document. Every embedded value is an
 // expvar.Var String() (already valid JSON), composed by hand so no
 // marshaling intermediate is needed.
 func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	b.WriteString("{\n")
 	fmt.Fprintf(b, ` "requests": %s,`+"\n", m.Requests.String())
 	fmt.Fprintf(b, ` "status2xx": %s, "status4xx": %s, "status5xx": %s,`+"\n",
@@ -162,6 +301,15 @@ func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int)
 	fmt.Fprintf(b, ` "modelCache": {"hits":%d,"misses":%d,"evictions":%d,"loadErrors":%d,"resident":%d},`+"\n",
 		reg.Hits, reg.Misses, reg.Evictions, reg.LoadErrors, reg.Resident)
 	fmt.Fprintf(b, ` "netlistsResident": %d,`+"\n", netlists)
+	fmt.Fprintf(b, ` "goroutines": %d, "heapAllocBytes": %d,`+"\n", runtime.NumGoroutine(), ms.HeapAlloc)
+	b.WriteString(` "phases": {`)
+	for i, p := range obs.Phases() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "\n  %q: %s", p.String(), m.phases[p].String())
+	}
+	b.WriteString("\n },\n")
 	b.WriteString(` "latencies": {`)
 	m.mu.Lock()
 	names := make([]string, 0, len(m.latency))
@@ -177,4 +325,74 @@ func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int)
 		fmt.Fprintf(b, "\n  %q: %s", name, m.Latency(name).String())
 	}
 	b.WriteString("\n }\n}\n")
+}
+
+// writeProm renders the same counters in Prometheus text exposition format
+// (version 0.0.4), for /metrics?format=prom. Metric names carry the stad_
+// prefix; durations are seconds per Prometheus convention.
+func (m *Metrics) writeProm(b *strings.Builder, reg RegistryStats, netlists int) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	b.WriteString("# HELP stad_requests_total Requests served, by endpoint.\n# TYPE stad_requests_total counter\n")
+	type kv struct {
+		k string
+		v string
+	}
+	var reqs []kv
+	m.Requests.Do(func(e expvar.KeyValue) { reqs = append(reqs, kv{e.Key, e.Value.String()}) })
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].k < reqs[j].k })
+	for _, e := range reqs {
+		fmt.Fprintf(b, "stad_requests_total{endpoint=%q} %s\n", e.k, e.v)
+	}
+
+	b.WriteString("# HELP stad_responses_total Responses sent, by status class.\n# TYPE stad_responses_total counter\n")
+	fmt.Fprintf(b, "stad_responses_total{class=\"2xx\"} %d\n", m.Status2xx.Value())
+	fmt.Fprintf(b, "stad_responses_total{class=\"4xx\"} %d\n", m.Status4xx.Value())
+	fmt.Fprintf(b, "stad_responses_total{class=\"5xx\"} %d\n", m.Status5xx.Value())
+
+	for _, c := range []struct {
+		name, help string
+		val        int64
+	}{
+		{"stad_vectors_total", "Stimulus vectors analyzed.", m.Vectors.Value()},
+		{"stad_gates_evaluated_total", "Gate evaluations performed.", m.GatesEvaluated.Value()},
+		{"stad_proximity_evals_total", "Multi-input proximity evaluations.", m.ProximityEvals.Value()},
+		{"stad_single_arc_evals_total", "Single-arc evaluations.", m.SingleArcEvals.Value()},
+		{"stad_model_cache_hits_total", "Model registry cache hits.", reg.Hits},
+		{"stad_model_cache_misses_total", "Model registry cache misses.", reg.Misses},
+		{"stad_model_cache_evictions_total", "Model registry evictions.", reg.Evictions},
+		{"stad_model_cache_load_errors_total", "Model registry load failures.", reg.LoadErrors},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.val)
+	}
+
+	for _, g := range []struct {
+		name, help string
+		val        int64
+	}{
+		{"stad_model_cache_resident", "Macromodels resident in the registry cache.", int64(reg.Resident)},
+		{"stad_netlists_resident", "Compiled netlists resident.", int64(netlists)},
+		{"stad_goroutines", "Live goroutines.", int64(runtime.NumGoroutine())},
+		{"stad_heap_alloc_bytes", "Heap bytes in use.", int64(ms.HeapAlloc)},
+	} {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.val)
+	}
+
+	b.WriteString("# HELP stad_request_duration_seconds Request latency, by endpoint.\n# TYPE stad_request_duration_seconds histogram\n")
+	m.mu.Lock()
+	names := make([]string, 0, len(m.latency))
+	for name := range m.latency {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		m.Latency(name).writeProm(b, "stad_request_duration_seconds", fmt.Sprintf("endpoint=%q", name))
+	}
+
+	b.WriteString("# HELP stad_phase_duration_seconds Engine phase wall time per analysis, by phase.\n# TYPE stad_phase_duration_seconds histogram\n")
+	for _, p := range obs.Phases() {
+		m.phases[p].writeProm(b, "stad_phase_duration_seconds", fmt.Sprintf("phase=%q", p.String()))
+	}
 }

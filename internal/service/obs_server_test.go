@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// validateTraceDoc runs the Chrome trace validator over an inline trace
+// document from an analyze response.
+func validateTraceDoc(doc json.RawMessage) ([]obs.TraceEvent, error) {
+	return obs.ValidateChromeTrace(doc)
+}
+
+// ?trace=1 must return a loadable Chrome trace inline; without it the field
+// must be absent entirely, and the arrivals must be identical either way.
+func TestAnalyzeTraceParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	up := uploadTestNetlist(t, ts.URL)
+	req := AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}
+
+	var plainRaw, tracedRaw map[string]json.RawMessage
+	if code := post(t, ts.URL+"/v1/analyze", req, &plainRaw); code != 200 {
+		t.Fatalf("plain analyze status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/analyze?trace=1", req, &tracedRaw); code != 200 {
+		t.Fatalf("traced analyze status %d", code)
+	}
+	if _, present := plainRaw["trace"]; present {
+		t.Fatal("untraced response carries a trace field")
+	}
+	traceDoc, present := tracedRaw["trace"]
+	if !present {
+		t.Fatal("traced response has no trace field")
+	}
+	if !bytes.Equal(plainRaw["arrivals"], tracedRaw["arrivals"]) {
+		t.Fatalf("tracing changed the arrivals:\n%s\nvs\n%s", plainRaw["arrivals"], tracedRaw["arrivals"])
+	}
+
+	// The inline trace must be the Chrome JSON Object Format, well formed.
+	evs, err := validateTraceDoc(traceDoc)
+	if err != nil {
+		t.Fatalf("inline trace invalid: %v", err)
+	}
+	found := false
+	for _, e := range evs {
+		if e.Ph == "X" && e.Name == "analyze" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inline trace has no analyze span")
+	}
+}
+
+// /v1/explain must return, per requested net, the structured decision trace
+// and a human report consistent with the committed arrivals.
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	up := uploadTestNetlist(t, ts.URL)
+	var resp ExplainResponse
+	code := post(t, ts.URL+"/v1/explain", ExplainRequest{
+		Netlist: up.ID,
+		Nets:    []string{"x", "z", "a"},
+		Vector:  testVector(0),
+	}, &resp)
+	if code != 200 {
+		t.Fatalf("explain status %d", code)
+	}
+	if len(resp.Nets) != 3 {
+		t.Fatalf("%d nets explained, want 3", len(resp.Nets))
+	}
+	x := resp.Nets[0]
+	if x.Net != "x" || x.Gate != "g1" || x.Type != "nand3" {
+		t.Fatalf("net x explanation wrong: %+v", x)
+	}
+	if !strings.Contains(x.Report, "dominance order") {
+		t.Fatalf("net x report has no dominance section:\n%s", x.Report)
+	}
+	if len(x.Dirs) == 0 || x.Dirs[0].Proximity == nil {
+		t.Fatalf("net x detail carries no proximity trace")
+	}
+	if len(x.Dirs[0].Inputs) == 0 {
+		t.Fatalf("net x detail lists no presented inputs")
+	}
+	if !resp.Nets[2].PI {
+		t.Fatalf("net a not reported as a primary input")
+	}
+
+	// Unknown nets are a 400 naming the net; empty net lists are a 400.
+	var er ErrorResponse
+	if code := post(t, ts.URL+"/v1/explain", ExplainRequest{Netlist: up.ID, Nets: []string{"nope"}, Vector: testVector(0)}, &er); code != 400 || !strings.Contains(er.Error, "nope") {
+		t.Fatalf("unknown net: status %d, err %q", code, er.Error)
+	}
+	if code := post(t, ts.URL+"/v1/explain", ExplainRequest{Netlist: up.ID, Vector: testVector(0)}, &er); code != 400 {
+		t.Fatalf("empty nets: status %d", code)
+	}
+}
+
+// Every guarded request must answer with an X-Request-Id (honoring a
+// caller-supplied one) and emit one structured log line carrying it.
+func TestRequestIDLogging(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&logBuf, nil))
+	_, ts := newTestServer(t, Config{Workers: 1, Logger: logger})
+	up := uploadTestNetlist(t, ts.URL)
+
+	body, _ := json.Marshal(AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)})
+	req, err := http.NewRequest("POST", ts.URL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-chose-this")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-chose-this" {
+		t.Fatalf("supplied request id not honored: %q", got)
+	}
+
+	// A request without the header gets a server-minted id.
+	body2, _ := json.Marshal(AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)})
+	resp2, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	minted := resp2.Header.Get("X-Request-Id")
+	if minted == "" {
+		t.Fatal("no X-Request-Id minted")
+	}
+
+	// The log carries one line per request with id, endpoint, and status.
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	byID := map[string]map[string]any{}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q", line)
+		}
+		if id, ok := rec["id"].(string); ok {
+			byID[id] = rec
+		}
+	}
+	for _, id := range []string{"caller-chose-this", minted} {
+		rec, ok := byID[id]
+		if !ok {
+			t.Fatalf("no log line for request %q; log:\n%s", id, logBuf.String())
+		}
+		if rec["endpoint"] != "analyze" || rec["status"].(float64) != 200 {
+			t.Fatalf("log line for %q wrong: %v", id, rec)
+		}
+	}
+}

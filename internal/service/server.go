@@ -3,15 +3,21 @@ package service
 import (
 	"container/list"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sta"
 	"repro/internal/waveform"
 )
@@ -43,21 +49,34 @@ type Config struct {
 	// the uploaded netlist's compiled handle across every request and batch
 	// vector that names it.
 	Dense bool
+	// Logger receives one structured line per request (id, method, path,
+	// status, duration) plus admission rejections. Nil discards the logs —
+	// tests and embedded uses stay silent by default.
+	Logger *slog.Logger
 }
 
 // Server is the timing-analysis HTTP service. It implements http.Handler;
 // mount it directly or via Handler().
 //
 //	POST /v1/netlists       upload + levelize a netlist, get a handle
-//	POST /v1/analyze        one stimulus vector against a handle
+//	POST /v1/analyze        one stimulus vector against a handle (?trace=1
+//	                        adds a Chrome trace_event document to the reply)
 //	POST /v1/analyze:batch  a vector set through AnalyzeBatch
+//	POST /v1/explain        per-net proximity decision traces for one vector
 //	GET  /healthz           liveness
-//	GET  /metrics           expvar counters + latency histograms (JSON)
+//	GET  /metrics           counters + latency/phase histograms (JSON;
+//	                        ?format=prom for Prometheus text exposition)
 type Server struct {
 	cfg     Config
 	metrics *Metrics
 	mux     *http.ServeMux
 	sem     chan struct{}
+	log     *slog.Logger
+
+	// instance is a random token distinguishing this server's generated
+	// request IDs from another instance's; reqSeq numbers requests within it.
+	instance string
+	reqSeq   atomic.Int64
 
 	mu       sync.Mutex
 	netlists map[string]*netlistEntry
@@ -87,17 +106,26 @@ func New(cfg Config) *Server {
 	if cfg.MaxNetlists <= 0 {
 		cfg.MaxNetlists = 64
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	tok := make([]byte, 4)
+	rand.Read(tok)
 	s := &Server{
 		cfg:      cfg,
 		metrics:  newMetrics(),
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxInflight),
+		log:      logger,
+		instance: hex.EncodeToString(tok),
 		netlists: map[string]*netlistEntry{},
 		order:    list.New(),
 	}
 	s.mux.HandleFunc("POST /v1/netlists", s.guard("netlists", s.handleUpload))
 	s.mux.HandleFunc("POST /v1/analyze", s.guard("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/analyze:batch", s.guard("analyze:batch", s.handleBatch))
+	s.mux.HandleFunc("POST /v1/explain", s.guard("explain", s.handleExplain))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -112,6 +140,10 @@ func (s *Server) Handler() http.Handler { return s }
 
 // Metrics exposes the server's counters (for tests and the bench harness).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// InFlight reports how many guarded requests are currently admitted — the
+// number a graceful drain is waiting out.
+func (s *Server) InFlight() int { return len(s.sem) }
 
 // ---- wire types ------------------------------------------------------------
 
@@ -171,10 +203,81 @@ type VectorResult struct {
 	SingleArcEvals int       `json:"singleArcEvals"`
 }
 
-// AnalyzeResponse answers /v1/analyze.
+// AnalyzeResponse answers /v1/analyze. Trace is present only when the
+// request asked for ?trace=1: the full Chrome trace_event document for this
+// analysis, loadable directly in chrome://tracing or Perfetto.
 type AnalyzeResponse struct {
 	Mode string `json:"mode"`
 	VectorResult
+	Trace *obs.Trace `json:"trace,omitempty"`
+}
+
+// ExplainRequest asks why an analysis produced the arrivals it did on the
+// named nets. The vector is re-analyzed (explain is a post-pass over a
+// Result; the analysis itself is cheap and cached at the compile level).
+type ExplainRequest struct {
+	Netlist string   `json:"netlist"`
+	Mode    string   `json:"mode,omitempty"`
+	Nets    []string `json:"nets"`
+	Vector  []Event  `json:"vector"`
+}
+
+// NetExplainResult is one net's explanation: the structured decision trace
+// plus the same human-readable report cmd/sta -explain prints. The engine's
+// NetExplain carries live graph pointers (gates reference nets reference
+// gates), so the wire shape flattens everything to names and picoseconds.
+type NetExplainResult struct {
+	Net    string           `json:"net"`
+	PI     bool             `json:"pi,omitempty"`
+	Gate   string           `json:"gate,omitempty"`
+	Type   string           `json:"type,omitempty"`
+	Report string           `json:"report"`
+	Dirs   []ExplainDirWire `json:"dirs"`
+}
+
+// ExplainDirWire is one explained output direction.
+type ExplainDirWire struct {
+	Dir     string             `json:"dir"`
+	Arrival ExplainArrival     `json:"arrival"`
+	Inputs  []ExplainInputWire `json:"inputs,omitempty"`
+	// Proximity is the core decision trace (Proximity-mode results): the
+	// dominance order, each pairwise absorption with its normalized table
+	// coordinates, and every window-pruned input with the reason.
+	Proximity *core.Explain `json:"proximity,omitempty"`
+	// Arcs is the Conventional-mode story with the winner marked.
+	Arcs []ConvArcWire `json:"arcs,omitempty"`
+}
+
+// ExplainArrival is an arrival without the engine's graph pointers.
+type ExplainArrival struct {
+	Dir        string  `json:"dir"`
+	TimePs     float64 `json:"timePs"`
+	TTPs       float64 `json:"ttPs"`
+	FromPin    int     `json:"fromPin"`
+	UsedInputs int     `json:"usedInputs"`
+}
+
+// ExplainInputWire is one input pin's presented arrival.
+type ExplainInputWire struct {
+	Pin     int            `json:"pin"`
+	Net     string         `json:"net"`
+	Arrival ExplainArrival `json:"arrival"`
+}
+
+// ConvArcWire is one conventional-mode arc on the wire.
+type ConvArcWire struct {
+	Pin       int     `json:"pin"`
+	Net       string  `json:"net"`
+	DelayPs   float64 `json:"delayPs"`
+	OutTTPs   float64 `json:"outTtPs"`
+	ArrivesPs float64 `json:"arrivesPs"`
+	Winner    bool    `json:"winner"`
+}
+
+// ExplainResponse answers /v1/explain.
+type ExplainResponse struct {
+	Mode string             `json:"mode"`
+	Nets []NetExplainResult `json:"nets"`
 }
 
 // BatchResponse answers /v1/analyze:batch, results indexed like the request
@@ -222,6 +325,8 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := s.requestID(r)
+		w.Header().Set("X-Request-Id", id)
 		select {
 		case s.sem <- struct{}{}:
 		default:
@@ -229,6 +334,9 @@ func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) 
 			writeError(w, http.StatusTooManyRequests,
 				"server at capacity (%d in flight); retry", s.cfg.MaxInflight)
 			s.metrics.observe(name, http.StatusTooManyRequests, time.Since(start))
+			s.log.Warn("request rejected", "id", id, "endpoint", name,
+				"method", r.Method, "path", r.URL.Path,
+				"status", http.StatusTooManyRequests, "inFlight", s.cfg.MaxInflight)
 			return
 		}
 		defer func() { <-s.sem }()
@@ -241,8 +349,22 @@ func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) 
 			// The handler wrote nothing at all; net/http will send 200.
 			status = http.StatusOK
 		}
-		s.metrics.observe(name, status, time.Since(start))
+		d := time.Since(start)
+		s.metrics.observe(name, status, d)
+		s.log.Info("request", "id", id, "endpoint", name,
+			"method", r.Method, "path", r.URL.Path,
+			"status", status, "durMs", float64(d.Microseconds())/1e3)
 	}
+}
+
+// requestID honors a caller-supplied X-Request-Id (so IDs correlate across
+// a proxy chain) and otherwise mints one from the instance token plus a
+// per-server sequence number.
+func (s *Server) requestID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Request-Id")); id != "" && len(id) <= 128 {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", s.instance, s.reqSeq.Add(1))
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -391,14 +513,107 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := compiled.Analyze(r.Context(), evs, mode, sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense})
+	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense}
+	var tr *obs.Trace
+	if wantTrace(r) {
+		tr = obs.NewTrace()
+		opt.Trace = tr
+	}
+	res, err := compiled.Analyze(r.Context(), evs, mode, opt)
 	if err != nil {
 		analysisError(w, err)
 		return
 	}
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
-	writeJSON(w, AnalyzeResponse{Mode: mode.String(), VectorResult: vr})
+	s.metrics.observePhases(res.Stats.Phases)
+	writeJSON(w, AnalyzeResponse{Mode: mode.String(), VectorResult: vr, Trace: tr})
+}
+
+// wantTrace reports whether the request opted into span recording.
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// handleExplain re-analyzes one vector and returns the decision trace for
+// each requested net: dominance order, pairwise absorptions, window prunes
+// (Proximity mode) or per-arc delays with the winner marked (Conventional).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if err := decodeBody(w, r, &req, 16<<20); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Nets) == 0 {
+		writeError(w, http.StatusBadRequest, "no nets requested")
+		return
+	}
+	compiled, ok := s.lookupNetlist(req.Netlist)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	evs, err := resolveVector(compiled.Circuit(), req.Vector)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := compiled.Analyze(r.Context(), evs, mode, sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense})
+	if err != nil {
+		analysisError(w, err)
+		return
+	}
+	s.metrics.observePhases(res.Stats.Phases)
+	nes, err := sta.ExplainNets(compiled.Circuit(), res, req.Nets)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := ExplainResponse{Mode: mode.String(), Nets: make([]NetExplainResult, len(nes))}
+	for i, ne := range nes {
+		resp.Nets[i] = netExplainWire(ne)
+	}
+	writeJSON(w, resp)
+}
+
+func wireArrival(a sta.Arrival) ExplainArrival {
+	return ExplainArrival{
+		Dir: a.Dir.String(), TimePs: a.Time * 1e12, TTPs: a.TT * 1e12,
+		FromPin: a.FromPin, UsedInputs: a.UsedInputs,
+	}
+}
+
+// netExplainWire flattens an engine explanation onto the wire shape.
+func netExplainWire(ne *sta.NetExplain) NetExplainResult {
+	var sb strings.Builder
+	ne.Format(&sb)
+	out := NetExplainResult{
+		Net: ne.Net, PI: ne.PI, Gate: ne.Gate, Type: ne.Type,
+		Report: sb.String(), Dirs: []ExplainDirWire{},
+	}
+	for _, de := range ne.Dirs {
+		dw := ExplainDirWire{Dir: de.Dir.String(), Arrival: wireArrival(de.Arrival), Proximity: de.Proximity}
+		for _, in := range de.Inputs {
+			dw.Inputs = append(dw.Inputs, ExplainInputWire{Pin: in.Pin, Net: in.Net, Arrival: wireArrival(in.Arrival)})
+		}
+		for _, arc := range de.Arcs {
+			dw.Arcs = append(dw.Arcs, ConvArcWire{
+				Pin: arc.Pin, Net: arc.Net, DelayPs: arc.Delay * 1e12,
+				OutTTPs: arc.OutTT * 1e12, ArrivesPs: arc.Arrives * 1e12, Winner: arc.Winner,
+			})
+		}
+		out.Dirs = append(out.Dirs, dw)
+	}
+	return out
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +657,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		vr := buildVectorResult(compiled.Circuit(), res, nets)
 		s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
+		s.metrics.observePhases(res.Stats.Phases)
 		resp.Results[i] = vr
 	}
 	writeJSON(w, resp)
@@ -458,13 +674,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := s.order.Len()
 	s.mu.Unlock()
 	var b strings.Builder
-	s.metrics.writeJSON(&b, s.cfg.Registry.Stats(), n)
-	w.Header().Set("Content-Type", "application/json")
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		s.metrics.writeJSON(&b, s.cfg.Registry.Stats(), n)
+		w.Header().Set("Content-Type", "application/json")
+	case "prom", "prometheus":
+		s.metrics.writeProm(&b, s.cfg.Registry.Stats(), n)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	default:
+		writeError(w, http.StatusBadRequest, "unknown metrics format %q (want json or prom)", format)
+		return
+	}
 	w.Write([]byte(b.String()))
 }
 

@@ -1,0 +1,229 @@
+package sta
+
+// Proximity "explain" traces. Explain re-derives, for a requested net, why
+// the analysis produced the arrival it did: which gate drove it, which
+// input arrivals were presented, the dominance order and pairwise
+// absorptions of Algorithm ProximityDelay (via core.EvaluateExplain), and
+// which inputs the proximity window pruned. It is a post-pass over a
+// finished Result — the gate evaluation is deterministic, so re-running it
+// against the committed input arrivals reproduces the hot path's arithmetic
+// bit for bit (checked: a mismatch is reported as an error rather than a
+// wrong story). The analysis itself therefore pays nothing for
+// explainability.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// NetExplain is the full explanation of one net's arrivals in a Result.
+type NetExplain struct {
+	Net string
+	// PI is set when the net is a primary input: its arrivals are stimulus,
+	// not computation, and there is nothing further to explain.
+	PI bool
+	// Gate and Type name the driving gate instance (empty for PIs and
+	// undriven nets).
+	Gate string
+	Type string
+	// Dirs holds one entry per output direction that carries an arrival.
+	Dirs []*DirExplain
+}
+
+// DirExplain explains one direction's arrival.
+type DirExplain struct {
+	Dir     waveform.Direction
+	Arrival Arrival
+	// Inputs are the switching input arrivals presented to the gate (the
+	// causing direction is the opposite of Dir — all library gates invert).
+	Inputs []ExplainArc
+	// Proximity is the core decision trace (dominance order, absorptions,
+	// window prunes). Nil for Conventional-mode results.
+	Proximity *core.Explain
+	// Arcs is the Conventional-mode story: every single-input arc's delay
+	// with the winner marked. Nil for Proximity-mode results.
+	Arcs []ConvArc
+}
+
+// ExplainArc is one gate input pin with the arrival it carried.
+type ExplainArc struct {
+	Pin     int
+	Net     string
+	Arrival Arrival
+}
+
+// ConvArc is one conventional-mode timing arc: arrival + single-input
+// delay, with the latest one marked as the winner.
+type ConvArc struct {
+	Pin     int
+	Net     string
+	Delay   float64 // single-input pin delay
+	OutTT   float64 // the arc's output transition time
+	Arrives float64 // input arrival + delay
+	Winner  bool
+}
+
+// Explain reconstructs the decision trace behind net n's arrivals in res.
+// The result must come from an analysis of the circuit that owns n; a net
+// without any arrival yields an explanation with empty Dirs.
+func Explain(res *Result, n *Net) (*NetExplain, error) {
+	if n == nil {
+		return nil, fmt.Errorf("sta: explain: nil net")
+	}
+	ne := &NetExplain{Net: n.Name}
+	g := n.Driver
+	if g == nil {
+		// Primary input or undriven net: arrivals (if any) are stimulus.
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			if a, ok := res.Arrival(n, dir); ok {
+				ne.PI = true
+				ne.Dirs = append(ne.Dirs, &DirExplain{Dir: dir, Arrival: a})
+			}
+		}
+		return ne, nil
+	}
+	ne.Gate, ne.Type = g.Name, g.Type
+	for _, outDir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		a, ok := res.Arrival(n, outDir)
+		if !ok {
+			continue
+		}
+		de := &DirExplain{Dir: outDir, Arrival: a}
+		inDir := outDir.Opposite()
+		var evs []core.InputEvent
+		for pin, in := range g.In {
+			if ia, ok := res.Arrival(in, inDir); ok {
+				evs = append(evs, core.InputEvent{Pin: pin, Dir: inDir, TT: ia.TT, Cross: ia.Time})
+				de.Inputs = append(de.Inputs, ExplainArc{Pin: pin, Net: in.Name, Arrival: ia})
+			}
+		}
+		if len(evs) == 0 {
+			return nil, fmt.Errorf("sta: explain %s %v: arrival present but no causing input arrivals — result is not from this circuit's analysis", n.Name, outDir)
+		}
+		switch res.Mode {
+		case Conventional:
+			best := -1
+			bestT := 0.0
+			for i, e := range evs {
+				d, tt, err := g.Calc.SingleDelay(e.Pin, e.Dir, e.TT)
+				if err != nil {
+					return nil, fmt.Errorf("sta: explain %s %v: pin %d: %w", n.Name, outDir, e.Pin, err)
+				}
+				arc := ConvArc{Pin: e.Pin, Net: g.In[e.Pin].Name, Delay: d, OutTT: tt, Arrives: e.Cross + d}
+				de.Arcs = append(de.Arcs, arc)
+				if best < 0 || arc.Arrives > bestT {
+					best, bestT = i, arc.Arrives
+				}
+			}
+			if best >= 0 {
+				de.Arcs[best].Winner = true
+			}
+			if bestT != a.Time {
+				return nil, fmt.Errorf("sta: explain %s %v: recomputed arrival %.6g != stored %.6g — result is stale for this circuit", n.Name, outDir, bestT, a.Time)
+			}
+		default:
+			r, ex, err := g.Calc.EvaluateExplain(evs)
+			if err != nil {
+				return nil, fmt.Errorf("sta: explain %s %v: %w", n.Name, outDir, err)
+			}
+			if r.OutputCross != a.Time || r.OutTT != a.TT {
+				return nil, fmt.Errorf("sta: explain %s %v: recomputed arrival %.6g/%.6g != stored %.6g/%.6g — result is stale for this circuit", n.Name, outDir, r.OutputCross, r.OutTT, a.Time, a.TT)
+			}
+			de.Proximity = ex
+		}
+		ne.Dirs = append(ne.Dirs, de)
+	}
+	return ne, nil
+}
+
+// ExplainNets explains each named net of the circuit against res, in the
+// given order. Unknown nets fail with the name.
+func ExplainNets(c *Circuit, res *Result, names []string) ([]*NetExplain, error) {
+	out := make([]*NetExplain, 0, len(names))
+	for _, name := range names {
+		n := c.Net(name)
+		if n == nil {
+			return nil, fmt.Errorf("sta: explain: unknown net %q", name)
+		}
+		ne, err := Explain(res, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ne)
+	}
+	return out, nil
+}
+
+// Format renders the explanation as an indented human-readable report (the
+// cmd/sta -explain output).
+func (ne *NetExplain) Format(w io.Writer) {
+	switch {
+	case ne.PI:
+		fmt.Fprintf(w, "net %s: primary input (arrivals are stimulus)\n", ne.Net)
+	case ne.Gate == "":
+		fmt.Fprintf(w, "net %s: undriven\n", ne.Net)
+	default:
+		fmt.Fprintf(w, "net %s: driven by gate %s (%s)\n", ne.Net, ne.Gate, ne.Type)
+	}
+	if len(ne.Dirs) == 0 && !ne.PI {
+		fmt.Fprintf(w, "  no arrivals in this analysis\n")
+	}
+	for _, de := range ne.Dirs {
+		fmt.Fprintf(w, "  %v arrival: t=%.2fps tt=%.2fps (from pin %d, %d input(s) combined)\n",
+			de.Dir, de.Arrival.Time*1e12, de.Arrival.TT*1e12, de.Arrival.FromPin, de.Arrival.UsedInputs)
+		for _, in := range de.Inputs {
+			fmt.Fprintf(w, "    input pin %d (net %s): %v t=%.2fps tt=%.2fps\n",
+				in.Pin, in.Net, in.Arrival.Dir, in.Arrival.Time*1e12, in.Arrival.TT*1e12)
+		}
+		if de.Proximity != nil {
+			iw := indentWriter{w: w, prefix: "    "}
+			de.Proximity.Format(&iw)
+		}
+		for _, arc := range de.Arcs {
+			tag := ""
+			if arc.Winner {
+				tag = "  <- winner (latest)"
+			}
+			fmt.Fprintf(w, "    arc pin %d (net %s): delay=%.2fps arrives=%.2fps%s\n",
+				arc.Pin, arc.Net, arc.Delay*1e12, arc.Arrives*1e12, tag)
+		}
+	}
+}
+
+// indentWriter prefixes every line with a fixed indent, so nested reports
+// read as one document.
+type indentWriter struct {
+	w       io.Writer
+	prefix  string
+	midline bool
+}
+
+func (iw *indentWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		if !iw.midline {
+			if _, err := io.WriteString(iw.w, iw.prefix); err != nil {
+				return total, err
+			}
+			iw.midline = true
+		}
+		i := 0
+		for i < len(p) && p[i] != '\n' {
+			i++
+		}
+		if i < len(p) {
+			i++ // include the newline
+			iw.midline = false
+		}
+		n, err := iw.w.Write(p[:i])
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[i:]
+	}
+	return total, nil
+}

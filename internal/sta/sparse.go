@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // evalScratch is the per-vector working set, pooled on the Compiled handle
@@ -202,7 +203,17 @@ func (p *Compiled) sparseSchedule(events []PIEvent, s *evalScratch) (schedule []
 // concurrent path is race-free by construction and bit-identical to the
 // serial one. The context is polled once per level — cheap against the
 // per-level work, frequent enough that request timeouts bite mid-walk.
-func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt Options) (*Result, error) {
+func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt Options, pid int64) (*Result, error) {
+	wallStart := time.Now()
+	tr := opt.Trace
+	if tr.Enabled() {
+		tr.NameProcess(pid, fmt.Sprintf("vector %d", pid))
+		tr.NameThread(pid, 0, "schedule")
+	}
+	analyzeSpan := tr.Begin(pid, 0, "sta", "analyze").
+		Arg("mode", mode.String()).Arg("events", len(events))
+	defer analyzeSpan.End()
+
 	c := p.c
 	res := &Result{Mode: mode, idx: make([]int32, p.numNets), arr: make([]dirArrivals, 0, 2*len(events))}
 	set := func(n *Net, a Arrival) {
@@ -213,6 +224,7 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 	if len(events) == 0 {
 		return nil, fmt.Errorf("sta: empty stimulus vector (no primary-input events)")
 	}
+	seedStart := time.Now()
 	for _, ev := range events {
 		if !c.piSet[ev.Net] {
 			return nil, fmt.Errorf("sta: event on non-primary-input net %s", ev.Net.Name)
@@ -233,6 +245,7 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 		}
 		set(ev.Net, Arrival{Dir: ev.Dir, Time: ev.Time, TT: ev.TT})
 	}
+	res.Stats.Phases.Add(obs.PhaseSeed, time.Since(seedStart))
 
 	workers := opt.Workers
 	if workers <= 0 {
@@ -247,12 +260,31 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 
 	schedule := p.levelIdx
 	if !opt.Dense {
+		// The cone tables are built lazily by the first sparse analyze;
+		// what this analyze is charged for is the wait — the build wall on
+		// the first call, ~zero ever after.
+		coneSpan := tr.Begin(pid, 0, "sta", "cones")
+		coneStart := time.Now()
+		p.ensureCones()
+		res.Stats.Phases.Add(obs.PhaseCones, time.Since(coneStart))
+		coneSpan.End()
+
+		schedSpan := tr.Begin(pid, 0, "sta", "schedule")
+		schedStart := time.Now()
 		if sp, ok := p.sparseSchedule(events, s); ok {
 			schedule = sp
 		}
+		res.Stats.Phases.Add(obs.PhaseSchedule, time.Since(schedStart))
+		schedSpan.End()
 	}
 
-	for _, level := range schedule {
+	if tr.Enabled() {
+		for w := 1; w <= workers; w++ {
+			tr.NameThread(pid, int64(w), fmt.Sprintf("worker %d", w-1))
+		}
+	}
+
+	for li, level := range schedule {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sta: analysis interrupted: %w", err)
 		}
@@ -260,6 +292,13 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 			res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{})
 			continue
 		}
+		// The span name is only composed when a recorder is attached — the
+		// hot path must not pay a Sprintf per level.
+		var levelName string
+		if tr.Enabled() {
+			levelName = fmt.Sprintf("level %d", li)
+		}
+		levelSpan := tr.Begin(pid, 0, "sta", levelName).Arg("gates", len(level))
 		start := time.Now()
 		w := workers
 		if w > len(level) {
@@ -277,20 +316,31 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 			var wg sync.WaitGroup
 			for i := 0; i < w; i++ {
 				wg.Add(1)
-				go func() {
+				go func(tid int64) {
 					defer wg.Done()
+					// One span per worker per level, on the worker's own
+					// tid row: the trace viewer shows the level's parallel
+					// shape — who worked, who idled, who straggled.
+					wspan := tr.Begin(pid, tid, "sta", levelName)
+					gates := 0
 					var evs []core.InputEvent
 					for {
 						k := int(next.Add(1) - 1)
 						if k >= len(level) {
+							wspan.Arg("gates", gates).End()
 							return
 						}
 						s.outs[k] = evalGate(p.gateList[level[k]], res, mode, &evs)
+						gates++
 					}
-				}()
+				}(int64(i + 1))
 			}
 			wg.Wait()
 		}
+		evalWall := time.Since(start)
+		res.Stats.Phases.Add(obs.PhaseEval, evalWall)
+		commitSpan := tr.Begin(pid, 0, "sta", "commit")
+		commitStart := time.Now()
 		// Commit in netlist order: deterministic arrival stores, and the
 		// error reported is the one the serial walk would hit first.
 		for k, gi := range level {
@@ -317,8 +367,12 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 				res.Stats.GatesEvaluated++
 			}
 		}
+		res.Stats.Phases.Add(obs.PhaseCommit, time.Since(commitStart))
+		commitSpan.End()
 		res.Stats.GatesScheduled += len(level)
 		res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{Gates: len(level), Wall: time.Since(start)})
+		levelSpan.End()
 	}
+	res.Stats.Wall = time.Since(wallStart)
 	return res, nil
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/waveform"
 )
 
@@ -300,6 +301,12 @@ type Options struct {
 	// primary inputs; both schedules are bit-identical in their results, so
 	// Dense exists as an escape hatch and as the oracle's reference.
 	Dense bool
+	// Trace, when non-nil, records Chrome trace_event spans for the
+	// analysis: compile (if it happens), schedule construction, each
+	// evaluation level, and the per-worker shares within a level. nil (the
+	// default) records nothing and costs nothing beyond dead nil-checks —
+	// the hot path stays hot.
+	Trace *obs.Trace
 }
 
 // defaultWorkers mirrors the characterization pools' policy (see
@@ -338,6 +345,14 @@ type Stats struct {
 	// gates scheduled at that level (in sparse mode, levels outside the
 	// active cones record zero).
 	PerLevel []LevelStat
+	// Phases breaks the analysis wall time into the engine's accounting
+	// buckets (compile, cone build, schedule, seed, eval, commit). The
+	// buckets are disjoint intervals, so Phases.Sum() <= Wall. Always on:
+	// the cost is a handful of clock reads per analysis.
+	Phases obs.PhaseTimes
+	// Wall is the total wall time of this analysis, including any compile
+	// the entry point performed on its behalf.
+	Wall time.Duration
 }
 
 // dirArrivals stores a net's arrivals indexed by direction (Rising=0,
@@ -416,11 +431,24 @@ func (c *Circuit) Analyze(events []PIEvent, mode Mode) (*Result, error) {
 
 // AnalyzeOpts is Analyze with explicit execution options.
 func (c *Circuit) AnalyzeOpts(events []PIEvent, mode Mode, opt Options) (*Result, error) {
-	p, err := c.Compile()
+	compileStart := time.Now()
+	p, fresh, err := c.compileTimed(opt.Trace)
 	if err != nil {
 		return nil, err
 	}
-	return p.Analyze(context.Background(), events, mode, opt)
+	compileWall := time.Since(compileStart)
+	res, err := p.Analyze(context.Background(), events, mode, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Account the compile this call performed (near-zero on a memoized
+	// handle) into the result's phase breakdown and total wall.
+	res.Stats.Phases.Add(obs.PhaseCompile, compileWall)
+	if fresh {
+		res.Stats.Phases.Add(obs.PhaseLevelize, p.levelizeWall)
+	}
+	res.Stats.Wall += compileWall
+	return res, nil
 }
 
 // AnalyzeBatch analyzes N independent primary-input vectors against ONE
@@ -431,7 +459,7 @@ func (c *Circuit) AnalyzeOpts(events []PIEvent, mode Mode, opt Options) (*Result
 // on the same events. The first failing vector (lowest index) aborts the
 // batch.
 func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Result, error) {
-	p, err := c.Compile()
+	p, _, err := c.compileTimed(opt.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -463,6 +491,11 @@ type Compiled struct {
 
 	maxWidth int // widest level, sizes the per-level eval buffer
 
+	// levelizeWall is the wall time the topological sort took inside this
+	// handle's (single, possibly shared) compile — reported into the phase
+	// breakdown of the analyze call that triggered the build.
+	levelizeWall time.Duration
+
 	// Per-PI fanout cones, built lazily on the first sparse analysis (the
 	// Dense escape hatch never pays for them). CSR layout: cone of PI
 	// ordinal k is cones[coneOff[k]:coneOff[k+1]], gate indices in BFS
@@ -483,23 +516,38 @@ type Compiled struct {
 // Analyze/AnalyzeBatch calls share one levelization, one set of fanout
 // cones and one scratch pool.
 func (c *Circuit) Compile() (*Compiled, error) {
+	p, _, err := c.compileTimed(nil)
+	return p, err
+}
+
+// compileTimed is Compile with span recording and a freshness report:
+// fresh is true when this call actually built the handle (rather than
+// reusing the memoized one), which is when its levelizeWall is chargeable
+// to the caller. tr == nil records nothing.
+func (c *Circuit) compileTimed(tr *obs.Trace) (p *Compiled, fresh bool, err error) {
 	c.compileMu.Lock()
 	if p := c.compiled; p != nil {
 		c.compileMu.Unlock()
-		return p, nil
+		return p, false, nil
 	}
 	c.compileMu.Unlock()
 
+	compileSpan := tr.Begin(0, 0, "sta", "compile").Arg("gates", len(c.Gates))
+	levelizeSpan := tr.Begin(0, 0, "sta", "levelize")
+	levelizeStart := time.Now()
 	levels, err := c.levelize()
+	levelizeWall := time.Since(levelizeStart)
+	levelizeSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	p := &Compiled{
-		c:       c,
-		levels:  levels,
-		gates:   len(c.Gates),
-		numNets: len(c.nets),
-		pis:     append([]*Net(nil), c.PIs...),
+	p = &Compiled{
+		c:            c,
+		levels:       levels,
+		gates:        len(c.Gates),
+		numNets:      len(c.nets),
+		pis:          append([]*Net(nil), c.PIs...),
+		levelizeWall: levelizeWall,
 	}
 	p.gateList = append([]*Gate(nil), c.Gates...)
 	idxOf := make(map[*Gate]int32, len(p.gateList))
@@ -519,13 +567,15 @@ func (c *Circuit) Compile() (*Compiled, error) {
 	}
 	p.scratch.New = func() any { return newEvalScratch(p) }
 	c.compileMu.Lock()
-	if c.compiled == nil {
+	fresh = c.compiled == nil
+	if fresh {
 		c.compiled = p
 	} else {
 		p = c.compiled // another caller filled it first; share theirs
 	}
 	c.compileMu.Unlock()
-	return p, nil
+	compileSpan.Arg("levels", len(levels)).End()
+	return p, fresh, nil
 }
 
 // Circuit returns the underlying circuit (for net lookup and reporting).
@@ -541,7 +591,7 @@ func (p *Compiled) NumLevels() int { return len(p.levels) }
 // context is checked at every level boundary, so a canceled or expired
 // request abandons a deep netlist promptly instead of walking it to the end.
 func (p *Compiled) Analyze(ctx context.Context, events []PIEvent, mode Mode, opt Options) (*Result, error) {
-	return p.analyze(ctx, events, mode, opt)
+	return p.analyze(ctx, events, mode, opt, 0)
 }
 
 // AnalyzeBatch fans N independent vectors across the worker budget against
@@ -557,10 +607,10 @@ func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mod
 	}
 	results := make([]*Result, len(batch))
 	errs := make([]error, len(batch))
-	perVector := Options{Workers: 1, Dense: opt.Dense}
+	perVector := Options{Workers: 1, Dense: opt.Dense, Trace: opt.Trace}
 	if workers <= 1 {
 		for i, events := range batch {
-			results[i], errs[i] = p.analyze(ctx, events, mode, perVector)
+			results[i], errs[i] = p.analyze(ctx, events, mode, perVector, int64(i))
 		}
 	} else {
 		var next atomic.Int64
@@ -574,7 +624,7 @@ func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mod
 					if i >= len(batch) {
 						return
 					}
-					results[i], errs[i] = p.analyze(ctx, batch[i], mode, perVector)
+					results[i], errs[i] = p.analyze(ctx, batch[i], mode, perVector, int64(i))
 				}
 			}()
 		}
