@@ -16,10 +16,17 @@
 // scheduled (-sparse=false forces the dense full-schedule walk; results are
 // bit-identical, sparse is just faster on partial stimuli).
 //
+// ECO-style what-if queries: -delta re-times the -event baseline under a
+// stimulus edit (-delta sets/replaces events, -delta-remove withdraws them)
+// by propagating only the nets whose arrivals actually change — the answer
+// is bit-identical to a full analysis of the edited vector, at a fraction
+// of the work on large netlists.
+//
 // With -server http://host:port the analysis runs on a stad daemon instead
 // of in-process: the netlist is uploaded once, the vectors go through
 // /v1/analyze:batch, and the daemon's characterized model registry supplies
-// the cell models (-char/-model are ignored).
+// the cell models (-char/-model are ignored). -delta maps onto
+// keepBaseline + POST /v1/analyze:delta.
 //
 // Netlist format:
 //
@@ -62,6 +69,8 @@ func main() {
 		tracef  = flag.String("trace", "", "write a Chrome trace_event JSON of the engine phases to this file (load in chrome://tracing or Perfetto)")
 		explain = flag.String("explain", "", "comma-separated nets: print the proximity decision trace behind each net's arrivals")
 		vtrace  = flag.String("validate-trace", "", "validate a Chrome trace JSON file produced by -trace, then exit (used by CI)")
+		deltaS  = flag.String("delta", "", "re-time the -event baseline under a stimulus edit: set/replace events net:dir:tt_ps:time_ps,... (single vector only)")
+		deltaR  = flag.String("delta-remove", "", "baseline events to withdraw before -delta sets apply: net:dir,...")
 	)
 	flag.Parse()
 	if *vtrace != "" {
@@ -83,10 +92,10 @@ func main() {
 		case *explain != "":
 			err = fmt.Errorf("-explain runs in-process only (use POST /v1/explain against the daemon)")
 		default:
-			err = runRemote(*server, *netlist, *events, *mode)
+			err = runRemote(*server, *netlist, *events, *mode, *deltaS, *deltaR)
 		}
 	} else {
-		err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse, *tracef, *explain)
+		err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse, *tracef, *explain, *deltaS, *deltaR)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sta: %v\n", err)
@@ -94,7 +103,7 @@ func main() {
 	}
 }
 
-func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool, tracePath, explainList string) error {
+func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool, tracePath, explainList, deltaSet, deltaRemove string) error {
 	lib := sta.NewLibrary()
 
 	// Load pre-characterized models.
@@ -170,13 +179,23 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 		}
 	}
 
+	wantDelta := deltaSet != "" || deltaRemove != ""
 	if len(batch) > 1 {
 		if len(explainNets) > 0 {
 			return fmt.Errorf("-explain works on a single stimulus vector (got %d)", len(batch))
 		}
+		if wantDelta {
+			return fmt.Errorf("-delta re-times a single baseline vector (got %d)", len(batch))
+		}
 		return runBatch(c, batch, modes, opt, reqPS)
 	}
 	evs := batch[0]
+	var delta sta.Delta
+	if wantDelta {
+		if delta, err = parseDelta(c, deltaSet, deltaRemove); err != nil {
+			return err
+		}
+	}
 
 	for _, m := range modes {
 		res, err := c.AnalyzeOpts(evs, m, opt)
@@ -233,8 +252,76 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 			}
 		}
 		printStats(res.Stats)
+
+		if wantDelta {
+			dres, err := c.AnalyzeDelta(res, delta, opt)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n-- %s delta re-timing --\n", m)
+			for _, name := range c.NetsByName() {
+				n := c.Net(name)
+				for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+					da, dok := dres.Arrival(n, dir)
+					ba, bok := res.Arrival(n, dir)
+					if !dok {
+						if bok {
+							fmt.Printf("%-12s %-8v gone (was t=%8.1f ps)\n", name, dir, ba.Time*1e12)
+						}
+						continue
+					}
+					marker := ""
+					if !bok || da != ba {
+						marker = "  *"
+					}
+					fmt.Printf("%-12s %-8v t=%8.1f ps  tt=%7.1f ps%s\n",
+						name, dir, da.Time*1e12, da.TT*1e12, marker)
+				}
+			}
+			fmt.Printf("delta: re-evaluated %d gates, reused %d baseline arrivals\n",
+				dres.Stats.GatesReevaluated, dres.Stats.GatesReused)
+			printStats(dres.Stats)
+		}
 	}
 	return nil
+}
+
+// parseDelta parses the -delta / -delta-remove flag syntax against circuit
+// nets. Set events use the -event syntax; removes are net:dir pairs.
+func parseDelta(c *sta.Circuit, setSpec, removeSpec string) (sta.Delta, error) {
+	var delta sta.Delta
+	if setSpec != "" {
+		evs, err := sta.ParseEvents(c, setSpec)
+		if err != nil {
+			return sta.Delta{}, fmt.Errorf("-delta: %w", err)
+		}
+		delta.Set = evs
+	}
+	for _, part := range strings.Split(removeSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 2 {
+			return sta.Delta{}, fmt.Errorf("-delta-remove: %q: want net:dir", part)
+		}
+		n := c.Net(fields[0])
+		if n == nil {
+			return sta.Delta{}, fmt.Errorf("-delta-remove: unknown net %q", fields[0])
+		}
+		var dir waveform.Direction
+		switch fields[1] {
+		case "rise", "r":
+			dir = waveform.Rising
+		case "fall", "f":
+			dir = waveform.Falling
+		default:
+			return sta.Delta{}, fmt.Errorf("-delta-remove: %q: bad direction %q", part, fields[1])
+		}
+		delta.Remove = append(delta.Remove, sta.DeltaRemove{Net: n, Dir: dir})
+	}
+	return delta, nil
 }
 
 // validateTraceFile checks that a -trace output decodes as the Chrome JSON

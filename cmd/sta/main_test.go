@@ -10,6 +10,7 @@ import (
 	"repro/internal/macromodel"
 	"repro/internal/obs"
 	"repro/internal/sta"
+	"repro/internal/waveform"
 )
 
 // testCircuit builds a tiny two-gate circuit with synthetic models, enough
@@ -133,6 +134,84 @@ func TestParseWireBatch(t *testing.T) {
 	}
 	if _, err := parseWireBatch("ok:rise:1:0;x:rise:nan-ish:0"); err == nil || !strings.Contains(err.Error(), "vector 1") {
 		t.Errorf("error %v does not carry the vector index", err)
+	}
+}
+
+// TestParseDelta: the -delta/-delta-remove syntax resolves against circuit
+// nets and the parsed edit re-times to exactly what a full analysis of the
+// edited vector produces.
+func TestParseDelta(t *testing.T) {
+	c := testCircuit(t)
+	delta, err := parseDelta(c, "a:rise:300:40", "b:r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Set) != 1 || delta.Set[0].Net.Name != "a" {
+		t.Fatalf("bad set: %+v", delta.Set)
+	}
+	if len(delta.Remove) != 1 || delta.Remove[0].Net.Name != "b" {
+		t.Fatalf("bad remove: %+v", delta.Remove)
+	}
+
+	base, err := sta.ParseEvents(c, "a:rise:300:0,b:rise:250:30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.AnalyzeOpts(base, sta.Proximity, sta.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := c.AnalyzeDelta(res, delta, sta.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited, err := sta.ParseEvents(c, "a:rise:300:40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.AnalyzeOpts(edited, sta.Proximity, sta.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare every net/direction bit-exactly.
+	for _, name := range c.NetsByName() {
+		n := c.Net(name)
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			da, dok := dres.Arrival(n, dir)
+			fa, fok := full.Arrival(n, dir)
+			if dok != fok || da != fa {
+				t.Errorf("net %s %v: delta (%v %+v) vs full (%v %+v)", name, dir, dok, da, fok, fa)
+			}
+		}
+	}
+
+	for _, bad := range []struct{ set, rm string }{
+		{"nope:rise:300:0", ""}, {"", "nope:r"}, {"", "a"}, {"", "a:sideways"},
+	} {
+		if _, err := parseDelta(c, bad.set, bad.rm); err == nil {
+			t.Errorf("parseDelta(%q, %q): expected error", bad.set, bad.rm)
+		}
+	}
+}
+
+// TestParseWireDelta: the -server client's syntactic-only counterpart.
+func TestParseWireDelta(t *testing.T) {
+	set, remove, err := parseWireDelta("a:rise:300:40,b:f:200:10", "b:r, c:fall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0].Net != "a" || set[1].Dir != "f" {
+		t.Fatalf("bad set: %+v", set)
+	}
+	if len(remove) != 2 || remove[0].Net != "b" || remove[1].Dir != "fall" {
+		t.Fatalf("bad remove: %+v", remove)
+	}
+	for _, bad := range []struct{ set, rm string }{
+		{"a:rise:300", ""}, {"", "a"}, {"", "a:sideways"}, {"a:rise:300:0;b:rise:1:0", ""},
+	} {
+		if _, _, err := parseWireDelta(bad.set, bad.rm); err == nil {
+			t.Errorf("parseWireDelta(%q, %q): expected error", bad.set, bad.rm)
+		}
 	}
 }
 

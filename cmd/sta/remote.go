@@ -16,7 +16,7 @@ import (
 // push every stimulus vector through /v1/analyze:batch, print the per-vector
 // primary-output arrivals. The daemon's model registry supplies the cell
 // models, so no characterization happens client-side.
-func runRemote(baseURL, netPath, eventSpec, mode string) error {
+func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string) error {
 	text, err := os.ReadFile(netPath)
 	if err != nil {
 		return err
@@ -24,6 +24,17 @@ func runRemote(baseURL, netPath, eventSpec, mode string) error {
 	vectors, err := parseWireBatch(eventSpec)
 	if err != nil {
 		return err
+	}
+	wantDelta := deltaSet != "" || deltaRemove != ""
+	if wantDelta && len(vectors) > 1 {
+		return fmt.Errorf("-delta re-times a single baseline vector (got %d)", len(vectors))
+	}
+	var set []service.Event
+	var remove []service.RemoveEvent
+	if wantDelta {
+		if set, remove, err = parseWireDelta(deltaSet, deltaRemove); err != nil {
+			return err
+		}
 	}
 	modes := map[string][]string{
 		"prox": {"prox"},
@@ -43,6 +54,30 @@ func runRemote(baseURL, netPath, eventSpec, mode string) error {
 		netPath, up.ID, up.Gates, up.Levels)
 
 	for _, m := range modes {
+		if wantDelta {
+			// Baseline once with keepBaseline, then the edit through the
+			// delta endpoint — the daemon reuses everything the edit does
+			// not touch. The delta's mode is the baseline's.
+			var ar service.AnalyzeResponse
+			areq := service.AnalyzeRequest{Netlist: up.ID, Mode: m, Vector: vectors[0], KeepBaseline: true}
+			if err := postJSON(base+"/v1/analyze", areq, &ar); err != nil {
+				return fmt.Errorf("baseline analyze (%s): %w", m, err)
+			}
+			var dr service.DeltaResponse
+			dreq := service.DeltaRequest{Netlist: up.ID, Baseline: ar.BaselineID, Set: set, Remove: remove}
+			if err := postJSON(base+"/v1/analyze:delta", dreq, &dr); err != nil {
+				return fmt.Errorf("delta (%s): %w", m, err)
+			}
+			fmt.Printf("\n== %s delta re-timing @ %s (baseline %s) ==\n", dr.Mode, base, ar.BaselineID)
+			fmt.Printf("edited:")
+			for _, a := range dr.Arrivals {
+				fmt.Printf(" %s=%s@%.1fps", a.Net, a.Dir, a.TimePs)
+			}
+			fmt.Println()
+			fmt.Printf("delta: re-evaluated %d gates, reused %d baseline arrivals server-side\n",
+				dr.GatesReevaluated, dr.GatesReused)
+			continue
+		}
 		var resp service.BatchResponse
 		req := service.BatchRequest{Netlist: up.ID, Mode: m, Vectors: vectors}
 		if err := postJSON(base+"/v1/analyze:batch", req, &resp); err != nil {
@@ -111,6 +146,41 @@ func parseWireBatch(eventSpec string) ([][]service.Event, error) {
 		return nil, fmt.Errorf("no stimulus vectors in %q", eventSpec)
 	}
 	return vectors, nil
+}
+
+// parseWireDelta parses -delta (full -event syntax) and -delta-remove
+// (net:dir pairs) into wire events — syntactic only; the server validates
+// net names and PI membership against the baseline's netlist.
+func parseWireDelta(setSpec, removeSpec string) ([]service.Event, []service.RemoveEvent, error) {
+	var set []service.Event
+	if setSpec != "" {
+		vecs, err := parseWireBatch(setSpec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-delta: %w", err)
+		}
+		if len(vecs) != 1 {
+			return nil, nil, fmt.Errorf("-delta: want one event list, got %d", len(vecs))
+		}
+		set = vecs[0]
+	}
+	var remove []service.RemoveEvent
+	for _, part := range strings.Split(removeSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("-delta-remove: %q: want net:dir", part)
+		}
+		switch fields[1] {
+		case "rise", "r", "fall", "f":
+		default:
+			return nil, nil, fmt.Errorf("-delta-remove: %q: bad direction %q", part, fields[1])
+		}
+		remove = append(remove, service.RemoveEvent{Net: fields[0], Dir: fields[1]})
+	}
+	return set, remove, nil
 }
 
 func postJSON(url string, req, resp any) error {

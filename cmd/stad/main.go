@@ -10,6 +10,9 @@
 //	POST /v1/analyze        run one stimulus vector (?trace=1 returns a
 //	                        Chrome trace_event document inline)
 //	POST /v1/analyze:batch  fan a vector set through the batch engine
+//	POST /v1/analyze:delta  re-time a kept baseline under a stimulus edit
+//	                        (analyze with keepBaseline:true returns the
+//	                        baselineId; -max-baselines bounds the cache)
 //	POST /v1/explain        per-net proximity decision traces
 //	GET  /healthz           liveness
 //	GET  /metrics           counters, cache stats, latency + phase
@@ -63,6 +66,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request analysis budget")
 		maxInflight = flag.Int("max-inflight", 64, "admitted concurrent requests; beyond it requests get 429")
 		maxNetlists = flag.Int("max-netlists", 64, "resident compiled netlists (LRU beyond)")
+		maxBase     = flag.Int("max-baselines", 128, "resident delta baselines across all netlists (LRU beyond)")
 		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown budget on SIGTERM")
 		opsAddr     = flag.String("ops", "", "ops listener address (pprof + metrics; keep off the service port and firewalled), e.g. 127.0.0.1:6060")
 
@@ -80,6 +84,7 @@ func main() {
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		MaxNetlists:    *maxNetlists,
+		MaxBaselines:   *maxBase,
 	}
 	if *bench > 0 {
 		if err := runBench(cfg, *bench, *benchGates, *benchClients, *benchBatch, *benchOut); err != nil {

@@ -47,12 +47,18 @@ const (
 	// PhaseCommit is the serial netlist-order arrival commit, summed over
 	// levels.
 	PhaseCommit
+	// PhaseDelta is the event-driven delta re-analysis: baseline clone,
+	// delta application, and the dirty-cone propagation walk. Only
+	// AnalyzeDelta records it; full analyses report zero. It is a top-level
+	// phase — delta analyses do not additionally record seed/eval/commit, so
+	// the disjointness invariant (Sum() <= Wall) holds for them too.
+	PhaseDelta
 
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
-	"compile", "levelize", "cones", "schedule", "seed", "eval", "commit",
+	"compile", "levelize", "cones", "schedule", "seed", "eval", "commit", "delta",
 }
 
 func (p Phase) String() string {

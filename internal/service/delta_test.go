@@ -1,0 +1,208 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// analyzeKeep runs /v1/analyze with keepBaseline and returns the response.
+func analyzeKeep(t *testing.T, base, netlist string, vec []Event) AnalyzeResponse {
+	t.Helper()
+	var ar AnalyzeResponse
+	code := post(t, base+"/v1/analyze", AnalyzeRequest{
+		Netlist: netlist, Nets: "all", Vector: vec, KeepBaseline: true,
+	}, &ar)
+	if code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	if ar.BaselineID == "" {
+		t.Fatal("keepBaseline did not return a baselineId")
+	}
+	return ar
+}
+
+// sameArrivals requires two wire arrival sets to be bit-identical — the
+// delta endpoint promises exactly the answer a full analysis of the edited
+// vector gives.
+func sameArrivals(t *testing.T, got, want []Arrival, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d arrivals, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: arrival %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestDeltaEndpoint: a stimulus edit against a kept baseline must reproduce
+// the full analysis of the edited vector bit-for-bit, report reuse, and —
+// with keepBaseline — support chained edits.
+func TestDeltaEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	base := analyzeKeep(t, ts.URL, up.ID, testVector(0))
+
+	// Edit: shift input a later and withdraw d's rising event.
+	edited := []Event{
+		{Net: "a", Dir: "fall", TTPs: 300, TimePs: 55},
+		{Net: "b", Dir: "fall", TTPs: 250, TimePs: 15},
+		{Net: "c", Dir: "fall", TTPs: 350, TimePs: 40},
+	}
+	var dr DeltaResponse
+	code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{
+		Baseline:     base.BaselineID,
+		Nets:         "all",
+		Set:          []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: 55}},
+		Remove:       []RemoveEvent{{Net: "d", Dir: "rise"}},
+		KeepBaseline: true,
+	}, &dr)
+	if code != 200 {
+		t.Fatalf("delta status %d", code)
+	}
+	var full AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Netlist: up.ID, Nets: "all", Vector: edited,
+	}, &full); code != 200 {
+		t.Fatalf("full analyze status %d", code)
+	}
+	sameArrivals(t, dr.Arrivals, full.Arrivals, "delta vs full")
+	if dr.Mode != full.Mode {
+		t.Errorf("delta mode %q, full mode %q", dr.Mode, full.Mode)
+	}
+	if dr.GatesReevaluated+dr.GatesReused < dr.GatesReused {
+		t.Errorf("nonsensical reuse accounting: %+v", dr)
+	}
+	if dr.BaselineID == "" || dr.BaselineID == base.BaselineID {
+		t.Fatalf("chained keepBaseline returned %q (baseline was %q)", dr.BaselineID, base.BaselineID)
+	}
+
+	// Chain a second edit off the delta's own baseline: undo the shift.
+	var dr2 DeltaResponse
+	if code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{
+		Netlist:  up.ID, // optional, but when present it must match
+		Baseline: dr.BaselineID,
+		Nets:     "all",
+		Set:      []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: 0}},
+	}, &dr2); code != 200 {
+		t.Fatalf("chained delta status %d", code)
+	}
+	edited[0].TimePs = 0
+	var full2 AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Netlist: up.ID, Nets: "all", Vector: edited,
+	}, &full2); code != 200 {
+		t.Fatalf("full analyze 2 status %d", code)
+	}
+	sameArrivals(t, dr2.Arrivals, full2.Arrivals, "chained delta vs full")
+}
+
+// TestDeltaRequestValidation: the endpoint's failure modes, each with the
+// status the client should key on.
+func TestDeltaRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	base := analyzeKeep(t, ts.URL, up.ID, testVector(0))
+
+	cases := []struct {
+		name string
+		req  DeltaRequest
+		code int
+	}{
+		{"unknown baseline", DeltaRequest{Baseline: "b999",
+			Set: []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: 5}}}, 404},
+		{"netlist mismatch", DeltaRequest{Baseline: base.BaselineID, Netlist: "nl42",
+			Set: []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: 5}}}, 400},
+		{"unknown net", DeltaRequest{Baseline: base.BaselineID,
+			Set: []Event{{Net: "nope", Dir: "fall", TTPs: 300, TimePs: 5}}}, 400},
+		{"bad direction", DeltaRequest{Baseline: base.BaselineID,
+			Remove: []RemoveEvent{{Net: "a", Dir: "sideways"}}}, 400},
+		{"empty delta", DeltaRequest{Baseline: base.BaselineID}, 400},
+		{"set on non-PI", DeltaRequest{Baseline: base.BaselineID,
+			Set: []Event{{Net: "x", Dir: "fall", TTPs: 300, TimePs: 5}}}, 400},
+		{"remove absent event", DeltaRequest{Baseline: base.BaselineID,
+			Remove: []RemoveEvent{{Net: "a", Dir: "rise"}}}, 400},
+	}
+	for _, tc := range cases {
+		var errBody map[string]any
+		if code := post(t, ts.URL+"/v1/analyze:delta", tc.req, &errBody); code != tc.code {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, code, tc.code, errBody)
+		}
+	}
+}
+
+// TestBaselineLRUAndNetlistEviction: the baseline cache is bounded, and
+// evicting a netlist takes its baselines with it — a delta against a
+// baseline whose netlist is gone must 404, not crash or recompute.
+func TestBaselineLRUAndNetlistEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxNetlists: 1, MaxBaselines: 2})
+	up := uploadTestNetlist(t, ts.URL)
+
+	// Three baselines through a cache of two: the first must fall out.
+	b1 := analyzeKeep(t, ts.URL, up.ID, testVector(0))
+	b2 := analyzeKeep(t, ts.URL, up.ID, testVector(10))
+	b3 := analyzeKeep(t, ts.URL, up.ID, testVector(20))
+	set := []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: 5}}
+	if code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{Baseline: b1.BaselineID, Set: set}, nil); code != 404 {
+		t.Errorf("evicted baseline %s answered with %d, want 404", b1.BaselineID, code)
+	}
+	for _, id := range []string{b2.BaselineID, b3.BaselineID} {
+		if code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{Baseline: id, Set: set}, nil); code != 200 {
+			t.Errorf("resident baseline %s: status %d", id, code)
+		}
+	}
+
+	// Uploading a second netlist evicts the first (MaxNetlists: 1) and must
+	// drop its baselines with it.
+	var up2 UploadResponse
+	if code := post(t, ts.URL+"/v1/netlists", UploadRequest{Netlist: testNetlist}, &up2); code != 200 {
+		t.Fatalf("second upload status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{Baseline: b3.BaselineID, Set: set}, nil); code != 404 {
+		t.Errorf("baseline of an evicted netlist answered with %d, want 404", code)
+	}
+}
+
+// TestClientCancelReturns499: a request whose context is already canceled
+// must be reported as a client disconnect (499), counted separately from
+// 4xx/5xx — not blamed on the server as a 504.
+func TestClientCancelReturns499(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+
+	body, err := json.Marshal(AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(string(body))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("canceled request: status %d, want %d (%s)", rec.Code, StatusClientClosedRequest, rec.Body.String())
+	}
+	if got := s.metrics.Canceled.Value(); got != 1 {
+		t.Errorf("Canceled counter = %d, want 1", got)
+	}
+	if got := s.metrics.Status4xx.Value(); got != 0 {
+		t.Errorf("499 leaked into the 4xx class (count %d)", got)
+	}
+
+	// The JSON and Prometheus views both expose the counter.
+	var buf strings.Builder
+	s.metrics.writeJSON(&buf, RegistryStats{}, 1)
+	if !strings.Contains(buf.String(), `"statusCanceled": 1`) {
+		t.Errorf("metrics JSON missing statusCanceled: %s", buf.String())
+	}
+	buf.Reset()
+	s.metrics.writeProm(&buf, RegistryStats{}, 1)
+	if !strings.Contains(buf.String(), `stad_responses_total{class="canceled"} 1`) {
+		t.Errorf("prom exposition missing canceled class:\n%s", buf.String())
+	}
+}

@@ -204,6 +204,10 @@ type Metrics struct {
 	Status2xx expvar.Int
 	Status4xx expvar.Int
 	Status5xx expvar.Int
+	// Canceled counts 499s — the client went away mid-request. Kept out of
+	// the 4xx class: a disconnect is neither a malformed request nor a
+	// server timeout, and folding it into either poisons alerting.
+	Canceled expvar.Int
 
 	// Workload counters, fed from sta.Result.Stats.
 	Vectors        expvar.Int // stimulus vectors analyzed
@@ -249,6 +253,8 @@ func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
 	switch {
 	case status >= 500:
 		m.Status5xx.Add(1)
+	case status == StatusClientClosedRequest:
+		m.Canceled.Add(1)
 	case status >= 400:
 		m.Status4xx.Add(1)
 	case status >= 200 && status < 300:
@@ -277,12 +283,25 @@ func (m *Metrics) observePhases(pt obs.PhaseTimes) {
 	for _, p := range obs.Phases() {
 		d := pt[p]
 		switch p {
-		case obs.PhaseCompile, obs.PhaseLevelize, obs.PhaseCones:
+		case obs.PhaseCompile, obs.PhaseLevelize, obs.PhaseCones, obs.PhaseDelta:
 			if d <= 0 {
 				continue
 			}
 		}
 		m.phases[p].Observe(d)
+	}
+}
+
+// observeDeltaPhases folds a delta analysis in. Delta results populate only
+// the phases they actually ran (cone build if first sparse use, plus the
+// delta walk itself) — everything is conditional here, because recording the
+// schedule/seed/eval/commit zeroes a delta never executes would drown the
+// full-analysis histograms.
+func (m *Metrics) observeDeltaPhases(pt obs.PhaseTimes) {
+	for _, p := range obs.Phases() {
+		if d := pt[p]; d > 0 {
+			m.phases[p].Observe(d)
+		}
 	}
 }
 
@@ -294,8 +313,8 @@ func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int)
 	runtime.ReadMemStats(&ms)
 	b.WriteString("{\n")
 	fmt.Fprintf(b, ` "requests": %s,`+"\n", m.Requests.String())
-	fmt.Fprintf(b, ` "status2xx": %s, "status4xx": %s, "status5xx": %s,`+"\n",
-		m.Status2xx.String(), m.Status4xx.String(), m.Status5xx.String())
+	fmt.Fprintf(b, ` "status2xx": %s, "status4xx": %s, "status5xx": %s, "statusCanceled": %s,`+"\n",
+		m.Status2xx.String(), m.Status4xx.String(), m.Status5xx.String(), m.Canceled.String())
 	fmt.Fprintf(b, ` "vectors": %s, "gatesEvaluated": %s, "proximityEvals": %s, "singleArcEvals": %s,`+"\n",
 		m.Vectors.String(), m.GatesEvaluated.String(), m.ProximityEvals.String(), m.SingleArcEvals.String())
 	fmt.Fprintf(b, ` "modelCache": {"hits":%d,"misses":%d,"evictions":%d,"loadErrors":%d,"resident":%d},`+"\n",
@@ -350,6 +369,7 @@ func (m *Metrics) writeProm(b *strings.Builder, reg RegistryStats, netlists int)
 	fmt.Fprintf(b, "stad_responses_total{class=\"2xx\"} %d\n", m.Status2xx.Value())
 	fmt.Fprintf(b, "stad_responses_total{class=\"4xx\"} %d\n", m.Status4xx.Value())
 	fmt.Fprintf(b, "stad_responses_total{class=\"5xx\"} %d\n", m.Status5xx.Value())
+	fmt.Fprintf(b, "stad_responses_total{class=\"canceled\"} %d\n", m.Canceled.Value())
 
 	for _, c := range []struct {
 		name, help string

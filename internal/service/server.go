@@ -42,6 +42,12 @@ type Config struct {
 	// used handle is evicted beyond it (clients see 404 and re-upload).
 	// Default 64.
 	MaxNetlists int
+	// MaxBaselines bounds cached baseline results for delta analysis
+	// (/v1/analyze with keepBaseline, /v1/analyze:delta), LRU-evicted like
+	// the netlist registry. Evicting a netlist also drops its baselines —
+	// a baseline indexes the compiled handle's arrival slab and is
+	// meaningless without it. Default 128.
+	MaxBaselines int
 	// Dense disables cone-pruned sparse scheduling (stad -sparse=false).
 	// Results are bit-identical either way; dense also sheds the per-netlist
 	// cone tables. Default false: analyses schedule only the gates inside
@@ -60,7 +66,10 @@ type Config struct {
 //
 //	POST /v1/netlists       upload + levelize a netlist, get a handle
 //	POST /v1/analyze        one stimulus vector against a handle (?trace=1
-//	                        adds a Chrome trace_event document to the reply)
+//	                        adds a Chrome trace_event document to the reply;
+//	                        keepBaseline caches the result for delta queries)
+//	POST /v1/analyze:delta  re-time a cached baseline under a stimulus edit,
+//	                        re-evaluating only the gates the edit can reach
 //	POST /v1/analyze:batch  a vector set through AnalyzeBatch
 //	POST /v1/explain        per-net proximity decision traces for one vector
 //	GET  /healthz           liveness
@@ -82,6 +91,13 @@ type Server struct {
 	netlists map[string]*netlistEntry
 	order    *list.List // front = most recently used; values are *netlistEntry
 	nextID   int
+
+	// Baseline results cached for delta analysis, LRU-bounded like the
+	// netlist registry and guarded by the same mutex (netlist eviction
+	// must atomically drop the victim's baselines).
+	baselines map[string]*baselineEntry
+	blOrder   *list.List // front = most recently used; values are *baselineEntry
+	nextBID   int
 }
 
 // netlistEntry is one uploaded netlist: the circuit compiled (levelized)
@@ -90,6 +106,15 @@ type netlistEntry struct {
 	id       string
 	compiled *sta.Compiled
 	elem     *list.Element
+}
+
+// baselineEntry is one cached analysis result, pinned to the netlist handle
+// it was computed against.
+type baselineEntry struct {
+	id        string
+	netlistID string
+	res       *sta.Result
+	elem      *list.Element
 }
 
 // New builds a Server over a registry.
@@ -106,6 +131,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxNetlists <= 0 {
 		cfg.MaxNetlists = 64
 	}
+	if cfg.MaxBaselines <= 0 {
+		cfg.MaxBaselines = 128
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -118,12 +146,15 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxInflight),
 		log:      logger,
-		instance: hex.EncodeToString(tok),
-		netlists: map[string]*netlistEntry{},
-		order:    list.New(),
+		instance:  hex.EncodeToString(tok),
+		netlists:  map[string]*netlistEntry{},
+		order:     list.New(),
+		baselines: map[string]*baselineEntry{},
+		blOrder:   list.New(),
 	}
 	s.mux.HandleFunc("POST /v1/netlists", s.guard("netlists", s.handleUpload))
 	s.mux.HandleFunc("POST /v1/analyze", s.guard("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/analyze:delta", s.guard("analyze:delta", s.handleDelta))
 	s.mux.HandleFunc("POST /v1/analyze:batch", s.guard("analyze:batch", s.handleBatch))
 	s.mux.HandleFunc("POST /v1/explain", s.guard("explain", s.handleExplain))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -170,12 +201,36 @@ type UploadResponse struct {
 	Outputs []string `json:"outputs"`
 }
 
-// AnalyzeRequest runs one vector against an uploaded netlist.
+// AnalyzeRequest runs one vector against an uploaded netlist. KeepBaseline
+// caches the result server-side and returns a baselineId for
+// /v1/analyze:delta queries against it.
 type AnalyzeRequest struct {
-	Netlist string  `json:"netlist"`
-	Mode    string  `json:"mode,omitempty"` // "prox" (default) | "conv"
-	Nets    string  `json:"nets,omitempty"` // "outputs" (default) | "all"
-	Vector  []Event `json:"vector"`
+	Netlist      string  `json:"netlist"`
+	Mode         string  `json:"mode,omitempty"` // "prox" (default) | "conv"
+	Nets         string  `json:"nets,omitempty"` // "outputs" (default) | "all"
+	Vector       []Event `json:"vector"`
+	KeepBaseline bool    `json:"keepBaseline,omitempty"`
+}
+
+// RemoveEvent names one baseline primary-input event a delta withdraws.
+type RemoveEvent struct {
+	Net string `json:"net"`
+	Dir string `json:"dir"` // "rise" | "fall" (single letters accepted)
+}
+
+// DeltaRequest re-times a cached baseline under a stimulus edit: Remove
+// withdraws baseline events, Set adds or replaces them (removes apply
+// first). The analysis mode is the baseline's. Netlist is optional — when
+// present it must match the netlist the baseline was computed against.
+// KeepBaseline caches the delta result as a new baseline, so edit chains
+// never re-analyze from scratch.
+type DeltaRequest struct {
+	Netlist      string        `json:"netlist,omitempty"`
+	Baseline     string        `json:"baseline"`
+	Nets         string        `json:"nets,omitempty"` // "outputs" (default) | "all"
+	Set          []Event       `json:"set,omitempty"`
+	Remove       []RemoveEvent `json:"remove,omitempty"`
+	KeepBaseline bool          `json:"keepBaseline,omitempty"`
 }
 
 // BatchRequest fans a vector set through AnalyzeBatch.
@@ -209,7 +264,22 @@ type VectorResult struct {
 type AnalyzeResponse struct {
 	Mode string `json:"mode"`
 	VectorResult
-	Trace *obs.Trace `json:"trace,omitempty"`
+	// BaselineID is present when the request asked keepBaseline: the handle
+	// /v1/analyze:delta takes.
+	BaselineID string     `json:"baselineId,omitempty"`
+	Trace      *obs.Trace `json:"trace,omitempty"`
+}
+
+// DeltaResponse answers /v1/analyze:delta. GatesReused/GatesReevaluated
+// report how much of the baseline survived the edit — the whole point of
+// the endpoint, so it is first-class in the reply.
+type DeltaResponse struct {
+	Mode string `json:"mode"`
+	VectorResult
+	GatesReevaluated int        `json:"gatesReevaluated"`
+	GatesReused      int        `json:"gatesReused"`
+	BaselineID       string     `json:"baselineId,omitempty"`
+	Trace            *obs.Trace `json:"trace,omitempty"`
 }
 
 // ExplainRequest asks why an analysis produced the arrivals it did on the
@@ -395,13 +465,24 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) erro
 	return nil
 }
 
-// analysisError maps an engine error to a status: timeouts to 504,
-// everything else (bad nets, bad events, missing dual models) to 400 — all
-// are properties of the request or the uploaded artifacts, not of the
+// StatusClientClosedRequest is the nginx convention for "the client went
+// away before the response": not a timeout (the server had budget left),
+// not a client syntax error — its own class, so p99 and timeout alerting
+// stay clean when callers hang up mid-analyze.
+const StatusClientClosedRequest = 499
+
+// analysisError maps an engine error to a status: the request deadline
+// expiring to 504, the client disconnecting (request context canceled) to
+// 499, everything else (bad nets, bad events, missing dual models) to 400 —
+// all are properties of the request or the uploaded artifacts, not of the
 // server.
 func analysisError(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	if errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusGatewayTimeout, "analysis timed out: %v", err)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeError(w, StatusClientClosedRequest, "analysis canceled by client: %v", err)
 		return
 	}
 	writeError(w, http.StatusBadRequest, "%v", err)
@@ -453,6 +534,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		victim := back.Value.(*netlistEntry)
 		s.order.Remove(back)
 		delete(s.netlists, victim.id)
+		s.dropBaselinesLocked(victim.id)
 	}
 	s.mu.Unlock()
 
@@ -485,6 +567,48 @@ func (s *Server) lookupNetlist(id string) (*sta.Compiled, bool) {
 	}
 	s.order.MoveToFront(e.elem)
 	return e.compiled, true
+}
+
+// dropBaselinesLocked removes every baseline pinned to an evicted netlist.
+// Caller holds s.mu.
+func (s *Server) dropBaselinesLocked(netlistID string) {
+	for id, b := range s.baselines {
+		if b.netlistID == netlistID {
+			s.blOrder.Remove(b.elem)
+			delete(s.baselines, id)
+		}
+	}
+}
+
+// storeBaseline caches an analysis result for later delta queries and
+// returns its handle, evicting the least recently used baseline beyond the
+// configured bound.
+func (s *Server) storeBaseline(netlistID string, res *sta.Result) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextBID++
+	b := &baselineEntry{id: fmt.Sprintf("b%d", s.nextBID), netlistID: netlistID, res: res}
+	b.elem = s.blOrder.PushFront(b)
+	s.baselines[b.id] = b
+	for s.blOrder.Len() > s.cfg.MaxBaselines {
+		back := s.blOrder.Back()
+		victim := back.Value.(*baselineEntry)
+		s.blOrder.Remove(back)
+		delete(s.baselines, victim.id)
+	}
+	return b.id
+}
+
+// lookupBaseline returns a cached baseline, refreshing its LRU position.
+func (s *Server) lookupBaseline(id string) (*baselineEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.baselines[id]
+	if !ok {
+		return nil, false
+	}
+	s.blOrder.MoveToFront(b.elem)
+	return b, true
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -527,7 +651,74 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
 	s.metrics.observePhases(res.Stats.Phases)
-	writeJSON(w, AnalyzeResponse{Mode: mode.String(), VectorResult: vr, Trace: tr})
+	resp := AnalyzeResponse{Mode: mode.String(), VectorResult: vr, Trace: tr}
+	if req.KeepBaseline {
+		resp.BaselineID = s.storeBaseline(req.Netlist, res)
+	}
+	writeJSON(w, resp)
+}
+
+// handleDelta re-times a cached baseline under a stimulus edit via the
+// engine's delta propagation: only gates the edit can actually reach are
+// re-evaluated, everything else keeps its baseline arrival bit for bit.
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var req DeltaRequest
+	if err := decodeBody(w, r, &req, 16<<20); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	bl, ok := s.lookupBaseline(req.Baseline)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown baseline %q (expired or never kept)", req.Baseline)
+		return
+	}
+	if req.Netlist != "" && req.Netlist != bl.netlistID {
+		writeError(w, http.StatusBadRequest, "baseline %q belongs to netlist %q, not %q",
+			req.Baseline, bl.netlistID, req.Netlist)
+		return
+	}
+	compiled, ok := s.lookupNetlist(bl.netlistID)
+	if !ok {
+		// The netlist was evicted between the two lookups; its baselines
+		// are gone with it, the client re-uploads and re-baselines.
+		writeError(w, http.StatusNotFound, "netlist %q behind baseline %q expired", bl.netlistID, req.Baseline)
+		return
+	}
+	nets, err := parseNets(req.Nets)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	delta, err := resolveDelta(compiled.Circuit(), req.Set, req.Remove)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense}
+	var tr *obs.Trace
+	if wantTrace(r) {
+		tr = obs.NewTrace()
+		opt.Trace = tr
+	}
+	res, err := compiled.AnalyzeDelta(r.Context(), bl.res, delta, opt)
+	if err != nil {
+		analysisError(w, err)
+		return
+	}
+	vr := buildVectorResult(compiled.Circuit(), res, nets)
+	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
+	s.metrics.observeDeltaPhases(res.Stats.Phases)
+	resp := DeltaResponse{
+		Mode:             res.Mode.String(),
+		VectorResult:     vr,
+		GatesReevaluated: res.Stats.GatesReevaluated,
+		GatesReused:      res.Stats.GatesReused,
+		Trace:            tr,
+	}
+	if req.KeepBaseline {
+		resp.BaselineID = s.storeBaseline(bl.netlistID, res)
+	}
+	writeJSON(w, resp)
 }
 
 // wantTrace reports whether the request opted into span recording.
@@ -775,6 +966,45 @@ func resolveVector(c *sta.Circuit, vec []Event) ([]sta.PIEvent, error) {
 		evs[i] = sta.PIEvent{Net: n, Dir: dir, TT: ev.TTPs * 1e-12, Time: ev.TimePs * 1e-12}
 	}
 	return evs, nil
+}
+
+// resolveDelta maps a wire stimulus edit onto circuit nets. Unknown nets
+// fail here with the net named; PI membership, event validity, duplicates
+// and the present-in-baseline requirement for removes are enforced by the
+// engine. An entirely empty edit is rejected by the engine too.
+func resolveDelta(c *sta.Circuit, set []Event, remove []RemoveEvent) (sta.Delta, error) {
+	var delta sta.Delta
+	if len(set) > 0 {
+		evs := make([]sta.PIEvent, len(set))
+		for i, ev := range set {
+			n := c.Net(ev.Net)
+			if n == nil {
+				return sta.Delta{}, fmt.Errorf("set %d: unknown net %q", i, ev.Net)
+			}
+			dir, err := parseDir(ev.Dir)
+			if err != nil {
+				return sta.Delta{}, fmt.Errorf("set %d (net %s): %v", i, ev.Net, err)
+			}
+			evs[i] = sta.PIEvent{Net: n, Dir: dir, TT: ev.TTPs * 1e-12, Time: ev.TimePs * 1e-12}
+		}
+		delta.Set = evs
+	}
+	if len(remove) > 0 {
+		rms := make([]sta.DeltaRemove, len(remove))
+		for i, rm := range remove {
+			n := c.Net(rm.Net)
+			if n == nil {
+				return sta.Delta{}, fmt.Errorf("remove %d: unknown net %q", i, rm.Net)
+			}
+			dir, err := parseDir(rm.Dir)
+			if err != nil {
+				return sta.Delta{}, fmt.Errorf("remove %d (net %s): %v", i, rm.Net, err)
+			}
+			rms[i] = sta.DeltaRemove{Net: n, Dir: dir}
+		}
+		delta.Remove = rms
+	}
+	return delta, nil
 }
 
 // buildVectorResult flattens a Result into wire arrivals: primary outputs

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sta_test
+
+// raceEnabled reports whether the race detector is compiled in. Allocation
+// assertions (testing.AllocsPerRun) are skipped under -race: the detector
+// instruments allocations and the counts stop meaning anything.
+const raceEnabled = false

@@ -45,13 +45,13 @@ func newEvalScratch(p *Compiled) *evalScratch {
 	}
 }
 
-// ensureCones builds the per-PI fanout cones on first use. The Dense escape
-// hatch never calls this, so turning sparse scheduling off also sheds the
-// cone memory. Building is one forward BFS per PI over a CSR of
-// net-to-consumer edges: O(sum of cone sizes), paid once per Compiled.
-func (p *Compiled) ensureCones() {
-	p.coneOnce.Do(func() {
-		// Net -> consuming-gate edges in CSR form over net IDs.
+// ensureConsumers builds the net -> consuming-gate CSR on first use. Cone
+// construction walks it forward per PI; delta propagation walks it forward
+// from every dirtied net. Consumers of one net are listed in ascending gate
+// index (the fill pass visits gates in netlist order), which downstream
+// code relies on for deterministic traversal order.
+func (p *Compiled) ensureConsumers() {
+	p.consOnce.Do(func() {
 		consOff := make([]int32, p.numNets+1)
 		for _, g := range p.gateList {
 			for _, in := range g.In {
@@ -74,14 +74,23 @@ func (p *Compiled) ensureCones() {
 				}
 			}
 		}
+		p.consOff, p.cons = consOff, cons
+	})
+}
 
-		// Gate index -> topological level.
-		p.gateLevel = make([]int32, p.gates)
-		for li, row := range p.levelIdx {
-			for _, gi := range row {
-				p.gateLevel[gi] = int32(li)
-			}
-		}
+// consumers returns the gate indices consuming a net (shared storage —
+// callers must not mutate). ensureConsumers must have run.
+func (p *Compiled) consumers(netID int32) []int32 {
+	return p.cons[p.consOff[netID]:p.consOff[netID+1]]
+}
+
+// ensureCones builds the per-PI fanout cones on first use. The Dense escape
+// hatch never calls this, so turning sparse scheduling off also sheds the
+// cone memory. Building is one forward BFS per PI over the net-to-consumer
+// CSR: O(sum of cone sizes), paid once per Compiled.
+func (p *Compiled) ensureCones() {
+	p.coneOnce.Do(func() {
+		p.ensureConsumers()
 
 		// Net ID -> PI ordinal.
 		p.piOrd = make([]int32, p.numNets)
@@ -106,7 +115,7 @@ func (p *Compiled) ensureCones() {
 		for ord, pi := range p.pis {
 			queue = queue[:0]
 			if int(pi.id) < p.numNets {
-				for _, gi := range cons[consOff[pi.id]:consOff[pi.id+1]] {
+				for _, gi := range p.consumers(pi.id) {
 					if seen[gi] != int32(ord) {
 						seen[gi] = int32(ord)
 						queue = append(queue, gi)
@@ -118,7 +127,7 @@ func (p *Compiled) ensureCones() {
 				if int(out.id) >= p.numNets {
 					continue
 				}
-				for _, gi := range cons[consOff[out.id]:consOff[out.id+1]] {
+				for _, gi := range p.consumers(out.id) {
 					if seen[gi] != int32(ord) {
 						seen[gi] = int32(ord)
 						queue = append(queue, gi)
@@ -129,6 +138,19 @@ func (p *Compiled) ensureCones() {
 			p.coneOff[ord+1] = int32(len(cones))
 		}
 		p.cones = cones
+		p.conesReady.Store(true)
+	})
+}
+
+// adoptCones installs precomputed cone tables on a handle that has not yet
+// built its own — the incremental-recompile path, which assembles the new
+// tables from the old handle's unaffected cones plus fresh BFS for the
+// affected PIs. If a concurrent sparse analysis won the coneOnce race the
+// adopted tables are dropped; both builds are equivalent.
+func (p *Compiled) adoptCones(piOrd, coneOff, cones []int32) {
+	p.coneOnce.Do(func() {
+		p.piOrd, p.coneOff, p.cones = piOrd, coneOff, cones
+		p.conesReady.Store(true)
 	})
 }
 

@@ -61,6 +61,10 @@ type Gate struct {
 	Calc *core.Calculator
 	In   []*Net
 	Out  *Net
+	// idx is the gate's dense position in Circuit.Gates, assigned at AddGate.
+	// Levelization and incremental recompile index by it instead of carrying
+	// a map[*Gate]int per build.
+	idx int32
 }
 
 // Circuit is a combinational gate-level netlist.
@@ -79,20 +83,16 @@ type Circuit struct {
 
 	// compiled memoizes Compile so the Analyze entry points don't pay
 	// levelization (and cone construction) per call on an unchanged
-	// netlist. Structural mutations (Input, AddGate, net creation) clear
-	// it; concurrent Analyze callers may race to fill it, which is safe —
-	// every handle built from the same structure is equivalent.
+	// netlist. Staleness is structural: all mutations (Input, AddGate, net
+	// creation) append, so a handle is current exactly when its snapshot
+	// counts match the circuit's — no dirty flag to keep in sync. A stale
+	// handle seeds an incremental recompile of just the appended suffix
+	// (see recompile in incremental.go); handles already obtained by
+	// callers keep working against the snapshot they hold. Concurrent
+	// Analyze callers may race to fill it, which is safe — every handle
+	// built from the same structure is equivalent.
 	compileMu sync.Mutex
 	compiled  *Compiled
-}
-
-// invalidateCompiled drops the memoized analysis handle after a structural
-// mutation. Handles already obtained by callers keep working against the
-// snapshot they hold.
-func (c *Circuit) invalidateCompiled() {
-	c.compileMu.Lock()
-	c.compiled = nil
-	c.compileMu.Unlock()
 }
 
 // NewCircuit returns an empty circuit over a library.
@@ -106,7 +106,6 @@ func (c *Circuit) Input(name string) *Net {
 	if !c.piSet[n] {
 		c.piSet[n] = true
 		c.PIs = append(c.PIs, n)
-		c.invalidateCompiled()
 	}
 	return n
 }
@@ -121,7 +120,6 @@ func (c *Circuit) net(name string) *Net {
 	}
 	n := &Net{Name: name, id: int32(len(c.nets))}
 	c.nets[name] = n
-	c.invalidateCompiled()
 	return n
 }
 
@@ -150,10 +148,9 @@ func (c *Circuit) AddGate(instName, typeName, outName string, inputs ...*Net) (*
 	if out.Driver != nil {
 		return nil, fmt.Errorf("sta: net %s already driven by %s", outName, out.Driver.Name)
 	}
-	g := &Gate{Name: instName, Type: typeName, Calc: calc, In: inputs, Out: out}
+	g := &Gate{Name: instName, Type: typeName, Calc: calc, In: inputs, Out: out, idx: int32(len(c.Gates))}
 	out.Driver = g
 	c.Gates = append(c.Gates, g)
-	c.invalidateCompiled()
 	return out, nil
 }
 
@@ -177,18 +174,15 @@ func (c *Circuit) MarkOutput(n *Net) {
 // died on netlists ~100k gates deep), and deterministic: levels list gates
 // in netlist order.
 func (c *Circuit) levelize() ([][]*Gate, error) {
-	idx := make(map[*Gate]int, len(c.Gates))
-	for i, g := range c.Gates {
-		idx[g] = i
-	}
 	// Fanout edges in CSR form: counting pass, prefix sums, fill pass — two
-	// flat arrays instead of one growing slice per gate.
+	// flat arrays instead of one growing slice per gate. Gates carry their
+	// dense index (Gate.idx), so no identity map is needed.
 	indeg := make([]int, len(c.Gates))
 	offs := make([]int32, len(c.Gates)+1)
 	for _, g := range c.Gates {
 		for _, in := range g.In {
 			if in.Driver != nil {
-				offs[idx[in.Driver]+1]++
+				offs[in.Driver.idx+1]++
 			}
 		}
 	}
@@ -203,7 +197,7 @@ func (c *Circuit) levelize() ([][]*Gate, error) {
 			if in.Driver == nil {
 				continue
 			}
-			d := idx[in.Driver]
+			d := in.Driver.idx
 			edges[pos[d]] = int32(i)
 			pos[d]++
 			indeg[i]++
@@ -341,6 +335,12 @@ type Stats struct {
 	// level in dense mode, only the active-cone gates in sparse mode. The
 	// difference against the gate count is what cone pruning saved.
 	GatesScheduled int
+	// GatesReevaluated and GatesReused are delta-analysis accounting
+	// (AnalyzeDelta): how many gates the dirty-propagation walk actually
+	// re-ran evalGate on, and how many baseline-evaluated gates it carried
+	// over untouched. Full analyses leave both zero.
+	GatesReevaluated int
+	GatesReused      int
 	// PerLevel has one entry per topological level; Gates is the number of
 	// gates scheduled at that level (in sparse mode, levels outside the
 	// active cones record zero).
@@ -399,11 +399,16 @@ func (r *Result) Arrival(n *Net, dir waveform.Direction) (Arrival, bool) {
 	return da.a[dir], true
 }
 
+// bothDirs enumerates the two transition directions as an array, so hot
+// per-output loops (Latest, WorstSlack — per PO per request in the service's
+// response builder) range over it without allocating a slice each call.
+var bothDirs = [2]waveform.Direction{waveform.Rising, waveform.Falling}
+
 // Latest returns the latest arrival across both directions of a net.
 func (r *Result) Latest(n *Net) (Arrival, bool) {
 	var best Arrival
 	found := false
-	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+	for _, dir := range bothDirs {
 		if a, ok := r.Arrival(n, dir); ok && (!found || a.Time > best.Time) {
 			best = a
 			found = true
@@ -459,11 +464,25 @@ func (c *Circuit) AnalyzeOpts(events []PIEvent, mode Mode, opt Options) (*Result
 // on the same events. The first failing vector (lowest index) aborts the
 // batch.
 func (c *Circuit) AnalyzeBatch(batch [][]PIEvent, mode Mode, opt Options) ([]*Result, error) {
-	p, _, err := c.compileTimed(opt.Trace)
+	compileStart := time.Now()
+	p, fresh, err := c.compileTimed(opt.Trace)
 	if err != nil {
 		return nil, err
 	}
-	return p.AnalyzeBatch(context.Background(), batch, mode, opt)
+	compileWall := time.Since(compileStart)
+	results, err := p.AnalyzeBatch(context.Background(), batch, mode, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Attribute the compile this call performed to the batch's first result,
+	// mirroring AnalyzeOpts — one compile happened, so exactly one result
+	// carries it, and the service's phase histograms see it.
+	results[0].Stats.Phases.Add(obs.PhaseCompile, compileWall)
+	if fresh {
+		results[0].Stats.Phases.Add(obs.PhaseLevelize, p.levelizeWall)
+	}
+	results[0].Stats.Wall += compileWall
+	return results, nil
 }
 
 // Compiled is a reusable analysis handle: a circuit bound to its levelized
@@ -496,16 +515,29 @@ type Compiled struct {
 	// breakdown of the analyze call that triggered the build.
 	levelizeWall time.Duration
 
+	// gateLevel maps gate index -> topological level, built at compile time
+	// (it is the levelized schedule in a second shape, O(gates) to fill).
+	gateLevel []int32
+
+	// Net -> consuming-gate edges in CSR form over net IDs, built lazily on
+	// first use (cone construction, delta propagation): consumers of net id
+	// n are cons[consOff[n]:consOff[n+1]], gate indices ascending.
+	consOnce sync.Once
+	consOff  []int32
+	cons     []int32
+
 	// Per-PI fanout cones, built lazily on the first sparse analysis (the
 	// Dense escape hatch never pays for them). CSR layout: cone of PI
 	// ordinal k is cones[coneOff[k]:coneOff[k+1]], gate indices in BFS
-	// order. gateLevel maps gate index -> topological level; piOrd maps net
-	// ID -> PI ordinal (-1 for non-PIs).
-	coneOnce  sync.Once
-	coneOff   []int32
-	cones     []int32
-	gateLevel []int32
-	piOrd     []int32
+	// order. piOrd maps net ID -> PI ordinal (-1 for non-PIs). conesReady
+	// lets an incremental recompile see (without blocking) whether the old
+	// handle ever built cones and therefore whether prefiring new ones is
+	// worth it.
+	coneOnce   sync.Once
+	conesReady atomic.Bool
+	coneOff    []int32
+	cones      []int32
+	piOrd      []int32
 
 	scratch sync.Pool // *evalScratch
 }
@@ -520,28 +552,60 @@ func (c *Circuit) Compile() (*Compiled, error) {
 	return p, err
 }
 
+// stale reports whether a memoized handle no longer matches the circuit's
+// structure. All mutations append (gates, nets, primary inputs), so count
+// equality against the snapshot is an exact currency test.
+func (c *Circuit) stale(p *Compiled) bool {
+	return p.gates != len(c.Gates) || p.numNets != len(c.nets) || len(p.pis) != len(c.PIs)
+}
+
 // compileTimed is Compile with span recording and a freshness report:
 // fresh is true when this call actually built the handle (rather than
 // reusing the memoized one), which is when its levelizeWall is chargeable
-// to the caller. tr == nil records nothing.
+// to the caller. tr == nil records nothing. A stale memoized handle is not
+// discarded: it seeds an incremental recompile that re-levelizes and
+// re-cones only the appended suffix and its downstream fanout.
 func (c *Circuit) compileTimed(tr *obs.Trace) (p *Compiled, fresh bool, err error) {
 	c.compileMu.Lock()
-	if p := c.compiled; p != nil {
-		c.compileMu.Unlock()
-		return p, false, nil
-	}
+	old := c.compiled
 	c.compileMu.Unlock()
+	if old != nil && !c.stale(old) {
+		return old, false, nil
+	}
 
 	compileSpan := tr.Begin(0, 0, "sta", "compile").Arg("gates", len(c.Gates))
+	if old != nil {
+		p, err = c.recompile(old, tr)
+	} else {
+		p, err = c.compileFull(tr)
+	}
+	if err != nil {
+		compileSpan.End()
+		return nil, false, err
+	}
+	c.compileMu.Lock()
+	if cur := c.compiled; cur != old && cur != nil && !c.stale(cur) {
+		p = cur // another caller built a current handle first; share theirs
+	} else {
+		c.compiled = p
+		fresh = true
+	}
+	c.compileMu.Unlock()
+	compileSpan.Arg("levels", len(p.levels)).End()
+	return p, fresh, nil
+}
+
+// compileFull levelizes the whole circuit from scratch into a new handle.
+func (c *Circuit) compileFull(tr *obs.Trace) (*Compiled, error) {
 	levelizeSpan := tr.Begin(0, 0, "sta", "levelize")
 	levelizeStart := time.Now()
 	levels, err := c.levelize()
 	levelizeWall := time.Since(levelizeStart)
 	levelizeSpan.End()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	p = &Compiled{
+	p := &Compiled{
 		c:            c,
 		levels:       levels,
 		gates:        len(c.Gates),
@@ -550,10 +614,7 @@ func (c *Circuit) compileTimed(tr *obs.Trace) (p *Compiled, fresh bool, err erro
 		levelizeWall: levelizeWall,
 	}
 	p.gateList = append([]*Gate(nil), c.Gates...)
-	idxOf := make(map[*Gate]int32, len(p.gateList))
-	for i, g := range p.gateList {
-		idxOf[g] = int32(i)
-	}
+	p.gateLevel = make([]int32, p.gates)
 	p.levelIdx = make([][]int32, len(levels))
 	for li, level := range levels {
 		if len(level) > p.maxWidth {
@@ -561,21 +622,13 @@ func (c *Circuit) compileTimed(tr *obs.Trace) (p *Compiled, fresh bool, err erro
 		}
 		row := make([]int32, len(level))
 		for k, g := range level {
-			row[k] = idxOf[g]
+			row[k] = g.idx
+			p.gateLevel[g.idx] = int32(li)
 		}
 		p.levelIdx[li] = row
 	}
 	p.scratch.New = func() any { return newEvalScratch(p) }
-	c.compileMu.Lock()
-	fresh = c.compiled == nil
-	if fresh {
-		c.compiled = p
-	} else {
-		p = c.compiled // another caller filled it first; share theirs
-	}
-	c.compileMu.Unlock()
-	compileSpan.Arg("levels", len(levels)).End()
-	return p, fresh, nil
+	return p, nil
 }
 
 // Circuit returns the underlying circuit (for net lookup and reporting).
@@ -586,6 +639,12 @@ func (p *Compiled) NumGates() int { return p.gates }
 
 // NumLevels returns the depth of the levelized schedule.
 func (p *Compiled) NumLevels() int { return len(p.levels) }
+
+// Levels exposes the handle's levelized schedule (shared storage — callers
+// must not mutate). Unlike Circuit.Levels it reads the snapshot instead of
+// re-running the topological sort, so tests can compare an incrementally
+// recompiled schedule against a from-scratch one.
+func (p *Compiled) Levels() [][]*Gate { return p.levels }
 
 // Analyze runs one stimulus vector over the precompiled schedule. The
 // context is checked at every level boundary, so a canceled or expired
@@ -598,6 +657,11 @@ func (p *Compiled) Analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 // the precompiled schedule (see Circuit.AnalyzeBatch for the semantics).
 // Cancellation aborts the batch between vectors and between levels.
 func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mode, opt Options) ([]*Result, error) {
+	if len(batch) == 0 {
+		// Reject like analyze rejects an empty vector: a no-op batch is a
+		// caller bug, and ([], nil) upstream reads as a successful analysis.
+		return nil, fmt.Errorf("sta: empty batch (no stimulus vectors)")
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -734,7 +798,7 @@ func (r *Result) Slack(n *Net, dir waveform.Direction, required float64) (float6
 func (r *Result) WorstSlack(nets []*Net, required float64) (slack float64, at *Net, arr Arrival, ok bool) {
 	slack = math.Inf(1)
 	for _, n := range nets {
-		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		for _, dir := range bothDirs {
 			if a, has := r.Arrival(n, dir); has {
 				if s := required - a.Time; s < slack {
 					slack, at, arr, ok = s, n, a, true
