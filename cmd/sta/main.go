@@ -22,6 +22,13 @@
 // is bit-identical to a full analysis of the edited vector, at a fraction
 // of the work on large netlists.
 //
+// Statistical timing: -mc-samples N re-times the vector N times with
+// per-gate delay multipliers 1+sigma*N(0,1) drawn from a deterministic
+// counter PRNG (-mc-seed selects the stream, -mc-sigma the spread) and
+// reports per-output arrival distributions, a histogram, and per-gate
+// criticality — the probability a gate lies on a sample's critical path.
+// -mc-corners slow,typ,fast adds global corner presets.
+//
 // With -server http://host:port the analysis runs on a stad daemon instead
 // of in-process: the netlist is uploaded once, the vectors go through
 // /v1/analyze:batch, and the daemon's characterized model registry supplies
@@ -71,6 +78,11 @@ func main() {
 		vtrace  = flag.String("validate-trace", "", "validate a Chrome trace JSON file produced by -trace, then exit (used by CI)")
 		deltaS  = flag.String("delta", "", "re-time the -event baseline under a stimulus edit: set/replace events net:dir:tt_ps:time_ps,... (single vector only)")
 		deltaR  = flag.String("delta-remove", "", "baseline events to withdraw before -delta sets apply: net:dir,...")
+
+		mcSamples = flag.Int("mc-samples", 0, "Monte-Carlo samples under process variation (0 = deterministic analysis)")
+		mcSeed    = flag.Uint64("mc-seed", 0, "Monte-Carlo deviate stream seed (same seed+samples reproduces the run bit-for-bit)")
+		mcSigma   = flag.Float64("mc-sigma", 0.05, "per-gate delay-multiplier standard deviation (delay scales by 1+sigma*N)")
+		mcCorners = flag.String("mc-corners", "", "corner presets to evaluate alongside the samples: slow,typ,fast")
 	)
 	flag.Parse()
 	if *vtrace != "" {
@@ -84,18 +96,23 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var err error
-	if *server != "" {
-		switch {
-		case *tracef != "":
-			err = fmt.Errorf("-trace runs in-process only (use POST /v1/analyze?trace=1 against the daemon)")
-		case *explain != "":
-			err = fmt.Errorf("-explain runs in-process only (use POST /v1/explain against the daemon)")
-		default:
-			err = runRemote(*server, *netlist, *events, *mode, *deltaS, *deltaR)
+	mc, err := parseMCSpec(*mcSamples, *mcSeed, *mcSigma, *mcCorners)
+	if err == nil && mc != nil && (*deltaS != "" || *deltaR != "") {
+		err = fmt.Errorf("-mc-samples cannot combine with -delta (a statistical run has no single baseline to edit)")
+	}
+	if err == nil {
+		if *server != "" {
+			switch {
+			case *tracef != "":
+				err = fmt.Errorf("-trace runs in-process only (use POST /v1/analyze?trace=1 against the daemon)")
+			case *explain != "":
+				err = fmt.Errorf("-explain runs in-process only (use POST /v1/explain against the daemon)")
+			default:
+				err = runRemote(*server, *netlist, *events, *mode, *deltaS, *deltaR, mc)
+			}
+		} else {
+			err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse, *tracef, *explain, *deltaS, *deltaR, mc)
 		}
-	} else {
-		err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse, *tracef, *explain, *deltaS, *deltaR)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sta: %v\n", err)
@@ -103,7 +120,7 @@ func main() {
 	}
 }
 
-func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool, tracePath, explainList, deltaSet, deltaRemove string) error {
+func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool, tracePath, explainList, deltaSet, deltaRemove string, mc *mcSpec) error {
 	lib := sta.NewLibrary()
 
 	// Load pre-characterized models.
@@ -187,7 +204,13 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 		if wantDelta {
 			return fmt.Errorf("-delta re-times a single baseline vector (got %d)", len(batch))
 		}
+		if mc != nil {
+			return fmt.Errorf("-mc-samples analyzes a single stimulus vector (got %d)", len(batch))
+		}
 		return runBatch(c, batch, modes, opt, reqPS)
+	}
+	if mc != nil {
+		return runMC(c, batch[0], modes, opt, mc)
 	}
 	evs := batch[0]
 	var delta sta.Delta

@@ -16,7 +16,7 @@ import (
 // push every stimulus vector through /v1/analyze:batch, print the per-vector
 // primary-output arrivals. The daemon's model registry supplies the cell
 // models, so no characterization happens client-side.
-func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string) error {
+func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, mc *mcSpec) error {
 	text, err := os.ReadFile(netPath)
 	if err != nil {
 		return err
@@ -28,6 +28,9 @@ func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string) 
 	wantDelta := deltaSet != "" || deltaRemove != ""
 	if wantDelta && len(vectors) > 1 {
 		return fmt.Errorf("-delta re-times a single baseline vector (got %d)", len(vectors))
+	}
+	if mc != nil && len(vectors) > 1 {
+		return fmt.Errorf("-mc-samples analyzes a single stimulus vector (got %d)", len(vectors))
 	}
 	var set []service.Event
 	var remove []service.RemoveEvent
@@ -53,6 +56,9 @@ func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string) 
 	fmt.Fprintf(os.Stderr, "sta: uploaded %s as %s (%d gates, %d levels)\n",
 		netPath, up.ID, up.Gates, up.Levels)
 
+	if mc != nil {
+		return runRemoteMC(base, up.ID, vectors[0], modes, mc)
+	}
 	for _, m := range modes {
 		if wantDelta {
 			// Baseline once with keepBaseline, then the edit through the

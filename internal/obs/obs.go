@@ -53,12 +53,18 @@ const (
 	// phase — delta analyses do not additionally record seed/eval/commit, so
 	// the disjointness invariant (Sum() <= Wall) holds for them too.
 	PhaseDelta
+	// PhaseMC is the Monte-Carlo sample loop: the wall time AnalyzeMC spends
+	// running perturbed samples and aggregating their arrivals. Like
+	// PhaseDelta it is a top-level phase — the per-sample analyses' own
+	// seed/eval/commit intervals are interior to it and are not additionally
+	// recorded, so Sum() <= Wall still holds for MC results.
+	PhaseMC
 
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
-	"compile", "levelize", "cones", "schedule", "seed", "eval", "commit", "delta",
+	"compile", "levelize", "cones", "schedule", "seed", "eval", "commit", "delta", "mc",
 }
 
 func (p Phase) String() string {

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestMCEndpoint drives /v1/analyze:mc end to end: a sigma-0 single sample
+// must reproduce the deterministic /v1/analyze arrivals bit for bit on the
+// wire, and a spread run must report ordered percentiles, criticality votes
+// and the requested corners.
+func TestMCEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+
+	var ref AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}, &ref); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+
+	var mc MCResponse
+	code := post(t, ts.URL+"/v1/analyze:mc", MCRequest{
+		Netlist: up.ID, Vector: testVector(0), Samples: 1, Sigma: 0,
+	}, &mc)
+	if code != 200 {
+		t.Fatalf("mc status %d", code)
+	}
+	if len(mc.Outputs) == 0 {
+		t.Fatal("no output distributions")
+	}
+	refBy := map[string]Arrival{}
+	for _, a := range ref.Arrivals {
+		refBy[a.Net+"/"+a.Dir] = a
+	}
+	for _, od := range mc.Outputs {
+		a, ok := refBy[od.Net+"/"+od.Dir]
+		if !ok {
+			t.Fatalf("MC reports %s %s with no deterministic counterpart", od.Net, od.Dir)
+		}
+		// Both sides compute time*1e12 from the same engine float, so
+		// equality here is exact, not approximate.
+		if od.N != 1 || od.MinPs != a.TimePs || od.MaxPs != a.TimePs ||
+			od.P50Ps != a.TimePs || od.P99Ps != a.TimePs || od.StdPs != 0 {
+			t.Fatalf("sigma-0 dist %+v != deterministic arrival %v ps", od, a.TimePs)
+		}
+	}
+
+	// A spread run: ordered percentiles, criticality, corners, histogram.
+	code = post(t, ts.URL+"/v1/analyze:mc", MCRequest{
+		Netlist: up.ID, Vector: testVector(0), Samples: 64, Seed: 7, Sigma: 0.05,
+		Corners: []string{"slow", "typ", "fast"}, Bins: 8,
+	}, &mc)
+	if code != 200 {
+		t.Fatalf("mc spread status %d", code)
+	}
+	spread := false
+	for _, od := range mc.Outputs {
+		if !(od.MinPs <= od.P50Ps && od.P50Ps <= od.P95Ps && od.P95Ps <= od.P99Ps && od.P99Ps <= od.MaxPs) {
+			t.Fatalf("percentiles out of order: %+v", od)
+		}
+		if od.StdPs > 0 {
+			spread = true
+		}
+		if od.Hist == nil || len(od.Hist.Counts) != 8 {
+			t.Fatalf("missing or mis-sized histogram: %+v", od.Hist)
+		}
+	}
+	if !spread {
+		t.Fatal("sigma 0.05 produced zero spread on the wire")
+	}
+	if len(mc.Criticality) == 0 {
+		t.Fatal("no criticality entries")
+	}
+	for _, gc := range mc.Criticality {
+		if gc.Gate == "" || gc.Out == "" || gc.Count <= 0 || gc.Probability <= 0 || gc.Probability > 1 {
+			t.Fatalf("malformed criticality entry %+v", gc)
+		}
+	}
+	if len(mc.Corners) != 3 {
+		t.Fatalf("got %d corners, want 3", len(mc.Corners))
+	}
+	for _, cr := range mc.Corners {
+		if cr.Name == "typ" {
+			for _, a := range cr.Arrivals {
+				if r, ok := refBy[a.Net+"/"+a.Dir]; !ok || r.TimePs != a.TimePs || r.TTPs != a.TTPs {
+					t.Fatalf("typ corner arrival %+v differs from deterministic %+v", a, r)
+				}
+			}
+		}
+	}
+
+	// Workload accounting: 1 + 64 samples drawn over two runs.
+	if got := srv.Metrics().MCSamples.Value(); got != 65 {
+		t.Fatalf("MCSamples = %d, want 65", got)
+	}
+	if got := srv.Metrics().MCRuns.Value(); got != 2 {
+		t.Fatalf("MCRuns = %d, want 2", got)
+	}
+}
+
+// TestMCValidationHTTP: every malformed MC request is a 400 naming the
+// offending field (404 for a missing netlist), mirroring the Go-API table in
+// internal/sta (NaN sigma cannot transit JSON, so it is covered there).
+func TestMCValidationHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	ok := func(req MCRequest) MCRequest {
+		if req.Netlist == "" {
+			req.Netlist = up.ID
+		}
+		if req.Vector == nil {
+			req.Vector = testVector(0)
+		}
+		return req
+	}
+	cases := []struct {
+		name   string
+		req    MCRequest
+		status int
+		field  string
+	}{
+		{"zero samples", ok(MCRequest{Samples: 0, Sigma: 0.1}), 400, "samples"},
+		{"negative samples", ok(MCRequest{Samples: -3, Sigma: 0.1}), 400, "samples"},
+		{"oversized samples", ok(MCRequest{Samples: maxMCSamples + 1, Sigma: 0.1}), 400, "samples"},
+		{"negative sigma", ok(MCRequest{Samples: 4, Sigma: -0.5}), 400, "sigma"},
+		{"negative bins", ok(MCRequest{Samples: 4, Bins: -1}), 400, "bins"},
+		{"unknown corner", ok(MCRequest{Samples: 4, Corners: []string{"ss"}}), 400, "corner"},
+		{"unknown mode", ok(MCRequest{Samples: 4, Mode: "typo"}), 400, "mode"},
+		{"unknown netlist", MCRequest{Netlist: "n999", Vector: testVector(0), Samples: 4}, 404, "netlist"},
+		{"empty vector", MCRequest{Netlist: up.ID, Samples: 4}, 400, "vector"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			if code := post(t, ts.URL+"/v1/analyze:mc", tc.req, &er); code != tc.status {
+				t.Fatalf("status %d, want %d (error %q)", code, tc.status, er.Error)
+			}
+			if !strings.Contains(er.Error, tc.field) {
+				t.Fatalf("error %q does not name %q", er.Error, tc.field)
+			}
+		})
+	}
+}
+
+// TestMCWeightedAdmission: MC requests cost 1 + samples/256 admission tokens
+// (capped at the semaphore size), so a heavy run is refused with 429 when the
+// budget cannot cover it and a partial acquisition rolls back cleanly.
+func TestMCWeightedAdmission(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 4})
+	up := uploadTestNetlist(t, ts.URL)
+
+	if w := srv.mcWeight(100); w != 1 {
+		t.Fatalf("mcWeight(100) = %d, want 1", w)
+	}
+	if w := srv.mcWeight(768); w != 4 {
+		t.Fatalf("mcWeight(768) = %d, want 4", w)
+	}
+	if w := srv.mcWeight(maxMCSamples); w != 4 {
+		t.Fatalf("mcWeight(max) = %d, want cap 4", w)
+	}
+
+	// Occupy three of four tokens: a weight-4 request must be refused and
+	// must not leak the one remaining token while failing.
+	if !srv.admit(3) {
+		t.Fatal("admit(3) on an idle 4-token server failed")
+	}
+	req := MCRequest{Netlist: up.ID, Vector: testVector(0), Samples: 768, Sigma: 0.01}
+	var er ErrorResponse
+	if code := post(t, ts.URL+"/v1/analyze:mc", req, &er); code != http.StatusTooManyRequests {
+		t.Fatalf("heavy MC under load: status %d, want 429 (%q)", code, er.Error)
+	}
+	if got := srv.InFlight(); got != 3 {
+		t.Fatalf("failed admission leaked tokens: inFlight %d, want 3", got)
+	}
+	// A light MC run (weight 1) still fits the remaining token.
+	light := MCRequest{Netlist: up.ID, Vector: testVector(0), Samples: 8, Sigma: 0.01}
+	var mc MCResponse
+	if code := post(t, ts.URL+"/v1/analyze:mc", light, &mc); code != 200 {
+		t.Fatalf("light MC under load: status %d", code)
+	}
+	srv.release(3)
+	if code := post(t, ts.URL+"/v1/analyze:mc", req, &mc); code != 200 {
+		t.Fatalf("heavy MC after release: status %d", code)
+	}
+	if got := srv.InFlight(); got != 0 {
+		t.Fatalf("tokens leaked after completion: inFlight %d", got)
+	}
+}
+
+// TestHealthzOccupancy: /healthz reports how full the netlist and baseline
+// caches are and how much of the admission budget is committed.
+func TestHealthzOccupancy(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 8, MaxNetlists: 16, MaxBaselines: 32})
+	up := uploadTestNetlist(t, ts.URL)
+	var ar AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze",
+		AnalyzeRequest{Netlist: up.ID, Vector: testVector(0), KeepBaseline: true}, &ar); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	if ar.BaselineID == "" {
+		t.Fatal("no baseline handle")
+	}
+	srv.admit(2)
+	defer srv.release(2)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"netlists": 1, "maxNetlists": 16,
+		"baselines": 1, "maxBaselines": 32,
+		"inFlight": 2, "maxInflight": 8,
+	}
+	for k, v := range want {
+		if got, ok := h[k].(float64); !ok || got != v {
+			t.Fatalf("healthz %q = %v, want %v (full reply %v)", k, h[k], v, h)
+		}
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("healthz status %v", h["status"])
+	}
+}

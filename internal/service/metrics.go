@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/stats"
 )
 
 // histBounds are the latency histogram bucket upper bounds. Doubling from
@@ -67,13 +68,20 @@ var phaseBounds = []time.Duration{
 // observations. Totals are monotone; nothing is ever lost.
 type Histogram struct {
 	bounds []time.Duration
-	counts []atomic.Int64 // len(bounds)+1; last bucket is overflow
-	sum    atomic.Int64   // nanoseconds
-	n      atomic.Int64
+	// boundsNs mirrors bounds as float64 nanoseconds, the coordinate system
+	// stats.BucketQuantile interpolates in.
+	boundsNs []float64
+	counts   []atomic.Int64 // len(bounds)+1; last bucket is overflow
+	sum      atomic.Int64   // nanoseconds
+	n        atomic.Int64
 }
 
 func newHistogram(bounds []time.Duration) *Histogram {
-	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	ns := make([]float64, len(bounds))
+	for i, b := range bounds {
+		ns[i] = float64(b)
+	}
+	return &Histogram{bounds: bounds, boundsNs: ns, counts: make([]atomic.Int64, len(bounds)+1)}
 }
 
 // Observe records one duration. Safe for any number of concurrent callers;
@@ -99,34 +107,13 @@ func (h *Histogram) snapshot() (counts []int64, total int64, sum time.Duration) 
 	return counts, total, time.Duration(h.sum.Load())
 }
 
-// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
-// inside the bucket holding the target rank. The overflow bucket has no
-// upper edge, so ranks landing there clamp to the last finite bound — a
-// deliberate under-estimate rather than a fabricated tail.
-func (h *Histogram) quantile(counts []int64, total int64, q float64) time.Duration {
-	if total == 0 {
-		return 0
-	}
-	rank := q * float64(total)
-	var cum int64
-	for i, c := range counts {
-		if c == 0 {
-			continue
-		}
-		if float64(cum)+float64(c) >= rank {
-			if i == len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
-			}
-			lo := time.Duration(0)
-			if i > 0 {
-				lo = h.bounds[i-1]
-			}
-			frac := (rank - float64(cum)) / float64(c)
-			return lo + time.Duration(frac*float64(h.bounds[i]-lo))
-		}
-		cum += c
-	}
-	return h.bounds[len(h.bounds)-1]
+// quantile estimates the q-quantile (0 < q < 1) through the shared
+// stats.BucketQuantile interpolator: linear inside the bucket holding the
+// target rank, ranks landing in the edge-less overflow bucket clamped to
+// the last finite bound (a deliberate under-estimate rather than a
+// fabricated tail), zero for an empty histogram.
+func (h *Histogram) quantile(counts []int64, q float64) time.Duration {
+	return time.Duration(stats.BucketQuantile(q, h.boundsNs, counts))
 }
 
 // String renders
@@ -143,9 +130,9 @@ func (h *Histogram) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `{"count":%d,"meanMs":%.3f,"p50Ms":%.3f,"p95Ms":%.3f,"p99Ms":%.3f,"buckets":{`,
 		total, ms(sum)/float64(total),
-		ms(h.quantile(counts, total, 0.50)),
-		ms(h.quantile(counts, total, 0.95)),
-		ms(h.quantile(counts, total, 0.99)))
+		ms(h.quantile(counts, 0.50)),
+		ms(h.quantile(counts, 0.95)),
+		ms(h.quantile(counts, 0.99)))
 	first := true
 	for i, c := range counts {
 		if c == 0 {
@@ -215,6 +202,12 @@ type Metrics struct {
 	ProximityEvals expvar.Int
 	SingleArcEvals expvar.Int
 
+	// Monte-Carlo workload: runs and total samples drawn. Samples are the
+	// capacity-relevant number (one 16k-sample run costs what thousands of
+	// plain analyzes do), so both are first-class.
+	MCRuns    expvar.Int
+	MCSamples expvar.Int
+
 	// phases aggregates the engine's per-phase wall timings across every
 	// analysis this server ran, one histogram per obs.Phase.
 	phases [obs.NumPhases]*Histogram
@@ -283,7 +276,7 @@ func (m *Metrics) observePhases(pt obs.PhaseTimes) {
 	for _, p := range obs.Phases() {
 		d := pt[p]
 		switch p {
-		case obs.PhaseCompile, obs.PhaseLevelize, obs.PhaseCones, obs.PhaseDelta:
+		case obs.PhaseCompile, obs.PhaseLevelize, obs.PhaseCones, obs.PhaseDelta, obs.PhaseMC:
 			if d <= 0 {
 				continue
 			}
@@ -292,12 +285,13 @@ func (m *Metrics) observePhases(pt obs.PhaseTimes) {
 	}
 }
 
-// observeDeltaPhases folds a delta analysis in. Delta results populate only
-// the phases they actually ran (cone build if first sparse use, plus the
-// delta walk itself) — everything is conditional here, because recording the
-// schedule/seed/eval/commit zeroes a delta never executes would drown the
+// observeNonzeroPhases folds in an analysis that populates only the phases
+// it actually ran — delta re-analysis (cone build if first sparse use, plus
+// the delta walk) and Monte-Carlo (compile plus the mc bucket). Everything
+// is conditional here, because recording the schedule/seed/eval/commit
+// zeroes these runs never execute at the top level would drown the
 // full-analysis histograms.
-func (m *Metrics) observeDeltaPhases(pt obs.PhaseTimes) {
+func (m *Metrics) observeNonzeroPhases(pt obs.PhaseTimes) {
 	for _, p := range obs.Phases() {
 		if d := pt[p]; d > 0 {
 			m.phases[p].Observe(d)
@@ -317,6 +311,7 @@ func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int)
 		m.Status2xx.String(), m.Status4xx.String(), m.Status5xx.String(), m.Canceled.String())
 	fmt.Fprintf(b, ` "vectors": %s, "gatesEvaluated": %s, "proximityEvals": %s, "singleArcEvals": %s,`+"\n",
 		m.Vectors.String(), m.GatesEvaluated.String(), m.ProximityEvals.String(), m.SingleArcEvals.String())
+	fmt.Fprintf(b, ` "mcRuns": %s, "mcSamples": %s,`+"\n", m.MCRuns.String(), m.MCSamples.String())
 	fmt.Fprintf(b, ` "modelCache": {"hits":%d,"misses":%d,"evictions":%d,"loadErrors":%d,"resident":%d},`+"\n",
 		reg.Hits, reg.Misses, reg.Evictions, reg.LoadErrors, reg.Resident)
 	fmt.Fprintf(b, ` "netlistsResident": %d,`+"\n", netlists)
@@ -379,6 +374,8 @@ func (m *Metrics) writeProm(b *strings.Builder, reg RegistryStats, netlists int)
 		{"stad_gates_evaluated_total", "Gate evaluations performed.", m.GatesEvaluated.Value()},
 		{"stad_proximity_evals_total", "Multi-input proximity evaluations.", m.ProximityEvals.Value()},
 		{"stad_single_arc_evals_total", "Single-arc evaluations.", m.SingleArcEvals.Value()},
+		{"stad_mc_runs_total", "Monte-Carlo analyses run.", m.MCRuns.Value()},
+		{"stad_mc_samples_total", "Monte-Carlo samples drawn.", m.MCSamples.Value()},
 		{"stad_model_cache_hits_total", "Model registry cache hits.", reg.Hits},
 		{"stad_model_cache_misses_total", "Model registry cache misses.", reg.Misses},
 		{"stad_model_cache_evictions_total", "Model registry evictions.", reg.Evictions},

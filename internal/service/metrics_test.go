@@ -45,9 +45,9 @@ func TestHistogramQuantiles(t *testing.T) {
 	if total != 100 {
 		t.Fatalf("total = %d", total)
 	}
-	p50 := h.quantile(counts, total, 0.50)
-	p95 := h.quantile(counts, total, 0.95)
-	p99 := h.quantile(counts, total, 0.99)
+	p50 := h.quantile(counts, 0.50)
+	p95 := h.quantile(counts, 0.95)
+	p99 := h.quantile(counts, 0.99)
 	for _, q := range []struct {
 		name string
 		v    time.Duration
@@ -63,8 +63,8 @@ func TestHistogramQuantiles(t *testing.T) {
 	// Overflow ranks clamp to the last finite bound instead of inventing a tail.
 	h2 := newHistogram(histBounds)
 	h2.Observe(10 * time.Second)
-	c2, t2, _ := h2.snapshot()
-	if got := h2.quantile(c2, t2, 0.5); got != histBounds[len(histBounds)-1] {
+	c2, _, _ := h2.snapshot()
+	if got := h2.quantile(c2, 0.5); got != histBounds[len(histBounds)-1] {
 		t.Fatalf("overflow quantile = %v, want clamp to %v", got, histBounds[len(histBounds)-1])
 	}
 }

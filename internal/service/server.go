@@ -71,8 +71,11 @@ type Config struct {
 //	POST /v1/analyze:delta  re-time a cached baseline under a stimulus edit,
 //	                        re-evaluating only the gates the edit can reach
 //	POST /v1/analyze:batch  a vector set through AnalyzeBatch
+//	POST /v1/analyze:mc     Monte-Carlo analysis under process variation:
+//	                        per-output arrival distributions, criticality,
+//	                        corner presets (admission-weighted by samples)
 //	POST /v1/explain        per-net proximity decision traces for one vector
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness + cache/admission occupancy
 //	GET  /metrics           counters + latency/phase histograms (JSON;
 //	                        ?format=prom for Prometheus text exposition)
 type Server struct {
@@ -156,6 +159,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/analyze", s.guard("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/analyze:delta", s.guard("analyze:delta", s.handleDelta))
 	s.mux.HandleFunc("POST /v1/analyze:batch", s.guard("analyze:batch", s.handleBatch))
+	// MC admits itself with a samples-weighted token count, so it takes the
+	// bare instrumentation wrapper rather than the unit-weight guard.
+	s.mux.HandleFunc("POST /v1/analyze:mc", s.instrument("analyze:mc", s.handleMC))
 	s.mux.HandleFunc("POST /v1/explain", s.guard("explain", s.handleExplain))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -357,6 +363,73 @@ type BatchResponse struct {
 	Results []VectorResult `json:"results"`
 }
 
+// MCRequest runs a Monte-Carlo analysis of one vector under process
+// variation. Samples is required (1..65536); Sigma is the per-gate
+// delay-multiplier standard deviation; Corners optionally names preset
+// global corners ("slow", "typ", "fast") evaluated alongside the samples.
+type MCRequest struct {
+	Netlist string   `json:"netlist"`
+	Mode    string   `json:"mode,omitempty"` // "prox" (default) | "conv"
+	Vector  []Event  `json:"vector"`
+	Samples int      `json:"samples"`
+	Seed    uint64   `json:"seed,omitempty"`
+	Sigma   float64  `json:"sigma,omitempty"`
+	Corners []string `json:"corners,omitempty"`
+	Bins    int      `json:"bins,omitempty"` // histogram bins (<= 0 picks 16)
+}
+
+// MCHistWire is one output distribution's fixed-bin histogram (picoseconds).
+type MCHistWire struct {
+	LoPs   float64 `json:"loPs"`
+	HiPs   float64 `json:"hiPs"`
+	Counts []int   `json:"counts"`
+}
+
+// MCOutputDist is one primary output direction's arrival distribution over
+// the samples, all times in picoseconds.
+type MCOutputDist struct {
+	Net    string      `json:"net"`
+	Dir    string      `json:"dir"`
+	N      int         `json:"n"` // samples in which this transition occurred
+	MeanPs float64     `json:"meanPs"`
+	StdPs  float64     `json:"stdPs"`
+	MinPs  float64     `json:"minPs"`
+	MaxPs  float64     `json:"maxPs"`
+	P50Ps  float64     `json:"p50Ps"`
+	P95Ps  float64     `json:"p95Ps"`
+	P99Ps  float64     `json:"p99Ps"`
+	Hist   *MCHistWire `json:"hist,omitempty"`
+}
+
+// MCCriticality is one gate's critical-path vote: the fraction of samples
+// whose worst-output path ran through it.
+type MCCriticality struct {
+	Gate        string  `json:"gate"`
+	Type        string  `json:"type"`
+	Out         string  `json:"out"`
+	Count       int     `json:"count"`
+	Probability float64 `json:"probability"`
+}
+
+// MCCornerWire is one corner preset's deterministic arrivals.
+type MCCornerWire struct {
+	Name       string    `json:"name"`
+	Multiplier float64   `json:"multiplier"`
+	Arrivals   []Arrival `json:"arrivals"`
+}
+
+// MCResponse answers /v1/analyze:mc.
+type MCResponse struct {
+	Mode           string          `json:"mode"`
+	Samples        int             `json:"samples"`
+	Seed           uint64          `json:"seed"`
+	Sigma          float64         `json:"sigma"`
+	Outputs        []MCOutputDist  `json:"outputs"`
+	Criticality    []MCCriticality `json:"criticality"`
+	Corners        []MCCornerWire  `json:"corners,omitempty"`
+	GatesEvaluated int             `json:"gatesEvaluated"`
+}
+
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
@@ -389,31 +462,16 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// guard wraps a handler with the admission semaphore, the per-request
-// timeout, and metrics. Overload is answered immediately with 429 and a
-// Retry-After hint — bounded latency beats an unbounded queue.
-func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// instrument wraps a handler with request identification, status capture,
+// metrics and the per-request log line — everything except admission, which
+// weighted endpoints (Monte-Carlo) decide after reading the request body.
+func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := s.requestID(r)
 		w.Header().Set("X-Request-Id", id)
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests,
-				"server at capacity (%d in flight); retry", s.cfg.MaxInflight)
-			s.metrics.observe(name, http.StatusTooManyRequests, time.Since(start))
-			s.log.Warn("request rejected", "id", id, "endpoint", name,
-				"method", r.Method, "path", r.URL.Path,
-				"status", http.StatusTooManyRequests, "inFlight", s.cfg.MaxInflight)
-			return
-		}
-		defer func() { <-s.sem }()
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
 		sw := &statusWriter{ResponseWriter: w}
-		h(sw, r.WithContext(ctx))
+		h(sw, r)
 		status := sw.status
 		if status == 0 {
 			// The handler wrote nothing at all; net/http will send 200.
@@ -425,6 +483,57 @@ func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) 
 			"method", r.Method, "path", r.URL.Path,
 			"status", status, "durMs", float64(d.Microseconds())/1e3)
 	}
+}
+
+// admit non-blockingly acquires weight admission tokens. On failure it rolls
+// back the partial acquisition and reports false — a heavy request never
+// deadlocks against another heavy request by holding half its tokens.
+func (s *Server) admit(weight int) bool {
+	for i := 0; i < weight; i++ {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			for ; i > 0; i-- {
+				<-s.sem
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// release returns weight admission tokens.
+func (s *Server) release(weight int) {
+	for i := 0; i < weight; i++ {
+		<-s.sem
+	}
+}
+
+// reject answers an admission failure: immediate 429 with a Retry-After hint
+// — bounded latency beats an unbounded queue.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, name string, weight int) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests,
+		"server at capacity (%d admission tokens); retry", s.cfg.MaxInflight)
+	s.log.Warn("request rejected", "id", w.Header().Get("X-Request-Id"), "endpoint", name,
+		"method", r.Method, "path", r.URL.Path,
+		"status", http.StatusTooManyRequests, "weight", weight, "maxInflight", s.cfg.MaxInflight)
+}
+
+// guard wraps a handler with unit-weight admission plus the per-request
+// timeout and instrumentation. Every endpoint whose cost does not scale with
+// a request-declared knob uses this.
+func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return s.instrument(name, func(w http.ResponseWriter, r *http.Request) {
+		if !s.admit(1) {
+			s.reject(w, r, name, 1)
+			return
+		}
+		defer s.release(1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	})
 }
 
 // requestID honors a caller-supplied X-Request-Id (so IDs correlate across
@@ -707,7 +816,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
-	s.metrics.observeDeltaPhases(res.Stats.Phases)
+	s.metrics.observeNonzeroPhases(res.Stats.Phases)
 	resp := DeltaResponse{
 		Mode:             res.Mode.String(),
 		VectorResult:     vr,
@@ -854,14 +963,148 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// maxMCSamples bounds a single Monte-Carlo request; beyond it the caller
+// splits the run across requests (seeds compose: samples are pure functions
+// of (seed, index), so two 32k-sample runs with distinct seeds are one 64k
+// population).
+const maxMCSamples = 65536
+
+// mcSamplesPerToken converts a sample count into admission weight: every
+// 256 samples cost one token beyond the base, so one 64-token server admits
+// e.g. four 4096-sample runs or one 16k-sample run plus interactive traffic,
+// instead of 64 concurrent 16k-sample runs.
+const mcSamplesPerToken = 256
+
+// mcWeight is the admission cost of a Monte-Carlo request, capped at the
+// full semaphore so a maximal request remains admissible on an idle server.
+func (s *Server) mcWeight(samples int) int {
+	w := 1 + samples/mcSamplesPerToken
+	if w > s.cfg.MaxInflight {
+		w = s.cfg.MaxInflight
+	}
+	return w
+}
+
+// handleMC runs a Monte-Carlo analysis. Validation happens before admission
+// (a malformed request should not consume capacity); the admission weight
+// scales with the declared sample count, because one 16k-sample request
+// costs as much compute as thousands of plain analyzes.
+func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
+	var req MCRequest
+	if err := decodeBody(w, r, &req, 16<<20); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Samples <= 0 {
+		writeError(w, http.StatusBadRequest, "samples must be positive (got %d)", req.Samples)
+		return
+	}
+	if req.Samples > maxMCSamples {
+		writeError(w, http.StatusBadRequest, "samples must be at most %d (got %d); split larger runs across seeds",
+			maxMCSamples, req.Samples)
+		return
+	}
+	if req.Sigma < 0 {
+		writeError(w, http.StatusBadRequest, "sigma must be non-negative (got %v)", req.Sigma)
+		return
+	}
+	if req.Bins < 0 {
+		writeError(w, http.StatusBadRequest, "bins must be non-negative (got %d)", req.Bins)
+		return
+	}
+	compiled, ok := s.lookupNetlist(req.Netlist)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	evs, err := resolveVector(compiled.Circuit(), req.Vector)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	weight := s.mcWeight(req.Samples)
+	if !s.admit(weight) {
+		s.reject(w, r, "analyze:mc", weight)
+		return
+	}
+	defer s.release(weight)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	opt := sta.MCOptions{
+		Samples: req.Samples, Seed: req.Seed, Sigma: req.Sigma,
+		Corners: req.Corners, Bins: req.Bins,
+	}
+	opt.Workers = s.cfg.Workers
+	opt.Dense = s.cfg.Dense
+	res, err := compiled.AnalyzeMC(ctx, evs, mode, opt)
+	if err != nil {
+		analysisError(w, err)
+		return
+	}
+	s.metrics.MCRuns.Add(1)
+	s.metrics.MCSamples.Add(int64(res.Samples))
+	s.metrics.GatesEvaluated.Add(int64(res.Stats.GatesEvaluated))
+	s.metrics.ProximityEvals.Add(int64(res.Stats.ProximityEvals))
+	s.metrics.SingleArcEvals.Add(int64(res.Stats.SingleArcEvals))
+	s.metrics.observeNonzeroPhases(res.Stats.Phases)
+
+	resp := MCResponse{
+		Mode: res.Mode.String(), Samples: res.Samples, Seed: res.Seed, Sigma: res.Sigma,
+		Outputs:        make([]MCOutputDist, 0, len(res.Outputs)),
+		Criticality:    make([]MCCriticality, 0, len(res.Criticality)),
+		GatesEvaluated: res.Stats.GatesEvaluated,
+	}
+	for _, od := range res.Outputs {
+		wd := MCOutputDist{
+			Net: od.Net.Name, Dir: od.Dir.String(), N: od.Dist.N,
+			MeanPs: od.Dist.Mean * 1e12, StdPs: od.Dist.Std * 1e12,
+			MinPs: od.Dist.Min * 1e12, MaxPs: od.Dist.Max * 1e12,
+			P50Ps: od.Dist.P50 * 1e12, P95Ps: od.Dist.P95 * 1e12, P99Ps: od.Dist.P99 * 1e12,
+		}
+		if h := od.Dist.Hist; h != nil {
+			wd.Hist = &MCHistWire{LoPs: h.Lo * 1e12, HiPs: h.Hi * 1e12, Counts: h.Counts}
+		}
+		resp.Outputs = append(resp.Outputs, wd)
+	}
+	for _, gc := range res.Criticality {
+		resp.Criticality = append(resp.Criticality, MCCriticality{
+			Gate: gc.Gate.Name, Type: gc.Gate.Type, Out: gc.Gate.Out.Name,
+			Count: gc.Count, Probability: gc.Probability,
+		})
+	}
+	for _, cr := range res.Corners {
+		vr := buildVectorResult(compiled.Circuit(), cr.Result, netsOutputs)
+		resp.Corners = append(resp.Corners, MCCornerWire{
+			Name: cr.Name, Multiplier: cr.Multiplier, Arrivals: vr.Arrivals,
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// handleHealthz answers liveness plus occupancy: how full each LRU cache is
+// and how much of the admission budget is committed — the numbers a load
+// balancer or operator reads before deciding where the pressure is.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	n := s.order.Len()
+	b := s.blOrder.Len()
 	s.mu.Unlock()
 	writeJSON(w, map[string]any{
-		"status":   "ok",
-		"netlists": n,
-		"models":   s.cfg.Registry.Stats().Resident,
+		"status":       "ok",
+		"netlists":     n,
+		"maxNetlists":  s.cfg.MaxNetlists,
+		"baselines":    b,
+		"maxBaselines": s.cfg.MaxBaselines,
+		"models":       s.cfg.Registry.Stats().Resident,
+		"inFlight":     len(s.sem),
+		"maxInflight":  s.cfg.MaxInflight,
 	})
 }
 

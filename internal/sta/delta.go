@@ -234,7 +234,11 @@ func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Del
 		for _, gi := range bucket {
 			g := p.gateList[gi]
 			prev := slotValue(res, g.Out.id)
-			out := evalGate(g, res, mode, &s.evs)
+			mult := 1.0
+			if opt.Perturb != nil {
+				mult = opt.Perturb(gi)
+			}
+			out := evalGate(g, res, mode, &s.evs, mult)
 			if out.err != nil {
 				return nil, out.err
 			}

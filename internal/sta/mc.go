@@ -1,0 +1,345 @@
+package sta
+
+// Monte-Carlo statistical timing analysis under process variation. One
+// compile and one cone schedule are reused across all samples; each sample
+// re-times the same stimulus with per-gate delay multipliers drawn from the
+// deterministic counter PRNG in internal/mc, so sample k of a run is a pure
+// function of (seed, k) — independently reproducible without re-running the
+// first k-1 samples, and identical no matter how many workers the loop
+// spreads across. Per-output arrival times aggregate into
+// mean/std/percentile distributions, and each sample's critical path votes
+// into a per-gate criticality report (the probability a gate lies on the
+// sample-worst path — the yield-analysis query proximity-aware STA exists
+// to answer, since variation reorders input dominance).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/obs"
+	"repro/internal/waveform"
+)
+
+// MCOptions configures one Monte-Carlo analysis.
+type MCOptions struct {
+	// Samples is the number of Monte-Carlo samples to run (must be > 0).
+	Samples int
+	// Seed selects the deterministic deviate stream. The same
+	// (Seed, Samples, Sigma) triple reproduces the run bit-for-bit.
+	Seed uint64
+	// Sigma is the per-gate delay-multiplier standard deviation (gate delay
+	// scales by 1 + Sigma*N, N standard normal; must be finite and >= 0).
+	// Sigma 0 makes every sample bit-identical to a deterministic Analyze.
+	Sigma float64
+	// Corners names preset global corners (see mc.CornerNames) to evaluate
+	// alongside the samples, each a single deterministic analysis with one
+	// constant multiplier for every gate.
+	Corners []string
+	// Bins sets the per-output histogram resolution (<= 0 picks 16).
+	Bins int
+	// Options carries the execution knobs (Workers bounds the sample-level
+	// parallelism; Dense disables cone pruning inside each sample). Perturb
+	// must be nil — AnalyzeMC owns the perturbation hook.
+	Options
+}
+
+// OutputDist is one primary output's arrival-time distribution over the
+// samples, per transition direction.
+type OutputDist struct {
+	Net  *Net
+	Dir  waveform.Direction
+	Dist mc.Dist
+}
+
+// GateCriticality reports how often a gate sat on the sample-critical path
+// (the traced path to the latest primary-output arrival of that sample).
+type GateCriticality struct {
+	Gate        *Gate
+	Count       int
+	Probability float64 // Count / Samples
+}
+
+// CornerResult is one named corner's deterministic analysis.
+type CornerResult struct {
+	Name       string
+	Multiplier float64
+	Result     *Result
+}
+
+// MCResult is the aggregate of a Monte-Carlo analysis. It deliberately does
+// not retain the per-sample Results — a million-sample run distills into
+// per-output distributions and the criticality vote, O(outputs + gates).
+type MCResult struct {
+	Mode    Mode
+	Samples int
+	Seed    uint64
+	Sigma   float64
+	// Outputs lists each primary output direction that transitioned in at
+	// least one sample, in primary-output declaration order (rising before
+	// falling per net).
+	Outputs []OutputDist
+	// Criticality lists every gate that appeared on at least one sample's
+	// critical path, most critical first (ties broken by netlist order).
+	Criticality []GateCriticality
+	// Corners holds the requested corner runs, in request order.
+	Corners []CornerResult
+	// Stats aggregates over all samples: the evaluation counters are sums,
+	// Wall is the whole MC call, and Phases charges the sample loop plus
+	// aggregation to obs.PhaseMC (sample-interior phases are not broken
+	// out — they are interior to the MC bucket).
+	Stats Stats
+}
+
+// mcOutputs returns the primary outputs that can transition under this
+// stimulus, in declaration order. Events propagate only through the
+// stimulated PIs' fanout cones, and perturbation scales delays without ever
+// adding gates to the schedule — so a PO outside every stimulated cone is a
+// guaranteed-NaN column in every sample, and aggregating it would make the
+// per-sample cost scale with the netlist's PO count instead of the cone's.
+// Dense mode (which deliberately sheds the cone tables) and stimuli naming
+// post-compile PIs fall back to every compile-known PO.
+func (p *Compiled) mcOutputs(events []PIEvent, dense bool) []*Net {
+	all := func() []*Net {
+		pos := make([]*Net, 0, len(p.c.POs))
+		for _, po := range p.c.POs {
+			if int(po.id) < p.numNets {
+				pos = append(pos, po)
+			}
+		}
+		return pos
+	}
+	if dense {
+		return all()
+	}
+	reach := make(map[*Net]bool)
+	for _, ev := range events {
+		gates, ok := p.Cone(ev.Net)
+		if !ok {
+			return all()
+		}
+		reach[ev.Net] = true
+		for _, gi := range gates {
+			reach[p.gateList[gi].Out] = true
+		}
+	}
+	pos := make([]*Net, 0, 16)
+	for _, po := range p.c.POs {
+		if int(po.id) < p.numNets && reach[po] {
+			pos = append(pos, po)
+		}
+	}
+	return pos
+}
+
+// AnalyzeMC runs a Monte-Carlo analysis of one stimulus vector over the
+// precompiled schedule. Samples run in parallel across the worker budget;
+// results are bit-identical at every worker count (aggregation happens in
+// sample order after the barrier, and every deviate is a pure function of
+// (seed, sample, gate)). The context is polled inside every sample at level
+// boundaries and between samples.
+func (p *Compiled) AnalyzeMC(ctx context.Context, events []PIEvent, mode Mode, opt MCOptions) (*MCResult, error) {
+	wallStart := time.Now()
+	if err := mc.ValidateSpec(opt.Samples, opt.Sigma); err != nil {
+		return nil, fmt.Errorf("sta: %w", err)
+	}
+	if opt.Perturb != nil {
+		return nil, fmt.Errorf("sta: mc options: Perturb must be nil (AnalyzeMC owns the perturbation hook)")
+	}
+	// Resolve corner names before spending any sample work.
+	cornerMults := make([]float64, len(opt.Corners))
+	for i, name := range opt.Corners {
+		m, err := mc.CornerMultiplier(name)
+		if err != nil {
+			return nil, fmt.Errorf("sta: %w", err)
+		}
+		cornerMults[i] = m
+	}
+
+	// The aggregation axes: primary outputs that can actually transition
+	// under this stimulus. Restricting them up front keeps the per-sample
+	// slab and the PO scan proportional to the stimulated cone, not the
+	// netlist.
+	pos := p.mcOutputs(events, opt.Dense)
+
+	mcStart := time.Now()
+	// Per-sample arrival slab, indexed [sample][output][direction]. NaN
+	// marks "did not transition in this sample"; aggregation drops NaNs.
+	stride := 2 * len(pos)
+	slab := make([]float64, opt.Samples*stride)
+	for i := range slab {
+		slab[i] = math.NaN()
+	}
+	critCount := make([]int64, p.gates)
+	var gatesEvaluated, evaluations, proximityEvals, singleArcEvals, gatesScheduled atomic.Int64
+
+	runSample := func(si int) error {
+		pv := Options{Workers: 1, Dense: opt.Dense}
+		if opt.Sigma != 0 {
+			// Capture si by value: the closure is the whole perturbation
+			// state, so any sample is reproducible in isolation.
+			pv.Perturb = func(gi int32) float64 { return mc.Multiplier(opt.Seed, si, opt.Sigma, gi) }
+		}
+		res, err := p.analyze(ctx, events, mode, pv, int64(si))
+		if err != nil {
+			return err
+		}
+		gatesEvaluated.Add(int64(res.Stats.GatesEvaluated))
+		evaluations.Add(int64(res.Stats.Evaluations))
+		proximityEvals.Add(int64(res.Stats.ProximityEvals))
+		singleArcEvals.Add(int64(res.Stats.SingleArcEvals))
+		gatesScheduled.Add(int64(res.Stats.GatesScheduled))
+
+		base := si * stride
+		worst := math.Inf(-1)
+		var worstNet *Net
+		var worstDir waveform.Direction
+		found := false
+		for k, po := range pos {
+			for _, dir := range bothDirs {
+				if a, ok := res.Arrival(po, dir); ok {
+					slab[base+2*k+int(dir)] = a.Time
+					if !found || a.Time > worst {
+						worst, worstNet, worstDir, found = a.Time, po, dir, true
+					}
+				}
+			}
+		}
+		if found {
+			path, err := res.CriticalPath(worstNet, worstDir)
+			if err != nil {
+				return fmt.Errorf("sample %d criticality trace: %w", si, err)
+			}
+			for _, step := range path {
+				if g := step.Arrival.FromGate; g != nil {
+					atomic.AddInt64(&critCount[g.idx], 1)
+				}
+			}
+		}
+		return nil
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > opt.Samples {
+		workers = opt.Samples
+	}
+	errs := make([]error, opt.Samples)
+	if workers <= 1 {
+		for si := 0; si < opt.Samples; si++ {
+			if errs[si] = runSample(si); errs[si] != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					si := int(next.Add(1) - 1)
+					if si >= opt.Samples {
+						return
+					}
+					errs[si] = runSample(si)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for si, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sta: mc sample %d: %w", si, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sta: mc analysis interrupted: %w", err)
+	}
+
+	out := &MCResult{Mode: mode, Samples: opt.Samples, Seed: opt.Seed, Sigma: opt.Sigma}
+
+	// Aggregate in (output, direction, sample) order — serial, so the
+	// result is independent of which worker produced which sample.
+	column := make([]float64, opt.Samples)
+	for k, po := range pos {
+		for _, dir := range bothDirs {
+			for si := 0; si < opt.Samples; si++ {
+				column[si] = slab[si*stride+2*k+int(dir)]
+			}
+			d := mc.NewDist(column, opt.Bins)
+			if d.N == 0 {
+				continue // this output never transitions that way
+			}
+			out.Outputs = append(out.Outputs, OutputDist{Net: po, Dir: dir, Dist: d})
+		}
+	}
+	for gi, n := range critCount {
+		if n > 0 {
+			out.Criticality = append(out.Criticality, GateCriticality{
+				Gate:        p.gateList[gi],
+				Count:       int(n),
+				Probability: float64(n) / float64(opt.Samples),
+			})
+		}
+	}
+	sort.SliceStable(out.Criticality, func(i, j int) bool {
+		return out.Criticality[i].Count > out.Criticality[j].Count
+	})
+
+	// Corner presets: degenerate one-sample runs with a constant global
+	// multiplier (the typ corner's 1.0 takes the unperturbed hot path).
+	for i, name := range opt.Corners {
+		pv := Options{Workers: opt.Workers, Dense: opt.Dense}
+		if cornerMults[i] != 1 {
+			m := cornerMults[i]
+			pv.Perturb = func(int32) float64 { return m }
+		}
+		res, err := p.analyze(ctx, events, mode, pv, int64(opt.Samples+i))
+		if err != nil {
+			return nil, fmt.Errorf("sta: corner %s: %w", name, err)
+		}
+		out.Corners = append(out.Corners, CornerResult{Name: name, Multiplier: cornerMults[i], Result: res})
+	}
+
+	out.Stats.Workers = workers
+	out.Stats.Levels = len(p.levelIdx)
+	out.Stats.GatesEvaluated = int(gatesEvaluated.Load())
+	out.Stats.Evaluations = int(evaluations.Load())
+	out.Stats.ProximityEvals = int(proximityEvals.Load())
+	out.Stats.SingleArcEvals = int(singleArcEvals.Load())
+	out.Stats.GatesScheduled = int(gatesScheduled.Load())
+	out.Stats.Phases.Add(obs.PhaseMC, time.Since(mcStart))
+	out.Stats.Wall = time.Since(wallStart)
+	return out, nil
+}
+
+// AnalyzeMC is the circuit-level entry point: compile (memoized) and run.
+// Compile time is charged to the result's PhaseCompile bucket, mirroring
+// AnalyzeOpts.
+func (c *Circuit) AnalyzeMC(events []PIEvent, mode Mode, opt MCOptions) (*MCResult, error) {
+	compileStart := time.Now()
+	p, fresh, err := c.compileTimed(opt.Trace)
+	if err != nil {
+		return nil, err
+	}
+	compileWall := time.Since(compileStart)
+	res, err := p.AnalyzeMC(context.Background(), events, mode, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Phases.Add(obs.PhaseCompile, compileWall)
+	if fresh {
+		res.Stats.Phases.Add(obs.PhaseLevelize, p.levelizeWall)
+	}
+	res.Stats.Wall += compileWall
+	return res, nil
+}

@@ -274,6 +274,7 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 		workers = defaultWorkers()
 	}
 	res.Stats.Workers = workers
+	perturb := opt.Perturb
 	res.Stats.Levels = len(p.levelIdx)
 	res.Stats.PerLevel = make([]LevelStat, 0, len(p.levelIdx))
 
@@ -328,7 +329,11 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 		}
 		if w <= 1 {
 			for k, gi := range level {
-				s.outs[k] = evalGate(p.gateList[gi], res, mode, &s.evs)
+				mult := 1.0
+				if perturb != nil {
+					mult = perturb(gi)
+				}
+				s.outs[k] = evalGate(p.gateList[gi], res, mode, &s.evs, mult)
 				if s.outs[k].err != nil {
 					return nil, s.outs[k].err
 				}
@@ -352,7 +357,11 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 							wspan.Arg("gates", gates).End()
 							return
 						}
-						s.outs[k] = evalGate(p.gateList[level[k]], res, mode, &evs)
+						mult := 1.0
+						if perturb != nil {
+							mult = perturb(level[k])
+						}
+						s.outs[k] = evalGate(p.gateList[level[k]], res, mode, &evs, mult)
 						gates++
 					}
 				}(int64(i + 1))

@@ -301,6 +301,14 @@ type Options struct {
 	// default) records nothing and costs nothing beyond dead nil-checks —
 	// the hot path stays hot.
 	Trace *obs.Trace
+	// Perturb, when non-nil, supplies a per-gate multiplier applied to the
+	// table-backed delay and output transition time of every evaluation of
+	// that gate — the process-variation hook Monte-Carlo analysis injects
+	// (see AnalyzeMC). The multiplier must be positive and finite; a
+	// returned 1.0 performs bit-identical arithmetic to the unperturbed
+	// path (the perturbation terms are guarded, not multiplied through).
+	// nil means no perturbation and costs one nil-check per gate.
+	Perturb func(gate int32) float64
 }
 
 // defaultWorkers mirrors the characterization pools' policy (see
@@ -717,8 +725,10 @@ type gateEval struct {
 
 // evalGate computes both output-direction arrivals of one gate from the
 // already-committed arrivals of earlier levels. It only reads res; buf is
-// the caller's reusable input-event scratch (one per worker).
-func evalGate(g *Gate, res *Result, mode Mode, buf *[]core.InputEvent) gateEval {
+// the caller's reusable input-event scratch (one per worker). mult is the
+// process-variation multiplier for this gate (1 for the unperturbed path —
+// see Options.Perturb).
+func evalGate(g *Gate, res *Result, mode Mode, buf *[]core.InputEvent, mult float64) gateEval {
 	var out gateEval
 	for _, outDir := range [2]waveform.Direction{waveform.Rising, waveform.Falling} {
 		inDir := outDir.Opposite()
@@ -732,7 +742,7 @@ func evalGate(g *Gate, res *Result, mode Mode, buf *[]core.InputEvent) gateEval 
 		if len(evs) == 0 {
 			continue
 		}
-		a, err := g.eval(evs, outDir, mode)
+		a, err := g.eval(evs, outDir, mode, mult)
 		if err != nil {
 			out.err = fmt.Errorf("sta: gate %s %v output: %w", g.Name, outDir, err)
 			return out
@@ -743,8 +753,11 @@ func evalGate(g *Gate, res *Result, mode Mode, buf *[]core.InputEvent) gateEval 
 	return out
 }
 
-// eval computes one gate-output arrival.
-func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode) (Arrival, error) {
+// eval computes one gate-output arrival. mult scales the gate's contribution
+// (delay and output transition time) to model process variation; the scaled
+// arithmetic is guarded behind mult != 1, so the unperturbed path performs
+// exactly the original operations, bit for bit.
+func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode, mult float64) (Arrival, error) {
 	if mode == Conventional {
 		// Latest (arrival + single-input delay) wins; TT comes from the
 		// winning arc.
@@ -756,6 +769,10 @@ func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode)
 				// gate and output direction — same context the proximity
 				// path's core errors carry.
 				return Arrival{}, fmt.Errorf("input pin %d (net %s) %v: %w", e.Pin, g.In[e.Pin].Name, e.Dir, err)
+			}
+			if mult != 1 {
+				d *= mult
+				tt *= mult
 			}
 			if t := e.Cross + d; t > best.Time {
 				best = Arrival{Dir: outDir, Time: t, TT: tt, FromGate: g, FromPin: e.Pin, UsedInputs: 1}
@@ -772,14 +789,22 @@ func (g *Gate) eval(evs []core.InputEvent, outDir waveform.Direction, mode Mode)
 	if err != nil {
 		return Arrival{}, err
 	}
-	return Arrival{
+	a := Arrival{
 		Dir:        outDir,
 		Time:       r.OutputCross,
 		TT:         r.OutTT,
 		FromGate:   g,
 		FromPin:    r.Dominant,
 		UsedInputs: r.UsedDelay,
-	}, nil
+	}
+	if mult != 1 {
+		// The crossing time decomposes as (dominant-input cross) + Delay;
+		// only the gate's own Delay contribution scales with its process
+		// corner, so the perturbed crossing is OutputCross + Delay*(mult-1).
+		a.Time = r.OutputCross + r.Delay*(mult-1)
+		a.TT = r.OutTT * mult
+	}
+	return a, nil
 }
 
 // Slack returns required − arrival for a net/direction; ok is false when

@@ -45,6 +45,69 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample slice by linear interpolation between order statistics (the
+// "exclusive" rank convention: rank = q*(n-1)). An empty slice returns 0 —
+// callers never divide by a zero count (the n==0 guard shared with
+// BucketQuantile). q outside [0,1] clamps to the extremes.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 || q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	rank := q * float64(n-1)
+	i := int(rank)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
+// BucketQuantile estimates the q-quantile (0 < q < 1) of a fixed-bucket
+// distribution by linear interpolation inside the bucket holding the target
+// rank. bounds are the ascending bucket upper edges; counts has
+// len(bounds)+1 entries, the last being the overflow bucket. The overflow
+// bucket has no upper edge, so ranks landing there clamp to the last finite
+// bound — a deliberate under-estimate rather than a fabricated tail. An
+// all-zero (or empty) histogram returns 0: no division by a zero count ever
+// happens.
+func BucketQuantile(q float64, bounds []float64, counts []int64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(bounds[i]-lo)
+		}
+		cum += c
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Histogram is a fixed-width binning of samples.
 type Histogram struct {
 	Lo, Hi float64

@@ -105,3 +105,61 @@ func TestRenderContainsBars(t *testing.T) {
 		t.Errorf("render output missing content:\n%s", out)
 	}
 }
+
+func TestQuantileKnown(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},
+		{0.25, 20},
+		{0.5, 30},
+		{0.75, 40},
+		{1, 50},
+		{0.1, 14}, // rank 0.4 between 10 and 20
+		{-1, 10},  // clamps
+		{2, 50},   // clamps
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(q=%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileEmpty is the n==0 regression guard: the shared helper must
+// return 0 for an empty sample set instead of indexing or dividing by zero
+// (the PR 5 histogram bug, now guarded at the shared layer).
+func TestQuantileEmpty(t *testing.T) {
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %g, want 0", got)
+	}
+	if got := Quantile([]float64{42}, 0.99); got != 42 {
+		t.Errorf("Quantile(single) = %g, want 42", got)
+	}
+}
+
+func TestBucketQuantileKnown(t *testing.T) {
+	// Buckets: (0,1], (1,2], (2,4], overflow. 10 samples in (2,4].
+	bounds := []float64{1, 2, 4}
+	counts := []int64{0, 0, 10, 0}
+	// Median rank 5 of 10 → halfway into (2,4] → 3.
+	if got := BucketQuantile(0.5, bounds, counts); math.Abs(got-3) > 1e-12 {
+		t.Errorf("BucketQuantile(0.5) = %g, want 3", got)
+	}
+	// All mass in overflow clamps to the last finite bound.
+	if got := BucketQuantile(0.5, bounds, []int64{0, 0, 0, 7}); got != 4 {
+		t.Errorf("overflow BucketQuantile = %g, want clamp to 4", got)
+	}
+}
+
+// TestBucketQuantileEmpty: the n==0 guard at the bucketed entry point.
+func TestBucketQuantileEmpty(t *testing.T) {
+	if got := BucketQuantile(0.5, []float64{1, 2}, []int64{0, 0, 0}); got != 0 {
+		t.Errorf("empty BucketQuantile = %g, want 0", got)
+	}
+	if got := BucketQuantile(0.5, nil, nil); got != 0 {
+		t.Errorf("nil BucketQuantile = %g, want 0", got)
+	}
+}
