@@ -56,6 +56,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/spice"
 	"repro/internal/sta"
+	"repro/internal/table"
 	"repro/internal/vtc"
 	"repro/internal/waveform"
 )
@@ -78,6 +79,7 @@ func main() {
 		vtrace  = flag.String("validate-trace", "", "validate a Chrome trace JSON file produced by -trace, then exit (used by CI)")
 		deltaS  = flag.String("delta", "", "re-time the -event baseline under a stimulus edit: set/replace events net:dir:tt_ps:time_ps,... (single vector only)")
 		deltaR  = flag.String("delta-remove", "", "baseline events to withdraw before -delta sets apply: net:dir,...")
+		pulseF  = flag.Bool("pulse-filter", false, "apply the paper's Section-6 inertial-delay model: opposite-edge arrival pairs on a gate output below the pair's minimum separation are absorbed, survivors propagate a degraded transition time (characterizes glitch tables for -char types)")
 
 		mcSamples = flag.Int("mc-samples", 0, "Monte-Carlo samples under process variation (0 = deterministic analysis)")
 		mcSeed    = flag.Uint64("mc-seed", 0, "Monte-Carlo deviate stream seed (same seed+samples reproduces the run bit-for-bit)")
@@ -97,21 +99,14 @@ func main() {
 		os.Exit(2)
 	}
 	mc, err := parseMCSpec(*mcSamples, *mcSeed, *mcSigma, *mcCorners)
-	if err == nil && mc != nil && (*deltaS != "" || *deltaR != "") {
-		err = fmt.Errorf("-mc-samples cannot combine with -delta (a statistical run has no single baseline to edit)")
+	if err == nil {
+		err = flagConflicts(*pulseF, mc, *deltaS, *deltaR, *server, *tracef, *explain)
 	}
 	if err == nil {
 		if *server != "" {
-			switch {
-			case *tracef != "":
-				err = fmt.Errorf("-trace runs in-process only (use POST /v1/analyze?trace=1 against the daemon)")
-			case *explain != "":
-				err = fmt.Errorf("-explain runs in-process only (use POST /v1/explain against the daemon)")
-			default:
-				err = runRemote(*server, *netlist, *events, *mode, *deltaS, *deltaR, mc)
-			}
+			err = runRemote(*server, *netlist, *events, *mode, *deltaS, *deltaR, mc, *pulseF)
 		} else {
-			err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse, *tracef, *explain, *deltaS, *deltaR, mc)
+			err = run(*netlist, *events, *char, *models, *mode, *full, *loadFF, *reqPS, *workers, *sparse, *tracef, *explain, *deltaS, *deltaR, mc, *pulseF)
 		}
 	}
 	if err != nil {
@@ -120,7 +115,35 @@ func main() {
 	}
 }
 
-func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool, tracePath, explainList, deltaSet, deltaRemove string, mc *mcSpec) error {
+// flagConflicts validates cross-flag combinations after parsing, each error
+// naming the offending flag. -pulse-filter excludes the analyses that only
+// re-time full-swing transitions (-mc-*, -delta); it composes with -explain,
+// batch vectors, and -server. -trace/-explain are in-process only.
+func flagConflicts(pulseFilter bool, mc *mcSpec, deltaSet, deltaRemove, server, tracePath, explainList string) error {
+	wantDelta := deltaSet != "" || deltaRemove != ""
+	if mc != nil && wantDelta {
+		return fmt.Errorf("-mc-samples cannot combine with -delta (a statistical run has no single baseline to edit)")
+	}
+	if pulseFilter {
+		switch {
+		case mc != nil:
+			return fmt.Errorf("-pulse-filter cannot combine with -mc-samples (statistical analysis re-times full-swing transitions only)")
+		case wantDelta:
+			return fmt.Errorf("-pulse-filter cannot combine with -delta (delta re-analysis propagates full-swing transitions only)")
+		}
+	}
+	if server != "" {
+		switch {
+		case tracePath != "":
+			return fmt.Errorf("-trace runs in-process only (use POST /v1/analyze?trace=1 against the daemon)")
+		case explainList != "":
+			return fmt.Errorf("-explain runs in-process only (use POST /v1/explain against the daemon)")
+		}
+	}
+	return nil
+}
+
+func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF, reqPS float64, workers int, sparse bool, tracePath, explainList, deltaSet, deltaRemove string, mc *mcSpec, pulseFilter bool) error {
 	lib := sta.NewLibrary()
 
 	// Load pre-characterized models.
@@ -145,7 +168,7 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 			if name == "" || lib.Get(name) != nil {
 				continue
 			}
-			calc, err := characterize(name, full, loadFF)
+			calc, err := characterize(name, full, loadFF, pulseFilter)
 			if err != nil {
 				return fmt.Errorf("characterize %s: %w", name, err)
 			}
@@ -176,7 +199,7 @@ func run(netPath, eventSpec, charList, modelList, mode string, full bool, loadFF
 	if modes == nil {
 		return fmt.Errorf("unknown mode %q", mode)
 	}
-	opt := sta.Options{Workers: workers, Dense: !sparse}
+	opt := sta.Options{Workers: workers, Dense: !sparse, PulseFiltering: pulseFilter}
 	var tr *obs.Trace
 	if tracePath != "" {
 		tr = obs.NewTrace()
@@ -411,6 +434,9 @@ func parseBatch(c *sta.Circuit, eventSpec string) ([][]sta.PIEvent, error) {
 func printStats(s sta.Stats) {
 	fmt.Printf("evaluated %d of %d scheduled gates over %d levels (%d proximity, %d single-arc evals), %d workers\n",
 		s.GatesEvaluated, s.GatesScheduled, s.Levels, s.ProximityEvals, s.SingleArcEvals, s.Workers)
+	if s.PulsesFiltered > 0 || s.PulsesDegraded > 0 {
+		fmt.Printf("pulse filtering: absorbed %d runt pulses, degraded %d\n", s.PulsesFiltered, s.PulsesDegraded)
+	}
 	if s.Wall > 0 {
 		fmt.Printf("phases:")
 		for _, p := range obs.Phases() {
@@ -453,7 +479,10 @@ func runBatch(c *sta.Circuit, batch [][]sta.PIEvent, modes []sta.Mode, opt sta.O
 }
 
 // characterize builds a calculator for a named gate type (inv, nandN, norN).
-func characterize(name string, full bool, loadFF float64) (*core.Calculator, error) {
+// With glitch set, multi-input gates also get Section-6 glitch tables (one
+// ordered opposite-edge pair per reference pin) so -pulse-filter has
+// inertial-delay data to judge runt pulses against.
+func characterize(name string, full bool, loadFF float64, glitch bool) (*core.Calculator, error) {
 	var kind cells.Kind
 	var n int
 	switch {
@@ -489,6 +518,23 @@ func characterize(name string, full bool, loadFF float64) (*core.Calculator, err
 	model, err := macromodel.CharacterizeGate(sim, spec)
 	if err != nil {
 		return nil, err
+	}
+	if glitch && n >= 2 {
+		gspec := macromodel.GlitchGridSpec{
+			TausFall: table.LogSpace(50e-12, 2e-9, 2),
+			TausRise: table.LogSpace(50e-12, 2e-9, 2),
+			Seps:     table.LinSpace(-1e-9, 1.2e-9, 9),
+		}
+		if full {
+			gspec = macromodel.DefaultGlitchGrid()
+		}
+		for ref := 0; ref < n; ref++ {
+			gm, err := sim.CharacterizeGlitch(ref, (ref+1)%n, gspec)
+			if err != nil {
+				return nil, fmt.Errorf("glitch pair (fall %d, rise %d): %w", ref, (ref+1)%n, err)
+			}
+			model.Glitches = append(model.Glitches, gm)
+		}
 	}
 	calc := core.NewCalculator(model)
 	if n >= 2 {

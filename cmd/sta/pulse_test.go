@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagConflicts walks the cross-flag matrix: every rejected combination
+// must name the offending flag, every supported one must pass — in both
+// local and -server modes.
+func TestFlagConflicts(t *testing.T) {
+	mc := &mcSpec{samples: 16, sigma: 0.05}
+	cases := []struct {
+		name        string
+		pulseFilter bool
+		mc          *mcSpec
+		deltaSet    string
+		deltaRemove string
+		server      string
+		trace       string
+		explain     string
+		wantSub     string // "" = must pass
+	}{
+		{name: "plain local", wantSub: ""},
+		{name: "pulse local", pulseFilter: true, wantSub: ""},
+		{name: "pulse with explain local", pulseFilter: true, explain: "y", wantSub: ""},
+		{name: "pulse with server", pulseFilter: true, server: "http://h", wantSub: ""},
+		{name: "mc local", mc: mc, wantSub: ""},
+		{name: "delta local", deltaSet: "a:rise:300:0", wantSub: ""},
+
+		{name: "pulse x mc", pulseFilter: true, mc: mc, wantSub: "-pulse-filter"},
+		{name: "pulse x mc names mc too", pulseFilter: true, mc: mc, wantSub: "-mc-samples"},
+		{name: "pulse x delta set", pulseFilter: true, deltaSet: "a:rise:300:0", wantSub: "-pulse-filter"},
+		{name: "pulse x delta remove", pulseFilter: true, deltaRemove: "a:rise", wantSub: "-delta"},
+		{name: "mc x delta", mc: mc, deltaSet: "a:rise:300:0", wantSub: "-mc-samples"},
+		{name: "server x trace", server: "http://h", trace: "t.json", wantSub: "-trace"},
+		{name: "server x explain", server: "http://h", explain: "y", wantSub: "-explain"},
+		{name: "pulse x server x explain", pulseFilter: true, server: "http://h", explain: "y", wantSub: "-explain"},
+		{name: "pulse x server x mc", pulseFilter: true, server: "http://h", mc: mc, wantSub: "-pulse-filter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := flagConflicts(tc.pulseFilter, tc.mc, tc.deltaSet, tc.deltaRemove, tc.server, tc.trace, tc.explain)
+			if tc.wantSub == "" {
+				if err != nil {
+					t.Fatalf("supported combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("conflicting combination accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name %s", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -16,7 +16,7 @@ import (
 // push every stimulus vector through /v1/analyze:batch, print the per-vector
 // primary-output arrivals. The daemon's model registry supplies the cell
 // models, so no characterization happens client-side.
-func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, mc *mcSpec) error {
+func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, mc *mcSpec, pulseFilter bool) error {
 	text, err := os.ReadFile(netPath)
 	if err != nil {
 		return err
@@ -85,7 +85,7 @@ func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, 
 			continue
 		}
 		var resp service.BatchResponse
-		req := service.BatchRequest{Netlist: up.ID, Mode: m, Vectors: vectors}
+		req := service.BatchRequest{Netlist: up.ID, Mode: m, Vectors: vectors, PulseFilter: pulseFilter}
 		if err := postJSON(base+"/v1/analyze:batch", req, &resp); err != nil {
 			return fmt.Errorf("analyze (%s): %w", m, err)
 		}
@@ -98,12 +98,17 @@ func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, 
 			fmt.Println()
 		}
 		if len(resp.Results) > 0 {
-			gates, prox := 0, 0
+			gates, prox, filtered, degraded := 0, 0, 0, 0
 			for _, vr := range resp.Results {
 				gates += vr.GatesEvaluated
 				prox += vr.ProximityEvals
+				filtered += vr.PulsesFiltered
+				degraded += vr.PulsesDegraded
 			}
 			fmt.Printf("evaluated %d gates total (%d proximity evals) server-side\n", gates, prox)
+			if filtered > 0 || degraded > 0 {
+				fmt.Printf("pulse filtering: absorbed %d runt pulses, degraded %d server-side\n", filtered, degraded)
+			}
 		}
 	}
 	return nil

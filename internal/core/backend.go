@@ -146,13 +146,14 @@ func MinPulseWidth(m *macromodel.GateModel, pin int, firstDir waveform.Direction
 // InertialDelay returns the minimum separation between a falling and a
 // rising input (falling measured from rising) for which the gate still
 // produces a complete output transition — the Section-6 inertial delay. It
-// requires a characterized glitch model for the pair.
+// requires a characterized glitch model for the pair. When no separation in
+// the characterized range completes the transition, ok is false and sep is
+// +Inf (never zero: "no usable separation" must not read as "zero
+// separation required").
 func InertialDelay(m *macromodel.GateModel, fallPin, risePin int, ttFall, ttRise float64) (sep float64, ok bool, err error) {
-	for _, g := range m.Glitches {
-		if g.FallPin == fallPin && g.RisePin == risePin {
-			s, ok := g.MinSeparation(ttFall, ttRise, m.Th)
-			return s, ok, nil
-		}
+	if g := m.Glitch(fallPin, risePin); g != nil {
+		s, ok := g.MinSeparation(ttFall, ttRise, m.Th)
+		return s, ok, nil
 	}
 	return 0, false, fmt.Errorf("core: no glitch model characterized for pair (fall=%d, rise=%d)", fallPin, risePin)
 }

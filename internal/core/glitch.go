@@ -1,0 +1,63 @@
+package core
+
+import (
+	"repro/internal/macromodel"
+)
+
+// PulseVerdict is the Section-6 inertial-delay judgment for one
+// opposite-edge input pair observed on a gate: either the runt pulse is
+// absorbed outright (separation below the pair's inertial delay) or it
+// survives with a possibly degraded transition, scaled by the ratio of the
+// full supply swing to the swing the extreme-voltage macromodel predicts.
+type PulseVerdict struct {
+	// Sep is the separation the verdict was evaluated at: the falling
+	// input's threshold crossing measured from the rising input's.
+	Sep float64
+	// MinSep is the pair's inertial delay (minimum separation that still
+	// completes a transition); +Inf with MinSepOK=false when no separation
+	// in the characterized range completes.
+	MinSep   float64
+	MinSepOK bool
+	// Extreme is the interpolated extreme output voltage at Sep (only
+	// meaningful when the pulse was not filtered).
+	Extreme float64
+	// Factor is the transition-time degradation: Vdd over the achieved
+	// swing, clamped to >= 1. Exactly 1 means the pulse propagates
+	// untouched.
+	Factor float64
+	// Filtered reports that the pulse is absorbed entirely: the output
+	// never completes a transition at this separation.
+	Filtered bool
+}
+
+// EvaluatePulse applies the Section-6 extreme-voltage-vs-separation
+// macromodel to one opposite-edge pair: fallPin's input falls with
+// transition time ttFall, risePin's rises with ttRise, separated by
+// sep = cross(fall) − cross(rise). The bool result is false when the model
+// has no glitch characterization for the ordered pair — the caller must
+// then propagate the transitions untouched, not treat them as filtered.
+func EvaluatePulse(m *macromodel.GateModel, fallPin, risePin int, ttFall, ttRise, sep float64) (PulseVerdict, bool) {
+	g := m.Glitch(fallPin, risePin)
+	if g == nil {
+		return PulseVerdict{}, false
+	}
+	v := PulseVerdict{Sep: sep, Factor: 1}
+	v.MinSep, v.MinSepOK = g.MinSeparation(ttFall, ttRise, m.Th)
+	// The comparison is written so a NaN separation filters too (a pulse we
+	// cannot place in time is a pulse we cannot vouch for).
+	if !v.MinSepOK || !(sep >= v.MinSep) {
+		v.Filtered = true
+		return v, true
+	}
+	v.Extreme = g.ExtremeAt(ttFall, ttRise, sep)
+	swing := v.Extreme
+	if g.NegativeGoing {
+		swing = m.Th.Vdd - v.Extreme
+	}
+	// Degrade the transition by the swing deficit; !(… > 1) also catches a
+	// NaN ratio from a degenerate grid and leaves the pulse untouched.
+	if f := m.Th.Vdd / swing; f > 1 {
+		v.Factor = f
+	}
+	return v, true
+}

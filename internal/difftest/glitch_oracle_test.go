@@ -1,0 +1,359 @@
+package difftest
+
+// Section-6 pulse-filtering oracles.
+//
+// Filtering is a commit-time verdict over opposite-edge output pairs, so it
+// inherits two engine-level contracts the sweep enforces:
+//
+//  1. Disabled identity: with filtering off — or on but with no glitch
+//     models characterized — the analysis must be bit-identical to the seed
+//     path. The feature must be a pure no-op until both the option and the
+//     characterization data are present.
+//  2. Schedule independence: the verdicts are a function of the committed
+//     arrival pairs, not of how the walk was scheduled, so sparse/dense and
+//     serial/parallel runs must agree bit for bit, counters included.
+//
+// The third oracle leaves the macromodel entirely: it characterizes a real
+// nand2 with the spice backend, then checks the engine's filter/propagate
+// verdict against direct transient simulation of the runt pulse — the
+// ground truth the Section-6 tables abstract.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cells"
+	"repro/internal/core"
+	"repro/internal/macromodel"
+	"repro/internal/spice"
+	"repro/internal/sta"
+	"repro/internal/table"
+	"repro/internal/vtc"
+	"repro/internal/waveform"
+)
+
+// TestOracleGlitchDisabledIdentity sweeps every config three ways: filtering
+// off (reference), filtering on (counters aggregated for non-vacuity), and —
+// after stripping every calculator's glitch models — both off and on again.
+// The stripped runs must be bit-identical to the reference: the off path
+// must never read glitch data, and the on path must degrade to a no-op
+// without it.
+func TestOracleGlitchDisabledIdentity(t *testing.T) {
+	filtered, degraded := 0, 0
+	for _, cfg := range Configs(nConfigs) {
+		c, evs := buildWithEvents(t, cfg, 0)
+		off, err := c.AnalyzeOpts(evs, cfg.Mode, sta.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: off: %v", cfg.Name, err)
+		}
+		on, err := c.AnalyzeOpts(evs, cfg.Mode, sta.Options{Workers: 1, PulseFiltering: true})
+		if err != nil {
+			t.Fatalf("%s: on: %v", cfg.Name, err)
+		}
+		filtered += on.Stats.PulsesFiltered
+		degraded += on.Stats.PulsesDegraded
+
+		// SynthModel mints fresh models per library, so this mutation is
+		// confined to this config's circuit.
+		for _, g := range c.Gates {
+			g.Calc.Model.Glitches = nil
+		}
+		offBare, err := c.AnalyzeOpts(evs, cfg.Mode, sta.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: off stripped: %v", cfg.Name, err)
+		}
+		if err := DiffExact(Arrivals(c, off), Arrivals(c, offBare), nil); err != nil {
+			t.Errorf("%s: filtering-off run read glitch models: %v", cfg.Name, err)
+		}
+		onBare, err := c.AnalyzeOpts(evs, cfg.Mode, sta.Options{Workers: 1, PulseFiltering: true})
+		if err != nil {
+			t.Fatalf("%s: on stripped: %v", cfg.Name, err)
+		}
+		if err := DiffExact(Arrivals(c, off), Arrivals(c, onBare), nil); err != nil {
+			t.Errorf("%s: filtering without models diverges from off: %v", cfg.Name, err)
+		}
+		if onBare.Stats.PulsesFiltered != 0 || onBare.Stats.PulsesDegraded != 0 {
+			t.Errorf("%s: stripped run still judged pulses: %+v", cfg.Name, onBare.Stats)
+		}
+	}
+	if filtered == 0 {
+		t.Fatal("no pulse filtered across the whole sweep — oracle is vacuous")
+	}
+	if degraded == 0 {
+		t.Fatal("no pulse degraded across the whole sweep — oracle is vacuous")
+	}
+}
+
+// TestOracleGlitchScheduleIdentity: with filtering on, sparse/dense and
+// serial/parallel schedules must produce bit-identical arrivals and equal
+// verdict counters on every config.
+func TestOracleGlitchScheduleIdentity(t *testing.T) {
+	judged := 0
+	for _, cfg := range Configs(nConfigs) {
+		c, evs := buildWithEvents(t, cfg, 0)
+		ref, err := c.AnalyzeOpts(evs, cfg.Mode, sta.Options{Workers: 1, PulseFiltering: true})
+		if err != nil {
+			t.Fatalf("%s: reference: %v", cfg.Name, err)
+		}
+		for _, alt := range []struct {
+			name string
+			opt  sta.Options
+		}{
+			{"dense serial", sta.Options{Workers: 1, Dense: true, PulseFiltering: true}},
+			{"sparse parallel", sta.Options{Workers: 8, PulseFiltering: true}},
+			{"dense parallel", sta.Options{Workers: 8, Dense: true, PulseFiltering: true}},
+		} {
+			got, err := c.AnalyzeOpts(evs, cfg.Mode, alt.opt)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", cfg.Name, alt.name, err)
+			}
+			if err := DiffExact(Arrivals(c, ref), Arrivals(c, got), nil); err != nil {
+				t.Errorf("%s: %s diverges from sparse serial: %v", cfg.Name, alt.name, err)
+			}
+			if got.Stats.PulsesFiltered != ref.Stats.PulsesFiltered ||
+				got.Stats.PulsesDegraded != ref.Stats.PulsesDegraded {
+				t.Errorf("%s: %s counters (%d,%d) != reference (%d,%d)", cfg.Name, alt.name,
+					got.Stats.PulsesFiltered, got.Stats.PulsesDegraded,
+					ref.Stats.PulsesFiltered, ref.Stats.PulsesDegraded)
+			}
+		}
+		judged += ref.Stats.PulsesFiltered + ref.Stats.PulsesDegraded
+	}
+	if judged == 0 {
+		t.Fatal("no pulse judged across the whole sweep — oracle is vacuous")
+	}
+}
+
+// ---- spice ground truth -----------------------------------------------------
+
+// glitchRig is the real-spice fixture the verdict oracle runs on: a nand2
+// and an inv characterized through the actual transistor-level backend, the
+// nand2 carrying a glitch model for the pair (fall=pin0, rise=pin1), plus
+// the live simulator for direct ground-truth runs.
+type glitchRig struct {
+	lib *sta.Library
+	sim *macromodel.GateSim // nand2 simulator
+	gm  *macromodel.GlitchModel
+	th  waveform.Thresholds
+}
+
+var (
+	rigOnce sync.Once
+	rig     *glitchRig
+	rigErr  error
+)
+
+// glitchGridTaus keeps the table's τ axes tight around the stimulus
+// transition times the oracle uses, so interpolation error stays well inside
+// the decisive-voltage margin.
+var glitchGridTaus = table.LinSpace(100e-12, 600e-12, 3)
+
+func spiceRig(t *testing.T) *glitchRig {
+	t.Helper()
+	rigOnce.Do(func() {
+		lib := sta.NewLibrary()
+		var nandSim *macromodel.GateSim
+		var gm *macromodel.GlitchModel
+		var th waveform.Thresholds
+		for _, spec := range []struct {
+			name string
+			kind cells.Kind
+			n    int
+		}{{"nand2", cells.Nand, 2}, {"inv", cells.Inv, 1}} {
+			cell := cells.MustNew(spec.kind, spec.n, cells.DefaultProcess(), cells.DefaultGeometry())
+			fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
+			if err != nil {
+				rigErr = err
+				return
+			}
+			sim := macromodel.NewGateSim(cell, spice.DefaultOptions(), fam.Thresholds)
+			model, err := macromodel.CharacterizeGate(sim, macromodel.CoarseCharSpec())
+			if err != nil {
+				rigErr = err
+				return
+			}
+			calc := core.NewCalculator(model)
+			if spec.n >= 2 {
+				if err := core.CalibrateCorrection(calc, sim); err != nil {
+					rigErr = err
+					return
+				}
+				gm, err = sim.CharacterizeGlitch(0, 1, macromodel.GlitchGridSpec{
+					TausFall: glitchGridTaus,
+					TausRise: glitchGridTaus,
+					Seps:     table.LinSpace(-600e-12, 1.4e-9, 11),
+				})
+				if err != nil {
+					rigErr = err
+					return
+				}
+				model.Glitches = []*macromodel.GlitchModel{gm}
+				nandSim = sim
+				th = model.Th
+			}
+			lib.Add(spec.name, calc)
+		}
+		rig = &glitchRig{lib: lib, sim: nandSim, gm: gm, th: th}
+	})
+	if rigErr != nil {
+		t.Fatal(rigErr)
+	}
+	return rig
+}
+
+// decisiveMargin is how far (volts) the simulated extreme must sit from the
+// completion threshold for the point to count: closer than this, table
+// interpolation legitimately lands on either side and the verdict is not a
+// model error either way.
+const decisiveMargin = 0.2
+
+// spiceSaysFilter runs the ground-truth transient and classifies the pulse:
+// filter (extreme never reaches Vil), propagate, or indecisive (skip).
+func spiceSaysFilter(t *testing.T, r *glitchRig, ttFall, ttRise, sep float64) (filter, decisive bool) {
+	t.Helper()
+	extreme, err := r.sim.RunGlitch(0, 1, ttFall, ttRise, sep)
+	if err != nil {
+		t.Fatalf("spice glitch run: %v", err)
+	}
+	if math.Abs(extreme-r.th.Vil) < decisiveMargin {
+		return false, false
+	}
+	return extreme > r.th.Vil, true
+}
+
+// TestOracleGlitchSpiceVerdicts sweeps the input separation across the
+// characterized inertial delay on a real nand2 and requires the engine's
+// filter/propagate verdict to match direct spice simulation at every
+// decisive point — with at least one pulse absorbed and one propagated, so
+// both verdict classes are exercised against ground truth.
+func TestOracleGlitchSpiceVerdicts(t *testing.T) {
+	r := spiceRig(t)
+	const tt = 300e-12
+	minSep, ok := r.gm.MinSeparation(tt, tt, r.th)
+	if !ok {
+		t.Fatal("characterized nand2 never completes a transition in the swept range")
+	}
+
+	c := sta.NewCircuit(r.lib)
+	a, b := c.Input("a"), c.Input("b")
+	x, err := c.AddGate("g1", "nand2", "x", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.AddGate("g2", "inv", "y", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(y)
+
+	sawFilter, sawPropagate := 0, 0
+	for _, off := range []float64{-250e-12, -120e-12, -40e-12, 40e-12, 150e-12, 400e-12} {
+		sep := minSep + off
+		if sep < 30e-12 {
+			// Near-zero or negative separations flip the output edge order
+			// into the positive-runt shape the NAND model does not judge.
+			continue
+		}
+		evs := []sta.PIEvent{
+			{Net: b, Dir: waveform.Rising, TT: tt, Time: 0},
+			{Net: a, Dir: waveform.Falling, TT: tt, Time: sep},
+		}
+		res, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: 1, PulseFiltering: true})
+		if err != nil {
+			t.Fatalf("sep %g: analyze: %v", sep, err)
+		}
+		// Far above the inertial delay the pulse is full-swing and propagates
+		// untouched (no counter) — still a propagate verdict.
+		engineFilters := res.Stats.PulsesFiltered == 1
+
+		// The engine's verdict must be consistent with what it committed:
+		// an absorbed pulse leaves nothing on x or downstream y.
+		_, riseOK := res.Arrival(x, waveform.Rising)
+		_, fallOK := res.Arrival(x, waveform.Falling)
+		if engineFilters && (riseOK || fallOK) {
+			t.Fatalf("sep %g: filtered pulse still committed arrivals on x", sep)
+		}
+		if !engineFilters && !(riseOK && fallOK) {
+			t.Fatalf("sep %g: propagated pulse lost an edge on x", sep)
+		}
+		if _, ok := res.Arrival(y, waveform.Falling); ok == engineFilters {
+			t.Fatalf("sep %g: downstream y disagrees with the verdict (filtered=%v)", sep, engineFilters)
+		}
+
+		spiceFilters, decisive := spiceSaysFilter(t, r, tt, tt, sep)
+		if !decisive {
+			t.Logf("sep %g: extreme within %gV of Vil — indecisive, skipped", sep, decisiveMargin)
+			continue
+		}
+		if engineFilters != spiceFilters {
+			t.Errorf("sep %g: engine filters=%v but spice ground truth filters=%v", sep, engineFilters, spiceFilters)
+		}
+		if spiceFilters {
+			sawFilter++
+		} else {
+			sawPropagate++
+		}
+	}
+	if sawFilter == 0 || sawPropagate == 0 {
+		t.Fatalf("verdict sweep vacuous: %d filtered, %d propagated decisive points", sawFilter, sawPropagate)
+	}
+}
+
+// TestOracleGlitchSpiceReconvergent drives the runt through topology instead
+// of stimulus: one input fans out into a direct path and an inverted path
+// that reconverge at a nand2, so the opposite-edge pair's separation is the
+// inverter's delay — whatever the engine judges there must match direct
+// simulation of the pair it actually committed.
+func TestOracleGlitchSpiceReconvergent(t *testing.T) {
+	r := spiceRig(t)
+	c := sta.NewCircuit(r.lib)
+	a := c.Input("a")
+	n1, err := c.AddGate("g1", "inv", "n1", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := c.AddGate("g2", "nand2", "x", n1, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(x)
+
+	judged := 0
+	for _, tt := range []float64{200e-12, 400e-12} {
+		evs := []sta.PIEvent{{Net: a, Dir: waveform.Rising, TT: tt, Time: 0}}
+		off, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("tt %g: off: %v", tt, err)
+		}
+		fall, okF := off.Arrival(n1, waveform.Falling)
+		if !okF {
+			t.Fatalf("tt %g: inverted path produced no falling arrival", tt)
+		}
+		on, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: 1, PulseFiltering: true})
+		if err != nil {
+			t.Fatalf("tt %g: on: %v", tt, err)
+		}
+		if on.Stats.PulsesFiltered+on.Stats.PulsesDegraded != 1 {
+			// The reconvergent pair may fall outside the judged polarity for
+			// some transition times; the oracle only scores judged cases.
+			continue
+		}
+		judged++
+		engineFilters := on.Stats.PulsesFiltered == 1
+		// The judged pair on x: n1 (pin0) falls at the inverter's output
+		// crossing, a (pin1) rises at 0 — replay exactly that pair in spice.
+		spiceFilters, decisive := spiceSaysFilter(t, r, fall.TT, tt, fall.Time)
+		if !decisive {
+			t.Logf("tt %g: indecisive extreme, skipped", tt)
+			continue
+		}
+		if engineFilters != spiceFilters {
+			t.Errorf("tt %g: engine filters=%v but spice ground truth filters=%v (sep %g)",
+				tt, engineFilters, spiceFilters, fall.Time)
+		}
+	}
+	if judged == 0 {
+		t.Fatal("reconvergent pair never judged — oracle is vacuous")
+	}
+}

@@ -2,6 +2,7 @@ package macromodel
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -108,7 +109,9 @@ func (m *GlitchModel) ExtremeAt(ttFall, ttRise, s float64) float64 {
 // the measurement threshold — the gate's inertial delay for this pair. The
 // threshold is Vil for negative-going glitches, Vih for positive-going.
 // ok is false when no separation in the characterized range completes the
-// transition.
+// transition; sep is then +Inf, so a caller that ignores ok and compares a
+// candidate separation against sep still concludes "never completes"
+// instead of treating the pair as needing zero separation.
 func (m *GlitchModel) MinSeparation(ttFall, ttRise float64, th waveform.Thresholds) (sep float64, ok bool) {
 	level := th.Vil
 	if !m.NegativeGoing {
@@ -130,7 +133,7 @@ func (m *GlitchModel) MinSeparation(ttFall, ttRise float64, th waveform.Threshol
 	// (Equivalently, in the paper's phrasing, "when input b comes much
 	// earlier than input a, the output completes its falling transition".)
 	if !completes(hi) {
-		return 0, false
+		return math.Inf(1), false
 	}
 	if completes(lo) {
 		return lo, true

@@ -3,6 +3,7 @@ package macromodel
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -45,6 +46,18 @@ func (m *GateModel) Pulse(pin int, firstDir waveform.Direction) *PulseModel {
 	for _, p := range m.Pulses {
 		if p.Pin == pin && p.FirstDir == firstDir {
 			return p
+		}
+	}
+	return nil
+}
+
+// Glitch returns the opposite-edge glitch model for the ordered pair
+// (fallPin falling, risePin rising), or nil when that pair was not
+// characterized.
+func (m *GateModel) Glitch(fallPin, risePin int) *GlitchModel {
+	for _, g := range m.Glitches {
+		if g.FallPin == fallPin && g.RisePin == risePin {
+			return g
 		}
 	}
 	return nil
@@ -297,12 +310,37 @@ func (m *GateModel) Validate() error {
 		if d := g.Dims(); d != 3 {
 			return fmt.Errorf("%s: %s grid rank %d, want 3", owner, which, d)
 		}
+		lens := [3]int{}
 		for d := 0; d < 3; d++ {
 			ax := g.Axis(d)
+			// A single-point axis makes interpolation degenerate and the
+			// glitch bisection meaningless (MinSeparation brackets over
+			// axis[0]..axis[len-1]); require a real interval.
+			if len(ax) < 2 {
+				return fmt.Errorf("%s: %s grid axis %d has %d points, want >= 2", owner, which, d, len(ax))
+			}
+			lens[d] = len(ax)
+			for k := range ax {
+				// NaN slips past the ordering check below (every ordered
+				// comparison with NaN is false), so test finiteness first.
+				if math.IsNaN(ax[k]) || math.IsInf(ax[k], 0) {
+					return fmt.Errorf("%s: %s grid axis %d has non-finite value at index %d", owner, which, d, k)
+				}
+			}
 			for k := 1; k < len(ax); k++ {
 				if ax[k] <= ax[k-1] {
 					return fmt.Errorf("%s: %s grid axis %d not strictly increasing at index %d",
 						owner, which, d, k)
+				}
+			}
+		}
+		for i := 0; i < lens[0]; i++ {
+			for j := 0; j < lens[1]; j++ {
+				for k := 0; k < lens[2]; k++ {
+					if v := g.At(i, j, k); math.IsNaN(v) || math.IsInf(v, 0) {
+						return fmt.Errorf("%s: %s grid sample [%d,%d,%d] is non-finite (%g)",
+							owner, which, i, j, k, v)
+					}
 				}
 			}
 		}

@@ -59,7 +59,42 @@ func SynthModel(kind string, numInputs int) *GateModel {
 		}
 		m.SetCorrection(dir, Correction{Delay: 4e-12, OutTT: 2.5e-12})
 	}
+	// Glitch models follow the same per-reference policy as the duals: one
+	// ordered opposite-edge pair per fall pin, (fall=ref, rise=(ref+1)%n).
+	// For two-input gates that covers every ordered pair; for wider gates
+	// uncharacterized pairs propagate untouched, like a real library with
+	// partial glitch characterization.
+	negative := kind != "nor"
+	for ref := 0; ref < numInputs; ref++ {
+		m.Glitches = append(m.Glitches, synthGlitch(ref, (ref+1)%numInputs, negative, m.Th))
+	}
 	return m
+}
+
+// synthGlitch fabricates one Section-6 extreme-voltage grid with the
+// qualitative shape the paper measures: a sigmoid in the separation s that
+// sweeps the extreme output voltage from "no excursion" (runt pulse fully
+// absorbed) to "full swing" (transition completes), with the boundary
+// shifting later for slower input transitions. The sigmoid's midpoint stays
+// well inside the tabulated s range for every (τ_fall, τ_rise) node, so
+// MinSeparation always brackets a genuine boundary.
+func synthGlitch(fallPin, risePin int, negative bool, th waveform.Thresholds) *GlitchModel {
+	tausF := table.LogSpace(50e-12, 2e-9, 4)
+	tausR := table.LogSpace(50e-12, 2e-9, 4)
+	seps := table.LinSpace(-1.5e-9, 1.5e-9, 13)
+	g := table.MustNew(tausF, tausR, seps)
+	_ = g.Fill(func(c []float64) (float64, error) {
+		tf, tr, s := c[0], c[1], c[2]
+		s0 := 60e-12 + 0.15*tr + 0.1*tf + 20e-12*float64(fallPin)
+		w := 40e-12 + 0.08*tr
+		// depth in (0, 1): 0 = output never leaves its rail, 1 = full swing.
+		depth := 1 / (1 + math.Exp(-(s-s0)/w))
+		if negative {
+			return th.Vdd * (1 - depth), nil // dip toward ground
+		}
+		return th.Vdd * depth, nil // bump toward Vdd
+	})
+	return &GlitchModel{FallPin: fallPin, RisePin: risePin, NegativeGoing: negative, Extreme: g}
 }
 
 // synthSingle fabricates one monotone D(1)/T(1) arc: delay and output

@@ -47,6 +47,13 @@ const (
 	// PhaseCommit is the serial netlist-order arrival commit, summed over
 	// levels.
 	PhaseCommit
+	// PhaseGlitch is the Section-6 pulse-filtering work inside the commit
+	// walk: detecting opposite-edge arrival pairs on a gate's output and
+	// evaluating the inertial-delay macromodel. It is carved out of the
+	// commit interval (PhaseCommit subtracts it), so the disjointness
+	// invariant (Sum() <= Wall) holds. Zero unless Options.PulseFiltering
+	// is on.
+	PhaseGlitch
 	// PhaseDelta is the event-driven delta re-analysis: baseline clone,
 	// delta application, and the dirty-cone propagation walk. Only
 	// AnalyzeDelta records it; full analyses report zero. It is a top-level
@@ -64,7 +71,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"compile", "levelize", "cones", "schedule", "seed", "eval", "commit", "delta", "mc",
+	"compile", "levelize", "cones", "schedule", "seed", "eval", "commit", "glitch", "delta", "mc",
 }
 
 func (p Phase) String() string {

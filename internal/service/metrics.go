@@ -208,6 +208,12 @@ type Metrics struct {
 	MCRuns    expvar.Int
 	MCSamples expvar.Int
 
+	// Pulse-filtering workload: opposite-edge pairs Section-6 filtering
+	// absorbed outright and pairs that survived with a degraded transition
+	// time. Zero unless pulseFilter requests arrive.
+	PulsesFiltered expvar.Int
+	PulsesDegraded expvar.Int
+
 	// phases aggregates the engine's per-phase wall timings across every
 	// analysis this server ran, one histogram per obs.Phase.
 	phases [obs.NumPhases]*Histogram
@@ -267,6 +273,12 @@ func (m *Metrics) addStats(gates, prox, single int) {
 	m.SingleArcEvals.Add(int64(single))
 }
 
+// addPulses folds one analysis's Section-6 pulse-filtering counters in.
+func (m *Metrics) addPulses(filtered, degraded int) {
+	m.PulsesFiltered.Add(int64(filtered))
+	m.PulsesDegraded.Add(int64(degraded))
+}
+
 // observePhases folds one analysis's phase timings in. The per-call phases
 // (schedule, seed, eval, commit) are recorded unconditionally; the
 // amortized ones (compile, levelize, cone build) only when this call
@@ -312,6 +324,8 @@ func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int)
 	fmt.Fprintf(b, ` "vectors": %s, "gatesEvaluated": %s, "proximityEvals": %s, "singleArcEvals": %s,`+"\n",
 		m.Vectors.String(), m.GatesEvaluated.String(), m.ProximityEvals.String(), m.SingleArcEvals.String())
 	fmt.Fprintf(b, ` "mcRuns": %s, "mcSamples": %s,`+"\n", m.MCRuns.String(), m.MCSamples.String())
+	fmt.Fprintf(b, ` "pulsesFiltered": %s, "pulsesDegraded": %s,`+"\n",
+		m.PulsesFiltered.String(), m.PulsesDegraded.String())
 	fmt.Fprintf(b, ` "modelCache": {"hits":%d,"misses":%d,"evictions":%d,"loadErrors":%d,"resident":%d},`+"\n",
 		reg.Hits, reg.Misses, reg.Evictions, reg.LoadErrors, reg.Resident)
 	fmt.Fprintf(b, ` "netlistsResident": %d,`+"\n", netlists)
@@ -376,6 +390,8 @@ func (m *Metrics) writeProm(b *strings.Builder, reg RegistryStats, netlists int)
 		{"stad_single_arc_evals_total", "Single-arc evaluations.", m.SingleArcEvals.Value()},
 		{"stad_mc_runs_total", "Monte-Carlo analyses run.", m.MCRuns.Value()},
 		{"stad_mc_samples_total", "Monte-Carlo samples drawn.", m.MCSamples.Value()},
+		{"stad_pulses_filtered_total", "Runt pulses absorbed by Section-6 filtering.", m.PulsesFiltered.Value()},
+		{"stad_pulses_degraded_total", "Runt pulses propagated with degraded transition time.", m.PulsesDegraded.Value()},
 		{"stad_model_cache_hits_total", "Model registry cache hits.", reg.Hits},
 		{"stad_model_cache_misses_total", "Model registry cache misses.", reg.Misses},
 		{"stad_model_cache_evictions_total", "Model registry evictions.", reg.Evictions},

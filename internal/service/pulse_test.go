@@ -1,0 +1,180 @@
+package service
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/macromodel"
+)
+
+// pulseMinSepPs reads the synthetic nand3's inertial delay for the pair
+// (fall=a/pin0, rise=b/pin1) at 300ps transition times — the same model the
+// registry serves — in picoseconds to match the wire unit.
+func pulseMinSepPs(t *testing.T) float64 {
+	t.Helper()
+	m := macromodel.SynthModel("nand", 3)
+	gm := m.Glitch(0, 1)
+	if gm == nil {
+		t.Fatal("synthetic nand3 missing glitch pair (0,1)")
+	}
+	minSep, ok := gm.MinSeparation(300e-12, 300e-12, m.Th)
+	if !ok {
+		t.Fatal("synthetic glitch grid never completes a transition")
+	}
+	return minSep * 1e12
+}
+
+// pulseVector stimulates the test netlist's nand3 with an opposite-edge
+// input pair: b rises at 0 (blocking x), a falls sepPs later (unblocking) —
+// a negative-going runt on x when sepPs is below the pair's inertial delay.
+func pulseVector(sepPs float64) []Event {
+	return []Event{
+		{Net: "b", Dir: "rise", TTPs: 300, TimePs: 0},
+		{Net: "a", Dir: "fall", TTPs: 300, TimePs: sepPs},
+	}
+}
+
+func TestAnalyzePulseFilter(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	below := pulseMinSepPs(t) - 50
+
+	// Without the filter the runt propagates as both full-swing arrivals.
+	var off AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze",
+		AnalyzeRequest{Netlist: up.ID, Nets: "all", Vector: pulseVector(below)}, &off); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	both := 0
+	for _, a := range off.Arrivals {
+		if a.Net == "x" {
+			both++
+		}
+	}
+	if both != 2 {
+		t.Fatalf("premise: want an opposite-edge pair on x, got %d arrivals", both)
+	}
+	if off.PulsesFiltered != 0 || off.PulsesDegraded != 0 {
+		t.Fatalf("filter off moved counters: %+v", off.VectorResult)
+	}
+
+	var on AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze",
+		AnalyzeRequest{Netlist: up.ID, Nets: "all", Vector: pulseVector(below), PulseFilter: true}, &on); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	if on.PulsesFiltered != 1 {
+		t.Fatalf("pulsesFiltered = %d, want 1", on.PulsesFiltered)
+	}
+	for _, a := range on.Arrivals {
+		if a.Net == "x" {
+			t.Fatalf("absorbed pulse still on the wire: %+v", a)
+		}
+	}
+	if got := s.metrics.PulsesFiltered.Value(); got != 1 {
+		t.Errorf("metrics PulsesFiltered = %d, want 1", got)
+	}
+
+	// The counters surface in both /metrics renderings.
+	for url, want := range map[string]string{
+		ts.URL + "/metrics":             `"pulsesFiltered": 1`,
+		ts.URL + "/metrics?format=prom": "stad_pulses_filtered_total 1",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s missing %q", url, want)
+		}
+	}
+}
+
+func TestAnalyzePulseFilterKeepBaselineRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	var er ErrorResponse
+	code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Netlist: up.ID, Vector: pulseVector(500), PulseFilter: true, KeepBaseline: true,
+	}, &er)
+	if code != 400 {
+		t.Fatalf("status %d, want 400", code)
+	}
+	if !strings.Contains(er.Error, "pulseFilter") || !strings.Contains(er.Error, "keepBaseline") {
+		t.Fatalf("error %q does not name both conflicting fields", er.Error)
+	}
+}
+
+func TestBatchPulseFilterPerVector(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	minSep := pulseMinSepPs(t)
+	var resp BatchResponse
+	code := post(t, ts.URL+"/v1/analyze:batch", BatchRequest{
+		Netlist:     up.ID,
+		Nets:        "all",
+		Vectors:     [][]Event{pulseVector(minSep - 50), pulseVector(minSep + 30), pulseVector(minSep + 2000)},
+		PulseFilter: true,
+	}, &resp)
+	if code != 200 {
+		t.Fatalf("batch status %d", code)
+	}
+	if got := resp.Results[0].PulsesFiltered; got != 1 {
+		t.Errorf("vector 0: pulsesFiltered = %d, want 1", got)
+	}
+	if got := resp.Results[1].PulsesDegraded; got != 1 {
+		t.Errorf("vector 1: pulsesDegraded = %d, want 1", got)
+	}
+	// Well-separated pair: judged but degraded (the sigmoid never fully
+	// saturates) or untouched — never absorbed.
+	if got := resp.Results[2].PulsesFiltered; got != 0 {
+		t.Errorf("vector 2: pulsesFiltered = %d, want 0", got)
+	}
+}
+
+func TestExplainPulseFilterWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	below := pulseMinSepPs(t) - 50
+	var resp ExplainResponse
+	code := post(t, ts.URL+"/v1/explain", ExplainRequest{
+		Netlist: up.ID, Nets: []string{"x"}, Vector: pulseVector(below), PulseFilter: true,
+	}, &resp)
+	if code != 200 {
+		t.Fatalf("explain status %d", code)
+	}
+	ne := resp.Nets[0]
+	if ne.Pulse == nil {
+		t.Fatalf("explain carries no pulse verdict: %+v", ne)
+	}
+	if !ne.Pulse.Filtered || ne.Pulse.FallPin != 0 || ne.Pulse.RisePin != 1 {
+		t.Fatalf("pulse wire %+v, want filtered pair (0,1)", ne.Pulse)
+	}
+	// ps→s→ps roundtrip costs a ulp or two.
+	if math.Abs(ne.Pulse.SepPs-below) > 1e-6 {
+		t.Errorf("pulse wire sepPs = %g, want %g", ne.Pulse.SepPs, below)
+	}
+	if !strings.Contains(ne.Report, "runt pulse absorbed") {
+		t.Errorf("report missing the absorption story:\n%s", ne.Report)
+	}
+	if len(ne.Dirs) != 0 {
+		t.Errorf("absorbed output still explains %d directions", len(ne.Dirs))
+	}
+
+	// Without pulseFilter the same vector explains two full-swing arrivals
+	// and carries no verdict.
+	var plain ExplainResponse
+	if code := post(t, ts.URL+"/v1/explain", ExplainRequest{
+		Netlist: up.ID, Nets: []string{"x"}, Vector: pulseVector(below),
+	}, &plain); code != 200 {
+		t.Fatalf("plain explain status %d", code)
+	}
+	if plain.Nets[0].Pulse != nil || len(plain.Nets[0].Dirs) != 2 {
+		t.Fatalf("plain explain %+v, want 2 dirs and no pulse", plain.Nets[0])
+	}
+}

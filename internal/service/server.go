@@ -144,11 +144,11 @@ func New(cfg Config) *Server {
 	tok := make([]byte, 4)
 	rand.Read(tok)
 	s := &Server{
-		cfg:      cfg,
-		metrics:  newMetrics(),
-		mux:      http.NewServeMux(),
-		sem:      make(chan struct{}, cfg.MaxInflight),
-		log:      logger,
+		cfg:       cfg,
+		metrics:   newMetrics(),
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		log:       logger,
 		instance:  hex.EncodeToString(tok),
 		netlists:  map[string]*netlistEntry{},
 		order:     list.New(),
@@ -216,6 +216,12 @@ type AnalyzeRequest struct {
 	Nets         string  `json:"nets,omitempty"` // "outputs" (default) | "all"
 	Vector       []Event `json:"vector"`
 	KeepBaseline bool    `json:"keepBaseline,omitempty"`
+	// PulseFilter applies the Section-6 inertial-delay model to opposite-edge
+	// output pairs: runt pulses below the pair's minimum separation are
+	// absorbed, survivors propagate a degraded transition time. Incompatible
+	// with KeepBaseline — delta re-analysis propagates full-swing transitions
+	// only.
+	PulseFilter bool `json:"pulseFilter,omitempty"`
 }
 
 // RemoveEvent names one baseline primary-input event a delta withdraws.
@@ -245,6 +251,8 @@ type BatchRequest struct {
 	Mode    string    `json:"mode,omitempty"`
 	Nets    string    `json:"nets,omitempty"`
 	Vectors [][]Event `json:"vectors"`
+	// PulseFilter applies Section-6 pulse filtering to every vector.
+	PulseFilter bool `json:"pulseFilter,omitempty"`
 }
 
 // Arrival is one reported net transition (picoseconds).
@@ -257,11 +265,16 @@ type Arrival struct {
 }
 
 // VectorResult is one vector's arrivals plus its workload counters.
+// PulsesFiltered/PulsesDegraded are non-zero only for pulseFilter requests:
+// how many opposite-edge output pairs Section-6 filtering absorbed outright
+// and how many survived with a degraded transition time.
 type VectorResult struct {
 	Arrivals       []Arrival `json:"arrivals"`
 	GatesEvaluated int       `json:"gatesEvaluated"`
 	ProximityEvals int       `json:"proximityEvals"`
 	SingleArcEvals int       `json:"singleArcEvals"`
+	PulsesFiltered int       `json:"pulsesFiltered,omitempty"`
+	PulsesDegraded int       `json:"pulsesDegraded,omitempty"`
 }
 
 // AnalyzeResponse answers /v1/analyze. Trace is present only when the
@@ -296,6 +309,10 @@ type ExplainRequest struct {
 	Mode    string   `json:"mode,omitempty"`
 	Nets    []string `json:"nets"`
 	Vector  []Event  `json:"vector"`
+	// PulseFilter explains the vector under Section-6 pulse filtering: a
+	// filtered or degraded net's story then includes the absorbed
+	// opposite-edge pair and its separation margin.
+	PulseFilter bool `json:"pulseFilter,omitempty"`
 }
 
 // NetExplainResult is one net's explanation: the structured decision trace
@@ -309,6 +326,26 @@ type NetExplainResult struct {
 	Type   string           `json:"type,omitempty"`
 	Report string           `json:"report"`
 	Dirs   []ExplainDirWire `json:"dirs"`
+	// Pulse is the Section-6 verdict recorded on this net, when the request
+	// asked pulseFilter and filtering absorbed or degraded an opposite-edge
+	// pair here.
+	Pulse *PulseWire `json:"pulse,omitempty"`
+}
+
+// PulseWire is a Section-6 pulse-filtering verdict on the wire: the causing
+// pin pair, the observed separation against the pair's inertial delay
+// (picoseconds; minSepPs omitted when no characterized separation completes a
+// transition), and either filtered=true (pair absorbed, nothing committed) or
+// the transition-time degradation applied to the leading edge.
+type PulseWire struct {
+	FallPin  int     `json:"fallPin"`
+	RisePin  int     `json:"risePin"`
+	LeadDir  string  `json:"leadDir"`
+	SepPs    float64 `json:"sepPs"`
+	MinSepPs float64 `json:"minSepPs,omitempty"`
+	ExtremeV float64 `json:"extremeV,omitempty"`
+	Factor   float64 `json:"factor"`
+	Filtered bool    `json:"filtered"`
 }
 
 // ExplainDirWire is one explained output direction.
@@ -746,7 +783,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense}
+	if req.PulseFilter && req.KeepBaseline {
+		writeError(w, http.StatusBadRequest, "pulseFilter cannot combine with keepBaseline (delta re-analysis propagates full-swing transitions only)")
+		return
+	}
+	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter}
 	var tr *obs.Trace
 	if wantTrace(r) {
 		tr = obs.NewTrace()
@@ -759,6 +800,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
+	s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded)
 	s.metrics.observePhases(res.Stats.Phases)
 	resp := AnalyzeResponse{Mode: mode.String(), VectorResult: vr, Trace: tr}
 	if req.KeepBaseline {
@@ -867,12 +909,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := compiled.Analyze(r.Context(), evs, mode, sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense})
+	res, err := compiled.Analyze(r.Context(), evs, mode,
+		sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter})
 	if err != nil {
 		analysisError(w, err)
 		return
 	}
 	s.metrics.observePhases(res.Stats.Phases)
+	s.metrics.addPulses(res.Stats.PulsesFiltered, res.Stats.PulsesDegraded)
 	nes, err := sta.ExplainNets(compiled.Circuit(), res, req.Nets)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -899,6 +943,19 @@ func netExplainWire(ne *sta.NetExplain) NetExplainResult {
 	out := NetExplainResult{
 		Net: ne.Net, PI: ne.PI, Gate: ne.Gate, Type: ne.Type,
 		Report: sb.String(), Dirs: []ExplainDirWire{},
+	}
+	if p := ne.Pulse; p != nil {
+		pw := &PulseWire{
+			FallPin: p.FallPin, RisePin: p.RisePin, LeadDir: p.LeadDir.String(),
+			SepPs: p.Sep * 1e12, Factor: p.Factor, Filtered: p.Filtered,
+		}
+		if p.MinSepOK {
+			pw.MinSepPs = p.MinSep * 1e12
+		}
+		if !p.Filtered {
+			pw.ExtremeV = p.Extreme
+		}
+		out.Pulse = pw
 	}
 	for _, de := range ne.Dirs {
 		dw := ExplainDirWire{Dir: de.Dir.String(), Arrival: wireArrival(de.Arrival), Proximity: de.Proximity}
@@ -948,7 +1005,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	results, err := compiled.AnalyzeBatch(r.Context(), batch, mode, sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense})
+	results, err := compiled.AnalyzeBatch(r.Context(), batch, mode,
+		sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter})
 	if err != nil {
 		analysisError(w, err)
 		return
@@ -957,6 +1015,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		vr := buildVectorResult(compiled.Circuit(), res, nets)
 		s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
+		s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded)
 		s.metrics.observePhases(res.Stats.Phases)
 		resp.Results[i] = vr
 	}
@@ -1260,6 +1319,8 @@ func buildVectorResult(c *sta.Circuit, res *sta.Result, nets netScope) VectorRes
 		GatesEvaluated: res.Stats.GatesEvaluated,
 		ProximityEvals: res.Stats.ProximityEvals,
 		SingleArcEvals: res.Stats.SingleArcEvals,
+		PulsesFiltered: res.Stats.PulsesFiltered,
+		PulsesDegraded: res.Stats.PulsesDegraded,
 	}
 	appendNet := func(n *sta.Net) {
 		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {

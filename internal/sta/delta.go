@@ -80,6 +80,16 @@ func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Del
 	if len(delta.Set) == 0 && len(delta.Remove) == 0 {
 		return nil, fmt.Errorf("sta: empty delta (no events set or removed)")
 	}
+	// Pulse filtering couples a gate's committed arrivals to the presence of
+	// its opposite-direction twin, which breaks the delta walk's per-arrival
+	// bit-equal cutoff — reject both the option and a filtered baseline
+	// instead of silently re-timing with different semantics.
+	if opt.PulseFiltering {
+		return nil, fmt.Errorf("sta: delta options: PulseFiltering must be off (delta re-analysis propagates full-swing transitions only)")
+	}
+	if baseline.pulseFiltering {
+		return nil, fmt.Errorf("sta: delta baseline was analyzed with PulseFiltering (delta re-analysis propagates full-swing transitions only)")
+	}
 	tr := opt.Trace
 	deltaSpan := tr.Begin(0, 0, "sta", "delta").
 		Arg("set", len(delta.Set)).Arg("remove", len(delta.Remove))

@@ -31,6 +31,12 @@ type NetExplain struct {
 	Type string
 	// Dirs holds one entry per output direction that carries an arrival.
 	Dirs []*DirExplain
+	// Pulse is the Section-6 verdict pulse filtering applied to this net's
+	// opposite-edge output pair, when the analysis ran with
+	// Options.PulseFiltering and judged one here: either the pair was
+	// absorbed (Dirs is then empty — nothing committed) or its leading edge
+	// carries a degraded transition time. Nil otherwise.
+	Pulse *PulseInfo
 }
 
 // DirExplain explains one direction's arrival.
@@ -86,6 +92,9 @@ func Explain(res *Result, n *Net) (*NetExplain, error) {
 		return ne, nil
 	}
 	ne.Gate, ne.Type = g.Name, g.Type
+	if pi, ok := res.Pulse(n); ok {
+		ne.Pulse = &pi
+	}
 	for _, outDir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
 		a, ok := res.Arrival(n, outDir)
 		if !ok {
@@ -129,8 +138,17 @@ func Explain(res *Result, n *Net) (*NetExplain, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sta: explain %s %v: %w", n.Name, outDir, err)
 			}
-			if r.OutputCross != a.Time || r.OutTT != a.TT {
-				return nil, fmt.Errorf("sta: explain %s %v: recomputed arrival %.6g/%.6g != stored %.6g/%.6g — result is stale for this circuit", n.Name, outDir, r.OutputCross, r.OutTT, a.Time, a.TT)
+			// Re-run under the same filtering the commit applied: a degraded
+			// pulse stored its leading edge with the transition time scaled
+			// by the recorded factor, so the comparison scales identically
+			// (same multiplication, bit-identical result) instead of
+			// reporting a spurious staleness mismatch.
+			wantTT := r.OutTT
+			if p := ne.Pulse; p != nil && !p.Filtered && outDir == p.LeadDir {
+				wantTT = r.OutTT * p.Factor
+			}
+			if r.OutputCross != a.Time || wantTT != a.TT {
+				return nil, fmt.Errorf("sta: explain %s %v: recomputed arrival %.6g/%.6g != stored %.6g/%.6g — result is stale for this circuit", n.Name, outDir, r.OutputCross, wantTT, a.Time, a.TT)
 			}
 			de.Proximity = ex
 		}
@@ -168,7 +186,20 @@ func (ne *NetExplain) Format(w io.Writer) {
 	default:
 		fmt.Fprintf(w, "net %s: driven by gate %s (%s)\n", ne.Net, ne.Gate, ne.Type)
 	}
-	if len(ne.Dirs) == 0 && !ne.PI {
+	if p := ne.Pulse; p != nil {
+		switch {
+		case p.Filtered && p.MinSepOK:
+			fmt.Fprintf(w, "  runt pulse absorbed: opposite-edge pair (fall pin %d, rise pin %d) separated by %.2fps, below the pair's inertial delay %.2fps (margin %.2fps)\n",
+				p.FallPin, p.RisePin, p.Sep*1e12, p.MinSep*1e12, (p.Sep-p.MinSep)*1e12)
+		case p.Filtered:
+			fmt.Fprintf(w, "  runt pulse absorbed: opposite-edge pair (fall pin %d, rise pin %d) separated by %.2fps — no separation in the characterized range completes a transition\n",
+				p.FallPin, p.RisePin, p.Sep*1e12)
+		default:
+			fmt.Fprintf(w, "  runt pulse degraded: opposite-edge pair (fall pin %d, rise pin %d) separated by %.2fps, %.2fps past the pair's inertial delay %.2fps; extreme voltage %.3gV, leading %v edge tt x%.4g\n",
+				p.FallPin, p.RisePin, p.Sep*1e12, (p.Sep-p.MinSep)*1e12, p.MinSep*1e12, p.Extreme, p.LeadDir, p.Factor)
+		}
+	}
+	if len(ne.Dirs) == 0 && !ne.PI && (ne.Pulse == nil || !ne.Pulse.Filtered) {
 		fmt.Fprintf(w, "  no arrivals in this analysis\n")
 	}
 	for _, de := range ne.Dirs {

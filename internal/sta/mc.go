@@ -151,6 +151,9 @@ func (p *Compiled) AnalyzeMC(ctx context.Context, events []PIEvent, mode Mode, o
 	if opt.Perturb != nil {
 		return nil, fmt.Errorf("sta: mc options: Perturb must be nil (AnalyzeMC owns the perturbation hook)")
 	}
+	if opt.PulseFiltering {
+		return nil, fmt.Errorf("sta: mc options: PulseFiltering must be off (statistical analysis re-times full-swing transitions only)")
+	}
 	// Resolve corner names before spending any sample work.
 	cornerMults := make([]float64, len(opt.Corners))
 	for i, name := range opt.Corners {

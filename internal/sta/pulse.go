@@ -1,0 +1,117 @@
+package sta
+
+import (
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// PulseInfo records the Section-6 verdict applied to one gate output whose
+// analysis produced BOTH transition directions — an opposite-edge pair, the
+// engine's signature of a runt pulse. Only judged pairs (absorbed or
+// degraded) leave a record; pairs that propagate untouched (no glitch model
+// for the pin pair, or polarity mismatch) do not.
+type PulseInfo struct {
+	// FallPin and RisePin are the causing input pins of the absorbed pair:
+	// the falling input that produced the rising output edge and the rising
+	// input that produced the falling output edge.
+	FallPin int
+	RisePin int
+	// LeadDir is the direction of the leading (earlier) output edge.
+	LeadDir waveform.Direction
+	// Sep is the pair's separation (falling input's crossing measured from
+	// the rising input's); MinSep is the pair's inertial delay at the
+	// observed transition times (+Inf with MinSepOK=false when no
+	// separation in the characterized range completes a transition).
+	Sep      float64
+	MinSep   float64
+	MinSepOK bool
+	// Extreme is the interpolated extreme output voltage (meaningful only
+	// for surviving, degraded pulses).
+	Extreme float64
+	// Factor is the transition-time degradation applied to the leading
+	// output edge (1 for filtered pulses — nothing propagated to degrade).
+	Factor float64
+	// Filtered reports the pulse was absorbed: neither output arrival
+	// committed.
+	Filtered bool
+}
+
+// Pulse returns the Section-6 verdict recorded for a net's driving gate, if
+// pulse filtering judged an opposite-edge pair there.
+func (r *Result) Pulse(n *Net) (PulseInfo, bool) {
+	if n == nil || r.pulses == nil {
+		return PulseInfo{}, false
+	}
+	pi, ok := r.pulses[n.id]
+	return pi, ok
+}
+
+// PulseFiltering reports whether this result was produced with
+// Options.PulseFiltering enabled.
+func (r *Result) PulseFiltering() bool { return r.pulseFiltering }
+
+// applyPulseFilter judges one gate's freshly evaluated output pair against
+// the Section-6 inertial-delay macromodel, mutating o in place: a filtered
+// pulse clears both arrivals, a surviving-but-degraded pulse scales the
+// leading edge's transition time. It runs at commit time — the gate's input
+// arrivals are committed at earlier levels, so the pair's separation and
+// transition times read directly from res, and the verdict is recorded on
+// res for Stats and for Explain's filter-aware re-run.
+func applyPulseFilter(g *Gate, o *gateEval, res *Result) {
+	if !o.has[waveform.Rising] || !o.has[waveform.Falling] {
+		return
+	}
+	ar := o.a[waveform.Rising]
+	af := o.a[waveform.Falling]
+	leadDir := waveform.Rising
+	if af.Time <= ar.Time {
+		leadDir = waveform.Falling
+	}
+	// All library gates invert: the rising output edge is caused by a
+	// falling input, the falling output edge by a rising input.
+	fallPin, risePin := ar.FromPin, af.FromPin
+	m := g.Calc.Model
+	gm := m.Glitch(fallPin, risePin)
+	if gm == nil {
+		return // pair not characterized: propagate untouched
+	}
+	// The characterized glitch has a polarity: a negative-going dip is an
+	// output that falls first and recovers, so the falling edge must lead.
+	if gm.NegativeGoing != (leadDir == waveform.Falling) {
+		return
+	}
+	fallIn, okF := res.Arrival(g.In[fallPin], waveform.Falling)
+	riseIn, okR := res.Arrival(g.In[risePin], waveform.Rising)
+	if !okF || !okR {
+		return // causing inputs not in the store (defensive; cannot judge)
+	}
+	v, ok := core.EvaluatePulse(m, fallPin, risePin, fallIn.TT, riseIn.TT, fallIn.Time-riseIn.Time)
+	if !ok {
+		return
+	}
+	switch {
+	case v.Filtered:
+		o.has[waveform.Rising] = false
+		o.has[waveform.Falling] = false
+		res.Stats.PulsesFiltered++
+	case v.Factor > 1:
+		o.a[leadDir].TT *= v.Factor
+		res.Stats.PulsesDegraded++
+	default:
+		return // full-swing pulse: propagate untouched, no record
+	}
+	if res.pulses == nil {
+		res.pulses = map[int32]PulseInfo{}
+	}
+	res.pulses[g.Out.id] = PulseInfo{
+		FallPin:  fallPin,
+		RisePin:  risePin,
+		LeadDir:  leadDir,
+		Sep:      v.Sep,
+		MinSep:   v.MinSep,
+		MinSepOK: v.MinSepOK,
+		Extreme:  v.Extreme,
+		Factor:   v.Factor,
+		Filtered: v.Filtered,
+	}
+}

@@ -1,0 +1,382 @@
+package sta_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/macromodel"
+	"repro/internal/sta"
+	"repro/internal/waveform"
+)
+
+// pulsePair builds a lone nand2 over the synthetic library: inputs a (pin 0)
+// and b (pin 1), output n1. A falling a unblocks the output (rising edge),
+// a rising b blocks it (falling edge), so one vector carrying both produces
+// an opposite-edge output pair — the engine's runt-pulse signature.
+func pulsePair(t *testing.T) (c *sta.Circuit, a, b, out *sta.Net) {
+	t.Helper()
+	c = sta.NewCircuit(sta.SynthLibrary(2))
+	a, b = c.Input("a"), c.Input("b")
+	out, err := c.AddGate("g", "nand2", "n1", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(out)
+	return c, a, b, out
+}
+
+// pulseVector stimulates b rising at time 0 and a falling at time sep — the
+// dip shape the nand's negative-going glitch model characterizes. sep is
+// exactly the separation EvaluatePulse sees (falling input's crossing
+// measured from the rising input's).
+func pulseVector(a, b *sta.Net, ttFall, ttRise, sep float64) []sta.PIEvent {
+	return []sta.PIEvent{
+		{Net: b, Dir: waveform.Rising, TT: ttRise, Time: 0},
+		{Net: a, Dir: waveform.Falling, TT: ttFall, Time: sep},
+	}
+}
+
+// pulseMinSep reads the synthetic nand2's inertial delay for the (fall=0,
+// rise=1) pair at the given transition times, straight from the same model
+// the library calculators wrap.
+func pulseMinSep(t *testing.T, ttFall, ttRise float64) float64 {
+	t.Helper()
+	m := macromodel.SynthModel("nand", 2)
+	gm := m.Glitch(0, 1)
+	if gm == nil {
+		t.Fatal("synthetic nand2 carries no glitch model for pair (0,1)")
+	}
+	minSep, ok := gm.MinSeparation(ttFall, ttRise, m.Th)
+	if !ok {
+		t.Fatalf("synthetic glitch grid never completes a transition (minSep=%g)", minSep)
+	}
+	return minSep
+}
+
+const (
+	pulseTTFall = 300e-12
+	pulseTTRise = 300e-12
+)
+
+func TestPulseFilterAbsorbs(t *testing.T) {
+	c, a, b, out := pulsePair(t)
+	minSep := pulseMinSep(t, pulseTTFall, pulseTTRise)
+	evs := pulseVector(a, b, pulseTTFall, pulseTTRise, minSep-50e-12)
+
+	// Without filtering the pair propagates as two full-swing arrivals.
+	off, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		if _, ok := off.Arrival(out, dir); !ok {
+			t.Fatalf("filtering off: expected %v arrival on %s", dir, out.Name)
+		}
+	}
+	if off.Stats.PulsesFiltered != 0 || off.Stats.PulsesDegraded != 0 {
+		t.Fatalf("filtering off: pulse counters moved (%d filtered, %d degraded)",
+			off.Stats.PulsesFiltered, off.Stats.PulsesDegraded)
+	}
+	if _, ok := off.Pulse(out); ok {
+		t.Fatal("filtering off: verdict recorded")
+	}
+
+	on, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		if arr, ok := on.Arrival(out, dir); ok {
+			t.Fatalf("runt pulse below inertial delay propagated a %v arrival (t=%g)", dir, arr.Time)
+		}
+	}
+	if on.Stats.PulsesFiltered != 1 || on.Stats.PulsesDegraded != 0 {
+		t.Fatalf("want 1 filtered / 0 degraded, got %d / %d",
+			on.Stats.PulsesFiltered, on.Stats.PulsesDegraded)
+	}
+	pi, ok := on.Pulse(out)
+	if !ok || !pi.Filtered {
+		t.Fatalf("want filtered verdict on %s, got %+v (recorded=%v)", out.Name, pi, ok)
+	}
+	if pi.FallPin != 0 || pi.RisePin != 1 {
+		t.Fatalf("verdict names pair (fall=%d, rise=%d), want (0, 1)", pi.FallPin, pi.RisePin)
+	}
+	if got := minSep - 50e-12; pi.Sep != got {
+		t.Fatalf("verdict separation %g, want %g", pi.Sep, got)
+	}
+	if !pi.MinSepOK || pi.Sep >= pi.MinSep {
+		t.Fatalf("filtered verdict not below its threshold: sep=%g minSep=%g ok=%v",
+			pi.Sep, pi.MinSep, pi.MinSepOK)
+	}
+	if !on.PulseFiltering() || off.PulseFiltering() {
+		t.Fatal("Result.PulseFiltering does not reflect the analysis options")
+	}
+}
+
+func TestPulseFilterDegrades(t *testing.T) {
+	c, a, b, out := pulsePair(t)
+	minSep := pulseMinSep(t, pulseTTFall, pulseTTRise)
+	evs := pulseVector(a, b, pulseTTFall, pulseTTRise, minSep+30e-12)
+
+	off, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.PulsesFiltered != 0 || on.Stats.PulsesDegraded != 1 {
+		t.Fatalf("want 0 filtered / 1 degraded, got %d / %d",
+			on.Stats.PulsesFiltered, on.Stats.PulsesDegraded)
+	}
+	pi, ok := on.Pulse(out)
+	if !ok || pi.Filtered {
+		t.Fatalf("want degraded verdict, got %+v (recorded=%v)", pi, ok)
+	}
+	if !(pi.Factor > 1) || math.IsInf(pi.Factor, 1) || math.IsNaN(pi.Factor) {
+		t.Fatalf("degradation factor %g not a finite value > 1", pi.Factor)
+	}
+	// Arrival times are untouched; the leading edge's transition time is
+	// scaled by exactly the recorded factor, the trailing edge is identical.
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		want, okOff := off.Arrival(out, dir)
+		got, okOn := on.Arrival(out, dir)
+		if !okOff || !okOn {
+			t.Fatalf("%v arrival missing (off=%v on=%v)", dir, okOff, okOn)
+		}
+		if got.Time != want.Time {
+			t.Fatalf("%v arrival time moved: %g -> %g", dir, want.Time, got.Time)
+		}
+		wantTT := want.TT
+		if dir == pi.LeadDir {
+			wantTT = want.TT * pi.Factor
+		}
+		if got.TT != wantTT {
+			t.Fatalf("%v transition time %g, want %g (factor %g on leading %v)",
+				dir, got.TT, wantTT, pi.Factor, pi.LeadDir)
+		}
+	}
+}
+
+// TestPulseFilterPolarityMismatch flips the pair so the rising output edge
+// leads: the nand's characterized glitch is a negative-going dip (falling
+// edge first), so the filter must leave the mismatched pair untouched.
+func TestPulseFilterPolarityMismatch(t *testing.T) {
+	c, a, b, out := pulsePair(t)
+	// a falls well before b rises: the output's rising edge leads by a wide
+	// margin regardless of the two arcs' delay difference.
+	evs := []sta.PIEvent{
+		{Net: a, Dir: waveform.Falling, TT: pulseTTFall, Time: 0},
+		{Net: b, Dir: waveform.Rising, TT: pulseTTRise, Time: 2e-9},
+	}
+	off, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, okr := on.Arrival(out, waveform.Rising)
+	af, okf := on.Arrival(out, waveform.Falling)
+	if !okr || !okf {
+		t.Fatalf("mismatched-polarity pair lost arrivals (rise=%v fall=%v)", okr, okf)
+	}
+	if !(ar.Time < af.Time) {
+		t.Fatalf("test premise broken: rising edge (%g) does not lead falling (%g)", ar.Time, af.Time)
+	}
+	if on.Stats.PulsesFiltered != 0 || on.Stats.PulsesDegraded != 0 {
+		t.Fatalf("mismatched polarity judged: %d filtered, %d degraded",
+			on.Stats.PulsesFiltered, on.Stats.PulsesDegraded)
+	}
+	if _, ok := on.Pulse(out); ok {
+		t.Fatal("untouched pair left a verdict record")
+	}
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		want, _ := off.Arrival(out, dir)
+		got, _ := on.Arrival(out, dir)
+		if got != want {
+			t.Fatalf("%v arrival changed with filtering on: %+v -> %+v", dir, want, got)
+		}
+	}
+}
+
+func TestPulseFilterBatchPropagates(t *testing.T) {
+	c, a, b, _ := pulsePair(t)
+	minSep := pulseMinSep(t, pulseTTFall, pulseTTRise)
+	batch := [][]sta.PIEvent{
+		pulseVector(a, b, pulseTTFall, pulseTTRise, minSep-50e-12),
+		pulseVector(a, b, pulseTTFall, pulseTTRise, minSep+30e-12),
+	}
+	results, err := c.AnalyzeBatch(batch, sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results[0].Stats.PulsesFiltered; got != 1 {
+		t.Errorf("batch vector 0: %d filtered, want 1 (PulseFiltering dropped on the per-vector options?)", got)
+	}
+	if got := results[1].Stats.PulsesDegraded; got != 1 {
+		t.Errorf("batch vector 1: %d degraded, want 1", got)
+	}
+}
+
+func TestPulseFilterDeltaRejected(t *testing.T) {
+	c, a, b, _ := pulsePair(t)
+	evs := pulseVector(a, b, pulseTTFall, pulseTTRise, 5e-9)
+	base, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sta.Delta{Set: []sta.PIEvent{{Net: a, Dir: waveform.Falling, TT: pulseTTFall, Time: 6e-9}}}
+	if _, err := c.AnalyzeDelta(base, d, sta.Options{PulseFiltering: true}); err == nil ||
+		!strings.Contains(err.Error(), "PulseFiltering") {
+		t.Errorf("delta with PulseFiltering option accepted (err=%v)", err)
+	}
+	filtered, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AnalyzeDelta(filtered, d, sta.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "PulseFiltering") {
+		t.Errorf("delta over a pulse-filtered baseline accepted (err=%v)", err)
+	}
+}
+
+func TestPulseFilterMCRejected(t *testing.T) {
+	c, a, b, _ := pulsePair(t)
+	evs := pulseVector(a, b, pulseTTFall, pulseTTRise, 5e-9)
+	opt := sta.MCOptions{Samples: 4, Sigma: 0.05}
+	opt.PulseFiltering = true
+	if _, err := c.AnalyzeMC(evs, sta.Proximity, opt); err == nil ||
+		!strings.Contains(err.Error(), "PulseFiltering") {
+		t.Errorf("mc with PulseFiltering accepted (err=%v)", err)
+	}
+}
+
+// TestPulseFilterExplain checks the staleness carve-out and the rendered
+// story: a degraded output explains without a spurious mismatch, a filtered
+// one reports the absorbed pair instead of "no arrivals".
+func TestPulseFilterExplain(t *testing.T) {
+	c, a, b, out := pulsePair(t)
+	minSep := pulseMinSep(t, pulseTTFall, pulseTTRise)
+
+	degraded, err := c.AnalyzeOpts(pulseVector(a, b, pulseTTFall, pulseTTRise, minSep+30e-12),
+		sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Stats.PulsesDegraded != 1 {
+		t.Fatalf("premise: want a degraded pulse, got %+v", degraded.Stats)
+	}
+	ne, err := sta.Explain(degraded, out)
+	if err != nil {
+		t.Fatalf("explain of a degraded output reported staleness: %v", err)
+	}
+	if ne.Pulse == nil || ne.Pulse.Filtered {
+		t.Fatalf("explain carries no degraded verdict: %+v", ne.Pulse)
+	}
+	var sb strings.Builder
+	ne.Format(&sb)
+	if !strings.Contains(sb.String(), "runt pulse degraded") {
+		t.Errorf("degraded report missing the pulse story:\n%s", sb.String())
+	}
+
+	filtered, err := c.AnalyzeOpts(pulseVector(a, b, pulseTTFall, pulseTTRise, minSep-50e-12),
+		sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Stats.PulsesFiltered != 1 {
+		t.Fatalf("premise: want a filtered pulse, got %+v", filtered.Stats)
+	}
+	ne, err = sta.Explain(filtered, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne.Pulse == nil || !ne.Pulse.Filtered {
+		t.Fatalf("explain carries no filtered verdict: %+v", ne.Pulse)
+	}
+	if len(ne.Dirs) != 0 {
+		t.Errorf("filtered output still explains %d directions", len(ne.Dirs))
+	}
+	sb.Reset()
+	ne.Format(&sb)
+	report := sb.String()
+	if !strings.Contains(report, "runt pulse absorbed") {
+		t.Errorf("filtered report missing the absorption story:\n%s", report)
+	}
+	if strings.Contains(report, "no arrivals in this analysis") {
+		t.Errorf("filtered report claims no arrivals (the pulse was judged, not absent):\n%s", report)
+	}
+}
+
+// TestPulseFilterSparseDenseIdentical runs a runt-pulse workload through
+// both schedulers and both worker counts with filtering on: verdicts and
+// arrivals must be bit-identical (the filter sits in the serial commit walk,
+// which both paths share).
+func TestPulseFilterSparseDenseIdentical(t *testing.T) {
+	c, err := sta.SynthRandom(40, 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := runtPulseStimulus(c, 7)
+	var ref *sta.Result
+	for _, cfg := range []struct {
+		name string
+		opt  sta.Options
+	}{
+		{"sparse-serial", sta.Options{Workers: 1, PulseFiltering: true}},
+		{"sparse-parallel", sta.Options{Workers: 4, PulseFiltering: true}},
+		{"dense-serial", sta.Options{Workers: 1, Dense: true, PulseFiltering: true}},
+		{"dense-parallel", sta.Options{Workers: 4, Dense: true, PulseFiltering: true}},
+	} {
+		res, err := c.AnalyzeOpts(evs, sta.Proximity, cfg.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if ref == nil {
+			ref = res
+			if res.Stats.PulsesFiltered+res.Stats.PulsesDegraded == 0 {
+				t.Fatal("stimulus produced no judged pulses — the identity check is vacuous")
+			}
+			continue
+		}
+		if res.Stats.PulsesFiltered != ref.Stats.PulsesFiltered ||
+			res.Stats.PulsesDegraded != ref.Stats.PulsesDegraded {
+			t.Errorf("%s: %d/%d pulses, want %d/%d", cfg.name,
+				res.Stats.PulsesFiltered, res.Stats.PulsesDegraded,
+				ref.Stats.PulsesFiltered, ref.Stats.PulsesDegraded)
+		}
+		for _, name := range c.NetsByName() {
+			n := c.Net(name)
+			for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+				want, okW := ref.Arrival(n, dir)
+				got, okG := res.Arrival(n, dir)
+				if okW != okG || got != want {
+					t.Fatalf("%s: net %s %v: %+v (present=%v), want %+v (present=%v)",
+						cfg.name, name, dir, got, okG, want, okW)
+				}
+			}
+		}
+	}
+}
+
+// runtPulseStimulus builds a runt-heavy stimulus: one event per PI, with
+// adjacent PIs alternating direction inside a tight arrival window, so
+// reconvergent gates see opposite-edge pairs at characterized separations.
+func runtPulseStimulus(c *sta.Circuit, seed int64) []sta.PIEvent {
+	evs := sta.SynthEvents(c, seed)
+	for i := range evs {
+		// Compress arrivals into a tight window so opposite-edge pairs on
+		// reconvergent outputs land within characterized separations.
+		evs[i].Time = float64(i%5) * 40e-12
+		if i%2 == 0 {
+			evs[i].Dir = waveform.Rising
+		} else {
+			evs[i].Dir = waveform.Falling
+		}
+	}
+	return evs
+}

@@ -275,6 +275,7 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 	}
 	res.Stats.Workers = workers
 	perturb := opt.Perturb
+	res.pulseFiltering = opt.PulseFiltering
 	res.Stats.Levels = len(p.levelIdx)
 	res.Stats.PerLevel = make([]LevelStat, 0, len(p.levelIdx))
 
@@ -372,12 +373,23 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 		res.Stats.Phases.Add(obs.PhaseEval, evalWall)
 		commitSpan := tr.Begin(pid, 0, "sta", "commit")
 		commitStart := time.Now()
+		var glitchWall time.Duration
 		// Commit in netlist order: deterministic arrival stores, and the
 		// error reported is the one the serial walk would hit first.
 		for k, gi := range level {
 			o := &s.outs[k]
 			if o.err != nil {
 				return nil, o.err
+			}
+			if opt.PulseFiltering && o.has[0] && o.has[1] {
+				// Section-6 inertial-delay judgment, inside the serial commit
+				// walk: the pair's causing inputs were committed at earlier
+				// levels, so their separation reads straight from res. Timed
+				// into its own phase (and carved out of commit below) so the
+				// disjointness invariant holds.
+				gStart := time.Now()
+				applyPulseFilter(p.gateList[gi], o, res)
+				glitchWall += time.Since(gStart)
 			}
 			evaluated := false
 			for d := range o.a {
@@ -398,7 +410,8 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 				res.Stats.GatesEvaluated++
 			}
 		}
-		res.Stats.Phases.Add(obs.PhaseCommit, time.Since(commitStart))
+		res.Stats.Phases.Add(obs.PhaseCommit, time.Since(commitStart)-glitchWall)
+		res.Stats.Phases.Add(obs.PhaseGlitch, glitchWall)
 		commitSpan.End()
 		res.Stats.GatesScheduled += len(level)
 		res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{Gates: len(level), Wall: time.Since(start)})

@@ -309,6 +309,18 @@ type Options struct {
 	// path (the perturbation terms are guarded, not multiplied through).
 	// nil means no perturbation and costs one nil-check per gate.
 	Perturb func(gate int32) float64
+	// PulseFiltering enables the Section-6 inertial-delay post-pass: when a
+	// gate's output carries BOTH directions in one analysis (an
+	// opposite-edge pair — a runt pulse), the pair's glitch macromodel is
+	// consulted at commit time. Below the pair's minimum separation the
+	// pulse is absorbed (neither output arrival commits,
+	// Stats.PulsesFiltered counts it); above it the surviving pulse's
+	// leading edge propagates with a transition time degraded by the swing
+	// deficit (Stats.PulsesDegraded). Pairs without a characterized glitch
+	// model, or whose leading-edge polarity does not match the
+	// characterized glitch, propagate untouched. Off (the default) performs
+	// bit-identical arithmetic to an engine without the feature.
+	PulseFiltering bool
 }
 
 // defaultWorkers mirrors the characterization pools' policy (see
@@ -349,6 +361,12 @@ type Stats struct {
 	// over untouched. Full analyses leave both zero.
 	GatesReevaluated int
 	GatesReused      int
+	// PulsesFiltered and PulsesDegraded are Section-6 pulse-filtering
+	// accounting (Options.PulseFiltering): how many opposite-edge output
+	// pairs the inertial-delay model absorbed outright, and how many
+	// survived with a degraded transition time. Zero when filtering is off.
+	PulsesFiltered int
+	PulsesDegraded int
 	// PerLevel has one entry per topological level; Gates is the number of
 	// gates scheduled at that level (in sparse mode, levels outside the
 	// active cones record zero).
@@ -382,6 +400,15 @@ type Result struct {
 	Stats Stats
 	idx   []int32       // net ID -> 1-based slot in arr (0 = no arrivals)
 	arr   []dirArrivals // compact: one entry per net that carries an arrival
+
+	// pulseFiltering records whether this result was produced with
+	// Options.PulseFiltering on, so post-passes that re-run gate
+	// evaluations (Explain) apply the same filter the commit did.
+	pulseFiltering bool
+	// pulses maps output net ID -> the Section-6 verdict applied there
+	// (filtered or degraded pairs only; untouched pairs leave no record).
+	// nil unless filtering ran and judged at least one pair.
+	pulses map[int32]PulseInfo
 }
 
 // slot returns (creating if needed) the net's arrival store.
@@ -679,7 +706,7 @@ func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mod
 	}
 	results := make([]*Result, len(batch))
 	errs := make([]error, len(batch))
-	perVector := Options{Workers: 1, Dense: opt.Dense, Trace: opt.Trace}
+	perVector := Options{Workers: 1, Dense: opt.Dense, Trace: opt.Trace, PulseFiltering: opt.PulseFiltering}
 	if workers <= 1 {
 		for i, events := range batch {
 			results[i], errs[i] = p.analyze(ctx, events, mode, perVector, int64(i))
