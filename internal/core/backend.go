@@ -143,13 +143,15 @@ func MinPulseWidth(m *macromodel.GateModel, pin int, firstDir waveform.Direction
 	return w, ok, nil
 }
 
-// InertialDelay returns the minimum separation between a falling and a
-// rising input (falling measured from rising) for which the gate still
-// produces a complete output transition — the Section-6 inertial delay. It
-// requires a characterized glitch model for the pair. When no separation in
-// the characterized range completes the transition, ok is false and sep is
-// +Inf (never zero: "no usable separation" must not read as "zero
-// separation required").
+// InertialDelay returns the minimum output pulse width for which the gate
+// still produces a complete output transition — the Section-6 inertial
+// delay. The width is the trailing (blocking) cause's crossing measured
+// from the leading (unblocking) cause's: fall − rise for negative-going
+// (NAND-style) pairs, rise − fall for positive-going (NOR-style) ones; see
+// GlitchModel.MinSeparation. It requires a characterized glitch model for
+// the pair. When no width in the characterized range completes the
+// transition, ok is false and sep is +Inf (never zero: "no usable
+// separation" must not read as "zero separation required").
 func InertialDelay(m *macromodel.GateModel, fallPin, risePin int, ttFall, ttRise float64) (sep float64, ok bool, err error) {
 	if g := m.Glitch(fallPin, risePin); g != nil {
 		s, ok := g.MinSeparation(ttFall, ttRise, m.Th)

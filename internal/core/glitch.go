@@ -10,12 +10,15 @@ import (
 // survives with a possibly degraded transition, scaled by the ratio of the
 // full supply swing to the swing the extreme-voltage macromodel predicts.
 type PulseVerdict struct {
-	// Sep is the separation the verdict was evaluated at: the falling
-	// input's threshold crossing measured from the rising input's.
+	// Sep is the output pulse width the verdict was evaluated at: the
+	// trailing (blocking) cause's threshold crossing measured from the
+	// leading (unblocking) cause's — fall − rise for negative-going models,
+	// rise − fall for positive-going ones.
 	Sep float64
-	// MinSep is the pair's inertial delay (minimum separation that still
-	// completes a transition); +Inf with MinSepOK=false when no separation
-	// in the characterized range completes.
+	// MinSep is the pair's inertial delay (minimum pulse width that still
+	// completes a transition), in the same orientation as Sep so
+	// Sep − MinSep is the completion margin for either polarity; +Inf with
+	// MinSepOK=false when no width in the characterized range completes.
 	MinSep   float64
 	MinSepOK bool
 	// Extreme is the interpolated extreme output voltage at Sep (only
@@ -33,19 +36,27 @@ type PulseVerdict struct {
 // EvaluatePulse applies the Section-6 extreme-voltage-vs-separation
 // macromodel to one opposite-edge pair: fallPin's input falls with
 // transition time ttFall, risePin's rises with ttRise, separated by
-// sep = cross(fall) − cross(rise). The bool result is false when the model
-// has no glitch characterization for the ordered pair — the caller must
-// then propagate the transitions untouched, not treat them as filtered.
+// sep = cross(fall) − cross(rise). The verdict is judged in pulse-width
+// terms (GlitchModel.MinSeparation): width = sep for a negative-going
+// model, −sep for a positive-going one, so a NOR bump whose falling input
+// leads (sep < 0) compares on the same side as a NAND dip. The bool result
+// is false when the model has no glitch characterization for the ordered
+// pair — the caller must then propagate the transitions untouched, not
+// treat them as filtered.
 func EvaluatePulse(m *macromodel.GateModel, fallPin, risePin int, ttFall, ttRise, sep float64) (PulseVerdict, bool) {
 	g := m.Glitch(fallPin, risePin)
 	if g == nil {
 		return PulseVerdict{}, false
 	}
-	v := PulseVerdict{Sep: sep, Factor: 1}
+	width := sep
+	if !g.NegativeGoing {
+		width = -sep
+	}
+	v := PulseVerdict{Sep: width, Factor: 1}
 	v.MinSep, v.MinSepOK = g.MinSeparation(ttFall, ttRise, m.Th)
 	// The comparison is written so a NaN separation filters too (a pulse we
 	// cannot place in time is a pulse we cannot vouch for).
-	if !v.MinSepOK || !(sep >= v.MinSep) {
+	if !v.MinSepOK || !(width >= v.MinSep) {
 		v.Filtered = true
 		return v, true
 	}

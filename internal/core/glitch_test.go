@@ -89,6 +89,57 @@ func TestEvaluatePulseVerdicts(t *testing.T) {
 	}
 }
 
+// TestEvaluatePulseNorVerdicts: positive-going pairs judge on the mirrored
+// side. A real NOR bump has the falling input LEADING the rising one, so
+// sep = cross(fall) − cross(rise) is negative; the verdict compares the
+// pulse width −sep against the inertial boundary. A wide bump survives, a
+// narrow one filters, and a positive separation (no bump at all — the
+// blocking rise came first) filters rather than passing as full swing.
+func TestEvaluatePulseNorVerdicts(t *testing.T) {
+	m := macromodel.SynthModel("nor", 2)
+	gm := m.Glitch(0, 1)
+	if gm == nil {
+		t.Fatal("synthetic nor2 missing glitch pair (0,1)")
+	}
+	if gm.NegativeGoing {
+		t.Fatal("synthetic nor2 glitch is not positive-going")
+	}
+	const ttF, ttR = 300e-12, 300e-12
+	minWidth, ok := gm.MinSeparation(ttF, ttR, m.Th)
+	if !ok || math.IsInf(minWidth, 0) || minWidth <= 0 {
+		t.Fatalf("nor inertial width = (%g, %v), want a finite positive boundary", minWidth, ok)
+	}
+
+	v, ok := core.EvaluatePulse(m, 0, 1, ttF, ttR, -(minWidth + 40e-12))
+	if !ok || v.Filtered {
+		t.Fatalf("wide bump (width %g): verdict %+v (ok=%v), want surviving", minWidth+40e-12, v, ok)
+	}
+	if v.Sep != minWidth+40e-12 {
+		t.Fatalf("verdict width %g, want %g (trailing minus leading cause)", v.Sep, minWidth+40e-12)
+	}
+	if !(v.Factor >= 1) || math.IsInf(v.Factor, 1) || math.IsNaN(v.Factor) {
+		t.Fatalf("surviving verdict factor %g, want finite >= 1", v.Factor)
+	}
+	if !(v.Extreme >= m.Th.Vih) {
+		t.Fatalf("surviving bump extreme %g below Vih %g", v.Extreme, m.Th.Vih)
+	}
+
+	v, ok = core.EvaluatePulse(m, 0, 1, ttF, ttR, -(minWidth - 40e-12))
+	if !ok || !v.Filtered {
+		t.Fatalf("narrow bump (width %g): verdict %+v (ok=%v), want filtered", minWidth-40e-12, v, ok)
+	}
+	if v.MinSep != minWidth {
+		t.Fatalf("verdict minSep %g != model's %g", v.MinSep, minWidth)
+	}
+
+	// Rising input first: the output never leaves its rail, not a pulse that
+	// should pass at "separation above the boundary".
+	v, ok = core.EvaluatePulse(m, 0, 1, ttF, ttR, minWidth+200e-12)
+	if !ok || !v.Filtered {
+		t.Fatalf("rise-leads pair (sep %g): verdict %+v (ok=%v), want filtered", minWidth+200e-12, v, ok)
+	}
+}
+
 // TestEvaluatePulseNaNSeparation: a NaN separation must filter, not pass —
 // !(NaN >= minSep) is the guarded comparison.
 func TestEvaluatePulseNaNSeparation(t *testing.T) {

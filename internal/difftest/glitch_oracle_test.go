@@ -127,15 +127,21 @@ func TestOracleGlitchScheduleIdentity(t *testing.T) {
 
 // ---- spice ground truth -----------------------------------------------------
 
-// glitchRig is the real-spice fixture the verdict oracle runs on: a nand2
-// and an inv characterized through the actual transistor-level backend, the
-// nand2 carrying a glitch model for the pair (fall=pin0, rise=pin1), plus
-// the live simulator for direct ground-truth runs.
+// glitchRig is the real-spice fixture the verdict oracle runs on: a nand2,
+// a nor2 and an inv characterized through the actual transistor-level
+// backend, the multi-input gates each carrying a glitch model for the pair
+// (fall=pin0, rise=pin1) — the nand's negative-going dip and the nor's
+// positive-going bump — plus the live simulators for direct ground-truth
+// runs.
 type glitchRig struct {
 	lib *sta.Library
 	sim *macromodel.GateSim // nand2 simulator
 	gm  *macromodel.GlitchModel
 	th  waveform.Thresholds
+
+	norSim *macromodel.GateSim
+	norGM  *macromodel.GlitchModel
+	norTh  waveform.Thresholds
 }
 
 var (
@@ -153,14 +159,12 @@ func spiceRig(t *testing.T) *glitchRig {
 	t.Helper()
 	rigOnce.Do(func() {
 		lib := sta.NewLibrary()
-		var nandSim *macromodel.GateSim
-		var gm *macromodel.GlitchModel
-		var th waveform.Thresholds
+		r := &glitchRig{}
 		for _, spec := range []struct {
 			name string
 			kind cells.Kind
 			n    int
-		}{{"nand2", cells.Nand, 2}, {"inv", cells.Inv, 1}} {
+		}{{"nand2", cells.Nand, 2}, {"nor2", cells.Nor, 2}, {"inv", cells.Inv, 1}} {
 			cell := cells.MustNew(spec.kind, spec.n, cells.DefaultProcess(), cells.DefaultGeometry())
 			fam, err := vtc.Extract(cell, spice.DefaultOptions(), 0.02)
 			if err != nil {
@@ -179,22 +183,33 @@ func spiceRig(t *testing.T) *glitchRig {
 					rigErr = err
 					return
 				}
-				gm, err = sim.CharacterizeGlitch(0, 1, macromodel.GlitchGridSpec{
+				// The nand completes when the falling input trails far
+				// behind; the nor when it leads — mirror the swept range so
+				// each polarity's completion boundary sits inside its grid.
+				seps := table.LinSpace(-600e-12, 1.4e-9, 11)
+				if spec.kind == cells.Nor {
+					seps = table.LinSpace(-1.4e-9, 600e-12, 11)
+				}
+				gm, err := sim.CharacterizeGlitch(0, 1, macromodel.GlitchGridSpec{
 					TausFall: glitchGridTaus,
 					TausRise: glitchGridTaus,
-					Seps:     table.LinSpace(-600e-12, 1.4e-9, 11),
+					Seps:     seps,
 				})
 				if err != nil {
 					rigErr = err
 					return
 				}
 				model.Glitches = []*macromodel.GlitchModel{gm}
-				nandSim = sim
-				th = model.Th
+				if spec.kind == cells.Nor {
+					r.norSim, r.norGM, r.norTh = sim, gm, model.Th
+				} else {
+					r.sim, r.gm, r.th = sim, gm, model.Th
+				}
 			}
 			lib.Add(spec.name, calc)
 		}
-		rig = &glitchRig{lib: lib, sim: nandSim, gm: gm, th: th}
+		r.lib = lib
+		rig = r
 	})
 	if rigErr != nil {
 		t.Fatal(rigErr)
@@ -209,17 +224,26 @@ func spiceRig(t *testing.T) *glitchRig {
 const decisiveMargin = 0.2
 
 // spiceSaysFilter runs the ground-truth transient and classifies the pulse:
-// filter (extreme never reaches Vil), propagate, or indecisive (skip).
-func spiceSaysFilter(t *testing.T, r *glitchRig, ttFall, ttRise, sep float64) (filter, decisive bool) {
+// filter (the extreme never reaches the completion threshold — Vil for a
+// negative-going dip, Vih for a positive-going bump), propagate, or
+// indecisive (skip).
+func spiceSaysFilter(t *testing.T, sim *macromodel.GateSim, gm *macromodel.GlitchModel, th waveform.Thresholds, ttFall, ttRise, sep float64) (filter, decisive bool) {
 	t.Helper()
-	extreme, err := r.sim.RunGlitch(0, 1, ttFall, ttRise, sep)
+	extreme, err := sim.RunGlitch(0, 1, ttFall, ttRise, sep)
 	if err != nil {
 		t.Fatalf("spice glitch run: %v", err)
 	}
-	if math.Abs(extreme-r.th.Vil) < decisiveMargin {
+	level := th.Vil
+	if !gm.NegativeGoing {
+		level = th.Vih
+	}
+	if math.Abs(extreme-level) < decisiveMargin {
 		return false, false
 	}
-	return extreme > r.th.Vil, true
+	if gm.NegativeGoing {
+		return extreme > level, true
+	}
+	return extreme < level, true
 }
 
 // TestOracleGlitchSpiceVerdicts sweeps the input separation across the
@@ -281,7 +305,7 @@ func TestOracleGlitchSpiceVerdicts(t *testing.T) {
 			t.Fatalf("sep %g: downstream y disagrees with the verdict (filtered=%v)", sep, engineFilters)
 		}
 
-		spiceFilters, decisive := spiceSaysFilter(t, r, tt, tt, sep)
+		spiceFilters, decisive := spiceSaysFilter(t, r.sim, r.gm, r.th, tt, tt, sep)
 		if !decisive {
 			t.Logf("sep %g: extreme within %gV of Vil — indecisive, skipped", sep, decisiveMargin)
 			continue
@@ -297,6 +321,94 @@ func TestOracleGlitchSpiceVerdicts(t *testing.T) {
 	}
 	if sawFilter == 0 || sawPropagate == 0 {
 		t.Fatalf("verdict sweep vacuous: %d filtered, %d propagated decisive points", sawFilter, sawPropagate)
+	}
+}
+
+// TestOracleGlitchSpiceVerdictsNor is the positive-going mirror of the nand
+// sweep: on a real nor2 the bump's falling cause LEADS the rising one, so
+// the verdict is judged at negative raw separations (pulse width
+// rise − fall). The engine's filter/propagate verdict must match direct
+// spice simulation at every decisive point — the polarity the
+// NAND-oriented bisection used to absorb at every separation.
+func TestOracleGlitchSpiceVerdictsNor(t *testing.T) {
+	r := spiceRig(t)
+	const tt = 300e-12
+	if r.norGM.NegativeGoing {
+		t.Fatal("characterized nor2 glitch is not positive-going")
+	}
+	minW, ok := r.norGM.MinSeparation(tt, tt, r.norTh)
+	if !ok {
+		t.Fatal("characterized nor2 never completes a transition in the swept range")
+	}
+
+	c := sta.NewCircuit(r.lib)
+	a, b := c.Input("a"), c.Input("b")
+	x, err := c.AddGate("g1", "nor2", "x", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.AddGate("g2", "inv", "y", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(y)
+
+	sawFilter, sawPropagate := 0, 0
+	for _, off := range []float64{-250e-12, -120e-12, -40e-12, 40e-12, 150e-12, 400e-12} {
+		width := minW + off
+		if width < 30e-12 {
+			// Near-zero or negative widths flip the output edge order into
+			// the shape the NOR model does not judge.
+			continue
+		}
+		// a (pin 0) falls at 0, b (pin 1) rises at width: raw separation
+		// cross(fall) − cross(rise) = −width.
+		evs := []sta.PIEvent{
+			{Net: a, Dir: waveform.Falling, TT: tt, Time: 0},
+			{Net: b, Dir: waveform.Rising, TT: tt, Time: width},
+		}
+		res, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: 1, PulseFiltering: true})
+		if err != nil {
+			t.Fatalf("width %g: analyze: %v", width, err)
+		}
+		engineFilters := res.Stats.PulsesFiltered == 1
+
+		ar, riseOK := res.Arrival(x, waveform.Rising)
+		af, fallOK := res.Arrival(x, waveform.Falling)
+		if engineFilters && (riseOK || fallOK) {
+			t.Fatalf("width %g: filtered pulse still committed arrivals on x", width)
+		}
+		if !engineFilters {
+			if !(riseOK && fallOK) {
+				t.Fatalf("width %g: propagated pulse lost an edge on x", width)
+			}
+			if !(ar.Time < af.Time) {
+				// The characterized bump needs a rising lead; a flipped pair
+				// is a different pulse shape the model leaves untouched.
+				t.Logf("width %g: falling edge leads on x — outside the judged polarity, skipped", width)
+				continue
+			}
+		}
+		if _, ok := res.Arrival(y, waveform.Falling); ok == engineFilters {
+			t.Fatalf("width %g: downstream y disagrees with the verdict (filtered=%v)", width, engineFilters)
+		}
+
+		spiceFilters, decisive := spiceSaysFilter(t, r.norSim, r.norGM, r.norTh, tt, tt, -width)
+		if !decisive {
+			t.Logf("width %g: extreme within %gV of Vih — indecisive, skipped", width, decisiveMargin)
+			continue
+		}
+		if engineFilters != spiceFilters {
+			t.Errorf("width %g: engine filters=%v but spice ground truth filters=%v", width, engineFilters, spiceFilters)
+		}
+		if spiceFilters {
+			sawFilter++
+		} else {
+			sawPropagate++
+		}
+	}
+	if sawFilter == 0 || sawPropagate == 0 {
+		t.Fatalf("nor verdict sweep vacuous: %d filtered, %d propagated decisive points", sawFilter, sawPropagate)
 	}
 }
 
@@ -343,7 +455,7 @@ func TestOracleGlitchSpiceReconvergent(t *testing.T) {
 		engineFilters := on.Stats.PulsesFiltered == 1
 		// The judged pair on x: n1 (pin0) falls at the inverter's output
 		// crossing, a (pin1) rises at 0 — replay exactly that pair in spice.
-		spiceFilters, decisive := spiceSaysFilter(t, r, fall.TT, tt, fall.Time)
+		spiceFilters, decisive := spiceSaysFilter(t, r.sim, r.gm, r.th, fall.TT, tt, fall.Time)
 		if !decisive {
 			t.Logf("tt %g: indecisive extreme, skipped", tt)
 			continue

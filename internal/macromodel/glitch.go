@@ -104,21 +104,33 @@ func (m *GlitchModel) ExtremeAt(ttFall, ttRise, s float64) float64 {
 	return m.Extreme.Eval(ttFall, ttRise, s)
 }
 
-// MinSeparation returns the smallest separation (falling input measured from
-// the rising input) at which the output still completes a transition past
-// the measurement threshold — the gate's inertial delay for this pair. The
-// threshold is Vil for negative-going glitches, Vih for positive-going.
-// ok is false when no separation in the characterized range completes the
-// transition; sep is then +Inf, so a caller that ignores ok and compares a
-// candidate separation against sep still concludes "never completes"
-// instead of treating the pair as needing zero separation.
+// MinSeparation returns the smallest output pulse width at which the output
+// still completes a transition past the measurement threshold — the gate's
+// inertial delay for this pair. Width is measured as the trailing (blocking)
+// cause's threshold crossing minus the leading (unblocking) cause's: for a
+// negative-going dip the rising input blocks and the falling input restores,
+// so width equals the tabulated separation s = cross(fall) − cross(rise);
+// for a positive-going bump the roles mirror and width is −s. Expressing
+// both polarities in width terms keeps one comparison direction — the
+// output completes exactly when the observed width is at or above the
+// returned boundary. The threshold is Vil for negative-going glitches, Vih
+// for positive-going. ok is false when no width in the characterized range
+// completes the transition; sep is then +Inf, so a caller that ignores ok
+// and compares a candidate width against sep still concludes "never
+// completes" instead of treating the pair as needing zero separation.
 func (m *GlitchModel) MinSeparation(ttFall, ttRise float64, th waveform.Thresholds) (sep float64, ok bool) {
 	level := th.Vil
 	if !m.NegativeGoing {
 		level = th.Vih
 	}
-	// completes(s) is true when the extreme voltage passes the threshold.
-	completes := func(s float64) bool {
+	// completes(w) is true when the extreme voltage passes the threshold at
+	// pulse width w. The grid's axis is s = cross(fall) − cross(rise), which
+	// is w for negative-going models and −w for positive-going ones.
+	completes := func(w float64) bool {
+		s := w
+		if !m.NegativeGoing {
+			s = -w
+		}
 		v := m.ExtremeAt(ttFall, ttRise, s)
 		if m.NegativeGoing {
 			return v <= level
@@ -127,9 +139,13 @@ func (m *GlitchModel) MinSeparation(ttFall, ttRise float64, th waveform.Threshol
 	}
 	axis := m.Extreme.Axis(2)
 	lo, hi := axis[0], axis[len(axis)-1]
-	// The blocking transition (the rising input of a NAND) cuts the output's
-	// excursion short unless the unblocking falling input arrives
-	// sufficiently LATE: completion happens for s at or above a boundary.
+	if !m.NegativeGoing {
+		// In width terms the separation axis reverses: w ∈ [−s_max, −s_min].
+		lo, hi = -hi, -lo
+	}
+	// The blocking transition (the rising input of a NAND, the mirror for a
+	// NOR) cuts the output's excursion short unless the unblocking input
+	// leads by enough: completion happens for widths at or above a boundary.
 	// (Equivalently, in the paper's phrasing, "when input b comes much
 	// earlier than input a, the output completes its falling transition".)
 	if !completes(hi) {

@@ -58,6 +58,42 @@ func TestMinSeparationNeverRecovers(t *testing.T) {
 	if _, ok := flatGlitch(1.0, true).MinSeparation(400e-12, 400e-12, th); !ok {
 		t.Error("always-completing negative grid found no boundary")
 	}
+	if _, ok := flatGlitch(4.0, false).MinSeparation(400e-12, 400e-12, th); !ok {
+		t.Error("always-completing positive grid found no boundary")
+	}
+}
+
+// TestSynthGlitchNorOrientation: a positive-going synthetic grid must mirror
+// the physics CharacterizeGlitch would measure — the bump completes (extreme
+// reaches Vih) when the falling input leads the rising one (s very negative)
+// and the output stays on its low rail when it trails (s very positive) —
+// so MinSeparation brackets a genuine width boundary and a real NOR pulse
+// can survive filtering instead of being absorbed at every separation.
+func TestSynthGlitchNorOrientation(t *testing.T) {
+	m := SynthModel("nor", 2)
+	gm := m.Glitch(0, 1)
+	if gm == nil || gm.NegativeGoing {
+		t.Fatalf("synthetic nor2 glitch pair (0,1) missing or negative-going: %+v", gm)
+	}
+	const tf, tr = 300e-12, 300e-12
+	early := gm.ExtremeAt(tf, tr, -1.5e-9) // fall leads rise: full-swing bump
+	late := gm.ExtremeAt(tf, tr, 1.5e-9)   // fall trails rise: no excursion
+	if !(early >= m.Th.Vih) || !(late < m.Th.Vil) {
+		t.Fatalf("bump extreme not mirrored: s=-1.5ns -> %gV, s=+1.5ns -> %gV (Vih=%g)",
+			early, late, m.Th.Vih)
+	}
+	w, ok := gm.MinSeparation(tf, tr, m.Th)
+	if !ok || math.IsInf(w, 0) || w <= 0 {
+		t.Fatalf("nor inertial width = (%g, %v), want a finite positive boundary", w, ok)
+	}
+	// The boundary is a pulse width: the bump completes at s = −(w+ε) and is
+	// absorbed at −(w−ε).
+	if v := gm.ExtremeAt(tf, tr, -(w + 20e-12)); v < m.Th.Vih {
+		t.Errorf("width %g past the boundary: extreme %gV below Vih", w+20e-12, v)
+	}
+	if v := gm.ExtremeAt(tf, tr, -(w - 20e-12)); v >= m.Th.Vih {
+		t.Errorf("width %g inside the boundary: extreme %gV at/above Vih", w-20e-12, v)
+	}
 }
 
 // TestValidateCatchesBrokenGlitch mutates the synthetic model's glitch

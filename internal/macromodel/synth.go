@@ -72,12 +72,16 @@ func SynthModel(kind string, numInputs int) *GateModel {
 }
 
 // synthGlitch fabricates one Section-6 extreme-voltage grid with the
-// qualitative shape the paper measures: a sigmoid in the separation s that
-// sweeps the extreme output voltage from "no excursion" (runt pulse fully
-// absorbed) to "full swing" (transition completes), with the boundary
-// shifting later for slower input transitions. The sigmoid's midpoint stays
-// well inside the tabulated s range for every (τ_fall, τ_rise) node, so
-// MinSeparation always brackets a genuine boundary.
+// qualitative shape the paper measures: a sigmoid in the output pulse width
+// that sweeps the extreme output voltage from "no excursion" (runt pulse
+// fully absorbed) to "full swing" (transition completes), with the boundary
+// shifting later for slower input transitions. The width is oriented by
+// polarity — s = fall − rise for a negative-going dip, −s for a
+// positive-going bump, matching the physics CharacterizeGlitch would
+// measure: a NAND completes when the falling input comes much later, a NOR
+// when it comes much earlier. The sigmoid's midpoint stays well inside the
+// tabulated s range for every (τ_fall, τ_rise) node, so MinSeparation
+// always brackets a genuine boundary.
 func synthGlitch(fallPin, risePin int, negative bool, th waveform.Thresholds) *GlitchModel {
 	tausF := table.LogSpace(50e-12, 2e-9, 4)
 	tausR := table.LogSpace(50e-12, 2e-9, 4)
@@ -85,10 +89,14 @@ func synthGlitch(fallPin, risePin int, negative bool, th waveform.Thresholds) *G
 	g := table.MustNew(tausF, tausR, seps)
 	_ = g.Fill(func(c []float64) (float64, error) {
 		tf, tr, s := c[0], c[1], c[2]
-		s0 := 60e-12 + 0.15*tr + 0.1*tf + 20e-12*float64(fallPin)
+		width := s
+		if !negative {
+			width = -s
+		}
+		w0 := 60e-12 + 0.15*tr + 0.1*tf + 20e-12*float64(fallPin)
 		w := 40e-12 + 0.08*tr
 		// depth in (0, 1): 0 = output never leaves its rail, 1 = full swing.
-		depth := 1 / (1 + math.Exp(-(s-s0)/w))
+		depth := 1 / (1 + math.Exp(-(width-w0)/w))
 		if negative {
 			return th.Vdd * (1 - depth), nil // dip toward ground
 		}

@@ -18,10 +18,13 @@ type PulseInfo struct {
 	RisePin int
 	// LeadDir is the direction of the leading (earlier) output edge.
 	LeadDir waveform.Direction
-	// Sep is the pair's separation (falling input's crossing measured from
-	// the rising input's); MinSep is the pair's inertial delay at the
-	// observed transition times (+Inf with MinSepOK=false when no
-	// separation in the characterized range completes a transition).
+	// Sep is the pair's output pulse width: the trailing (blocking) cause's
+	// crossing measured from the leading (unblocking) cause's — fall − rise
+	// for a negative-going dip, rise − fall for a positive-going bump.
+	// MinSep is the pair's inertial delay at the observed transition times,
+	// in the same orientation, so Sep − MinSep is the completion margin for
+	// either polarity (+Inf with MinSepOK=false when no width in the
+	// characterized range completes a transition).
 	Sep      float64
 	MinSep   float64
 	MinSepOK bool

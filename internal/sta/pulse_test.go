@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/macromodel"
 	"repro/internal/sta"
 	"repro/internal/waveform"
@@ -200,6 +201,164 @@ func TestPulseFilterPolarityMismatch(t *testing.T) {
 		if got != want {
 			t.Fatalf("%v arrival changed with filtering on: %+v -> %+v", dir, want, got)
 		}
+	}
+}
+
+// norPulsePair builds a lone nor2 over a synthetic positive-going library:
+// a falling a (pin 0) unblocks the output (rising edge), a rising b (pin 1)
+// blocks it (falling edge) — the bump shape the nor's glitch model
+// characterizes, with the falling input LEADING the rising one.
+func norPulsePair(t *testing.T) (c *sta.Circuit, a, b, out *sta.Net) {
+	t.Helper()
+	lib := sta.NewLibrary()
+	lib.Add("nor2", core.NewCalculator(macromodel.SynthModel("nor", 2)))
+	c = sta.NewCircuit(lib)
+	a, b = c.Input("a"), c.Input("b")
+	out, err := c.AddGate("g", "nor2", "n1", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(out)
+	return c, a, b, out
+}
+
+// norPulseVector stimulates a falling at time 0 and b rising at time width:
+// the pair's raw separation is cross(fall) − cross(rise) = −width, and width
+// is the pulse-width orientation the verdict judges in.
+func norPulseVector(a, b *sta.Net, ttFall, ttRise, width float64) []sta.PIEvent {
+	return []sta.PIEvent{
+		{Net: a, Dir: waveform.Falling, TT: ttFall, Time: 0},
+		{Net: b, Dir: waveform.Rising, TT: ttRise, Time: width},
+	}
+}
+
+// norPulseMinWidth reads the synthetic nor2's inertial pulse width for the
+// (fall=0, rise=1) pair straight from the model.
+func norPulseMinWidth(t *testing.T, ttFall, ttRise float64) float64 {
+	t.Helper()
+	m := macromodel.SynthModel("nor", 2)
+	gm := m.Glitch(0, 1)
+	if gm == nil {
+		t.Fatal("synthetic nor2 carries no glitch model for pair (0,1)")
+	}
+	minW, ok := gm.MinSeparation(ttFall, ttRise, m.Th)
+	if !ok {
+		t.Fatalf("synthetic nor glitch grid never completes a transition (minWidth=%g)", minW)
+	}
+	return minW
+}
+
+// TestPulseFilterNorJudges: the positive-going polarity end to end — a
+// narrow NOR bump is absorbed, a wide one survives with a degraded leading
+// rising edge. Before the width-oriented boundary this polarity filtered at
+// EVERY separation (the bisection bracket assumed NAND orientation),
+// silently dropping full-swing transitions.
+func TestPulseFilterNorJudges(t *testing.T) {
+	c, a, b, out := norPulsePair(t)
+	minW := norPulseMinWidth(t, pulseTTFall, pulseTTRise)
+
+	// Narrow bump: absorbed, nothing commits.
+	on, err := c.AnalyzeOpts(norPulseVector(a, b, pulseTTFall, pulseTTRise, minW-50e-12),
+		sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.PulsesFiltered != 1 || on.Stats.PulsesDegraded != 0 {
+		t.Fatalf("narrow bump: want 1 filtered / 0 degraded, got %d / %d",
+			on.Stats.PulsesFiltered, on.Stats.PulsesDegraded)
+	}
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		if arr, ok := on.Arrival(out, dir); ok {
+			t.Fatalf("narrow nor bump propagated a %v arrival (t=%g)", dir, arr.Time)
+		}
+	}
+	pi, ok := on.Pulse(out)
+	if !ok || !pi.Filtered {
+		t.Fatalf("want filtered verdict on %s, got %+v (recorded=%v)", out.Name, pi, ok)
+	}
+	if pi.LeadDir != waveform.Rising {
+		t.Fatalf("nor bump leading edge %v, want rising", pi.LeadDir)
+	}
+	if want := minW - 50e-12; pi.Sep != want {
+		t.Fatalf("verdict width %g, want %g", pi.Sep, want)
+	}
+	if !pi.MinSepOK || pi.Sep >= pi.MinSep {
+		t.Fatalf("filtered verdict not below its boundary: width=%g minWidth=%g ok=%v",
+			pi.Sep, pi.MinSep, pi.MinSepOK)
+	}
+	// The filtered gate's evaluation work still counts.
+	if on.Stats.GatesEvaluated != 1 || on.Stats.Evaluations != 2 {
+		t.Fatalf("filtered gate dropped from eval counters: %d gates / %d evals, want 1 / 2",
+			on.Stats.GatesEvaluated, on.Stats.Evaluations)
+	}
+
+	// Wide bump: survives, leading rising edge degraded by the swing deficit.
+	off, err := c.AnalyzeOpts(norPulseVector(a, b, pulseTTFall, pulseTTRise, minW+30e-12),
+		sta.Proximity, sta.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err = c.AnalyzeOpts(norPulseVector(a, b, pulseTTFall, pulseTTRise, minW+30e-12),
+		sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Stats.PulsesFiltered != 0 || on.Stats.PulsesDegraded != 1 {
+		t.Fatalf("wide bump: want 0 filtered / 1 degraded, got %d / %d",
+			on.Stats.PulsesFiltered, on.Stats.PulsesDegraded)
+	}
+	pi, ok = on.Pulse(out)
+	if !ok || pi.Filtered {
+		t.Fatalf("want degraded verdict, got %+v (recorded=%v)", pi, ok)
+	}
+	if !(pi.Factor > 1) || math.IsInf(pi.Factor, 1) || math.IsNaN(pi.Factor) {
+		t.Fatalf("degradation factor %g not a finite value > 1", pi.Factor)
+	}
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		want, okOff := off.Arrival(out, dir)
+		got, okOn := on.Arrival(out, dir)
+		if !okOff || !okOn {
+			t.Fatalf("%v arrival missing (off=%v on=%v)", dir, okOff, okOn)
+		}
+		wantTT := want.TT
+		if dir == pi.LeadDir {
+			wantTT = want.TT * pi.Factor
+		}
+		if got.Time != want.Time || got.TT != wantTT {
+			t.Fatalf("%v arrival %+v, want t=%g tt=%g (factor %g on leading %v)",
+				dir, got, want.Time, wantTT, pi.Factor, pi.LeadDir)
+		}
+	}
+}
+
+// TestPulseFilterNorPolarityMismatch: rising input well before the falling
+// one puts the falling output edge in the lead — not the bump shape the
+// nor's positive-going glitch characterizes, so the pair must pass
+// untouched.
+func TestPulseFilterNorPolarityMismatch(t *testing.T) {
+	c, a, b, out := norPulsePair(t)
+	evs := []sta.PIEvent{
+		{Net: b, Dir: waveform.Rising, TT: pulseTTRise, Time: 0},
+		{Net: a, Dir: waveform.Falling, TT: pulseTTFall, Time: 2e-9},
+	}
+	on, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, okr := on.Arrival(out, waveform.Rising)
+	af, okf := on.Arrival(out, waveform.Falling)
+	if !okr || !okf {
+		t.Fatalf("mismatched-polarity pair lost arrivals (rise=%v fall=%v)", okr, okf)
+	}
+	if !(af.Time < ar.Time) {
+		t.Fatalf("test premise broken: falling edge (%g) does not lead rising (%g)", af.Time, ar.Time)
+	}
+	if on.Stats.PulsesFiltered != 0 || on.Stats.PulsesDegraded != 0 {
+		t.Fatalf("mismatched polarity judged: %d filtered, %d degraded",
+			on.Stats.PulsesFiltered, on.Stats.PulsesDegraded)
+	}
+	if _, ok := on.Pulse(out); ok {
+		t.Fatal("untouched pair left a verdict record")
 	}
 }
 

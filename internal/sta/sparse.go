@@ -381,6 +381,25 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 			if o.err != nil {
 				return nil, o.err
 			}
+			// Workload counters read the evaluation's output before any
+			// pulse verdict: a filtered pair clears the arrivals, but the
+			// evaluation work still happened and must stay counted.
+			evaluated := false
+			for d := range o.a {
+				if !o.has[d] {
+					continue
+				}
+				evaluated = true
+				res.Stats.Evaluations++
+				if o.a[d].UsedInputs > 1 {
+					res.Stats.ProximityEvals++
+				} else {
+					res.Stats.SingleArcEvals++
+				}
+			}
+			if evaluated {
+				res.Stats.GatesEvaluated++
+			}
 			if opt.PulseFiltering && o.has[0] && o.has[1] {
 				// Section-6 inertial-delay judgment, inside the serial commit
 				// walk: the pair's causing inputs were committed at earlier
@@ -391,23 +410,11 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 				applyPulseFilter(p.gateList[gi], o, res)
 				glitchWall += time.Since(gStart)
 			}
-			evaluated := false
 			for d := range o.a {
 				if !o.has[d] {
 					continue
 				}
-				a := o.a[d]
-				set(p.gateList[gi].Out, a)
-				evaluated = true
-				res.Stats.Evaluations++
-				if a.UsedInputs > 1 {
-					res.Stats.ProximityEvals++
-				} else {
-					res.Stats.SingleArcEvals++
-				}
-			}
-			if evaluated {
-				res.Stats.GatesEvaluated++
+				set(p.gateList[gi].Out, o.a[d])
 			}
 		}
 		res.Stats.Phases.Add(obs.PhaseCommit, time.Since(commitStart)-glitchWall)

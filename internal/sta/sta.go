@@ -347,7 +347,10 @@ type LevelStat struct {
 type Stats struct {
 	Workers        int
 	Levels         int
-	GatesEvaluated int // gates that produced at least one output arrival
+	// GatesEvaluated counts gates whose evaluation produced at least one
+	// output arrival — including gates whose opposite-edge pair pulse
+	// filtering later absorbed (the evaluation work happened either way).
+	GatesEvaluated int
 	Evaluations    int // per-direction delay calculations
 	ProximityEvals int // evaluations combining >1 switching input
 	SingleArcEvals int // evaluations timed from a single arc

@@ -262,9 +262,11 @@ func (m *Model) SingleDelay(pin int, dir Direction, tt float64) (delay, outTT fl
 	return m.calc.SingleDelay(pin, dir, tt)
 }
 
-// InertialDelay returns the minimum separation between a falling and a
-// rising input that still yields a complete output transition (Section 6).
-// Requires the pair to have been listed in Characterization.Glitch.
+// InertialDelay returns the minimum output pulse width (trailing blocking
+// cause measured from the leading unblocking one: fall − rise for
+// NAND-style pairs, rise − fall for NOR-style) that still yields a complete
+// output transition (Section 6). Requires the pair to have been listed in
+// Characterization.Glitch.
 func (m *Model) InertialDelay(fallPin, risePin int, ttFall, ttRise float64) (sep float64, ok bool, err error) {
 	return core.InertialDelay(m.Data, fallPin, risePin, ttFall, ttRise)
 }
