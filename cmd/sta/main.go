@@ -116,21 +116,13 @@ func main() {
 }
 
 // flagConflicts validates cross-flag combinations after parsing, each error
-// naming the offending flag. -pulse-filter excludes the analyses that only
-// re-time full-swing transitions (-mc-*, -delta); it composes with -explain,
-// batch vectors, and -server. -trace/-explain are in-process only.
+// naming the offending flag. -pulse-filter composes with every analysis mode
+// (-delta re-judges edited cones under the same filtering, -mc-* reports
+// glitch criticality); -trace/-explain are in-process only.
 func flagConflicts(pulseFilter bool, mc *mcSpec, deltaSet, deltaRemove, server, tracePath, explainList string) error {
 	wantDelta := deltaSet != "" || deltaRemove != ""
 	if mc != nil && wantDelta {
 		return fmt.Errorf("-mc-samples cannot combine with -delta (a statistical run has no single baseline to edit)")
-	}
-	if pulseFilter {
-		switch {
-		case mc != nil:
-			return fmt.Errorf("-pulse-filter cannot combine with -mc-samples (statistical analysis re-times full-swing transitions only)")
-		case wantDelta:
-			return fmt.Errorf("-pulse-filter cannot combine with -delta (delta re-analysis propagates full-swing transitions only)")
-		}
 	}
 	if server != "" {
 		switch {
@@ -434,8 +426,9 @@ func parseBatch(c *sta.Circuit, eventSpec string) ([][]sta.PIEvent, error) {
 func printStats(s sta.Stats) {
 	fmt.Printf("evaluated %d of %d scheduled gates over %d levels (%d proximity, %d single-arc evals), %d workers\n",
 		s.GatesEvaluated, s.GatesScheduled, s.Levels, s.ProximityEvals, s.SingleArcEvals, s.Workers)
-	if s.PulsesFiltered > 0 || s.PulsesDegraded > 0 {
-		fmt.Printf("pulse filtering: absorbed %d runt pulses, degraded %d\n", s.PulsesFiltered, s.PulsesDegraded)
+	if s.PulsesFiltered > 0 || s.PulsesDegraded > 0 || s.PulsesUnjudged > 0 {
+		fmt.Printf("pulse filtering: absorbed %d runt pulses, degraded %d, unjudged %d (no glitch model)\n",
+			s.PulsesFiltered, s.PulsesDegraded, s.PulsesUnjudged)
 	}
 	if s.Wall > 0 {
 		fmt.Printf("phases:")

@@ -91,6 +91,23 @@ func runMC(c *sta.Circuit, evs []sta.PIEvent, modes []sta.Mode, opt sta.Options,
 					gc.Gate.Name, gc.Gate.Type, gc.Gate.Out.Name, gc.Probability*100, gc.Count, res.Samples)
 			}
 		}
+		if len(res.GlitchCriticality) > 0 {
+			fmt.Printf("\nglitch criticality (P[pair absorbed] / P[pair degraded]):\n")
+			for i, gc := range res.GlitchCriticality {
+				if i >= 10 {
+					fmt.Printf("  ... %d more gates\n", len(res.GlitchCriticality)-i)
+					break
+				}
+				fmt.Printf("  %-12s %-8s -> %-12s %6.1f%% / %6.1f%%  (%d/%d abs, %d/%d deg)\n",
+					gc.Gate.Name, gc.Gate.Type, gc.Gate.Out.Name,
+					gc.PAbsorbed*100, gc.PDegraded*100,
+					gc.Absorbed, res.Samples, gc.Degraded, res.Samples)
+			}
+		}
+		if s := res.Stats; s.PulsesFiltered > 0 || s.PulsesDegraded > 0 || s.PulsesUnjudged > 0 {
+			fmt.Printf("\npulse filtering: absorbed %d runt pulses, degraded %d, unjudged %d across samples\n",
+				s.PulsesFiltered, s.PulsesDegraded, s.PulsesUnjudged)
+		}
 		for _, cr := range res.Corners {
 			fmt.Printf("\ncorner %s (x%.2f):", cr.Name, cr.Multiplier)
 			for _, po := range c.POs {
@@ -109,11 +126,12 @@ func runMC(c *sta.Circuit, evs []sta.PIEvent, modes []sta.Mode, opt sta.Options,
 
 // runRemoteMC ships the Monte-Carlo run to a stad daemon via /v1/analyze:mc
 // and prints the wire distributions (already in picoseconds).
-func runRemoteMC(base, netlistID string, vector []service.Event, modes []string, spec *mcSpec) error {
+func runRemoteMC(base, netlistID string, vector []service.Event, modes []string, spec *mcSpec, pulseFilter bool) error {
 	for _, m := range modes {
 		req := service.MCRequest{
 			Netlist: netlistID, Mode: m, Vector: vector,
 			Samples: spec.samples, Seed: spec.seed, Sigma: spec.sigma, Corners: spec.corners,
+			PulseFilter: pulseFilter,
 		}
 		var resp service.MCResponse
 		if err := postJSON(base+"/v1/analyze:mc", req, &resp); err != nil {
@@ -137,6 +155,21 @@ func runRemoteMC(base, netlistID string, vector []service.Event, modes []string,
 				fmt.Printf(" %s=%.0f%%", gc.Gate, gc.Probability*100)
 			}
 			fmt.Println()
+		}
+		if len(resp.GlitchCriticality) > 0 {
+			fmt.Printf("glitch criticality (P[absorbed]/P[degraded]):")
+			for i, gc := range resp.GlitchCriticality {
+				if i >= 10 {
+					fmt.Printf(" ...")
+					break
+				}
+				fmt.Printf(" %s=%.0f%%/%.0f%%", gc.Gate, gc.PAbsorbed*100, gc.PDegraded*100)
+			}
+			fmt.Println()
+		}
+		if resp.PulsesFiltered > 0 || resp.PulsesDegraded > 0 || resp.PulsesUnjudged > 0 {
+			fmt.Printf("pulse filtering: absorbed %d runt pulses, degraded %d, unjudged %d across samples\n",
+				resp.PulsesFiltered, resp.PulsesDegraded, resp.PulsesUnjudged)
 		}
 		for _, cr := range resp.Corners {
 			fmt.Printf("corner %s (x%.2f):", cr.Name, cr.Multiplier)

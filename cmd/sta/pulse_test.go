@@ -28,15 +28,19 @@ func TestFlagConflicts(t *testing.T) {
 		{name: "mc local", mc: mc, wantSub: ""},
 		{name: "delta local", deltaSet: "a:rise:300:0", wantSub: ""},
 
-		{name: "pulse x mc", pulseFilter: true, mc: mc, wantSub: "-pulse-filter"},
-		{name: "pulse x mc names mc too", pulseFilter: true, mc: mc, wantSub: "-mc-samples"},
-		{name: "pulse x delta set", pulseFilter: true, deltaSet: "a:rise:300:0", wantSub: "-pulse-filter"},
-		{name: "pulse x delta remove", pulseFilter: true, deltaRemove: "a:rise", wantSub: "-delta"},
+		// Pulse filtering composes with every analysis mode: deltas re-judge
+		// edited cones under the same filtering, MC reports glitch criticality.
+		{name: "pulse with mc", pulseFilter: true, mc: mc, wantSub: ""},
+		{name: "pulse with delta set", pulseFilter: true, deltaSet: "a:rise:300:0", wantSub: ""},
+		{name: "pulse with delta remove", pulseFilter: true, deltaRemove: "a:rise", wantSub: ""},
+		{name: "pulse with server mc", pulseFilter: true, server: "http://h", mc: mc, wantSub: ""},
+		{name: "pulse with server delta", pulseFilter: true, server: "http://h", deltaSet: "a:rise:300:0", wantSub: ""},
+
 		{name: "mc x delta", mc: mc, deltaSet: "a:rise:300:0", wantSub: "-mc-samples"},
+		{name: "pulse x mc x delta still conflicts", pulseFilter: true, mc: mc, deltaSet: "a:rise:300:0", wantSub: "-mc-samples"},
 		{name: "server x trace", server: "http://h", trace: "t.json", wantSub: "-trace"},
 		{name: "server x explain", server: "http://h", explain: "y", wantSub: "-explain"},
 		{name: "pulse x server x explain", pulseFilter: true, server: "http://h", explain: "y", wantSub: "-explain"},
-		{name: "pulse x server x mc", pulseFilter: true, server: "http://h", mc: mc, wantSub: "-pulse-filter"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

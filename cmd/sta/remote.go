@@ -57,20 +57,23 @@ func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, 
 		netPath, up.ID, up.Gates, up.Levels)
 
 	if mc != nil {
-		return runRemoteMC(base, up.ID, vectors[0], modes, mc)
+		return runRemoteMC(base, up.ID, vectors[0], modes, mc, pulseFilter)
 	}
 	for _, m := range modes {
 		if wantDelta {
 			// Baseline once with keepBaseline, then the edit through the
 			// delta endpoint — the daemon reuses everything the edit does
-			// not touch. The delta's mode is the baseline's.
+			// not touch. The delta's mode AND filtering are the baseline's,
+			// so pulseFilter rides along on both requests.
 			var ar service.AnalyzeResponse
-			areq := service.AnalyzeRequest{Netlist: up.ID, Mode: m, Vector: vectors[0], KeepBaseline: true}
+			areq := service.AnalyzeRequest{Netlist: up.ID, Mode: m, Vector: vectors[0],
+				KeepBaseline: true, PulseFilter: pulseFilter}
 			if err := postJSON(base+"/v1/analyze", areq, &ar); err != nil {
 				return fmt.Errorf("baseline analyze (%s): %w", m, err)
 			}
 			var dr service.DeltaResponse
-			dreq := service.DeltaRequest{Netlist: up.ID, Baseline: ar.BaselineID, Set: set, Remove: remove}
+			dreq := service.DeltaRequest{Netlist: up.ID, Baseline: ar.BaselineID,
+				Set: set, Remove: remove, PulseFilter: pulseFilter}
 			if err := postJSON(base+"/v1/analyze:delta", dreq, &dr); err != nil {
 				return fmt.Errorf("delta (%s): %w", m, err)
 			}
@@ -82,6 +85,10 @@ func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, 
 			fmt.Println()
 			fmt.Printf("delta: re-evaluated %d gates, reused %d baseline arrivals server-side\n",
 				dr.GatesReevaluated, dr.GatesReused)
+			if dr.PulsesFiltered > 0 || dr.PulsesDegraded > 0 || dr.PulsesUnjudged > 0 {
+				fmt.Printf("pulse filtering: absorbed %d runt pulses, degraded %d, unjudged %d server-side\n",
+					dr.PulsesFiltered, dr.PulsesDegraded, dr.PulsesUnjudged)
+			}
 			continue
 		}
 		var resp service.BatchResponse

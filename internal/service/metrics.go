@@ -209,10 +209,13 @@ type Metrics struct {
 	MCSamples expvar.Int
 
 	// Pulse-filtering workload: opposite-edge pairs Section-6 filtering
-	// absorbed outright and pairs that survived with a degraded transition
-	// time. Zero unless pulseFilter requests arrive.
+	// absorbed outright, pairs that survived with a degraded transition
+	// time, and pairs the library carries no glitch model for (propagated
+	// untouched — the model-coverage blind spot an operator should watch).
+	// Zero unless pulseFilter requests arrive.
 	PulsesFiltered expvar.Int
 	PulsesDegraded expvar.Int
+	PulsesUnjudged expvar.Int
 
 	// phases aggregates the engine's per-phase wall timings across every
 	// analysis this server ran, one histogram per obs.Phase.
@@ -274,9 +277,10 @@ func (m *Metrics) addStats(gates, prox, single int) {
 }
 
 // addPulses folds one analysis's Section-6 pulse-filtering counters in.
-func (m *Metrics) addPulses(filtered, degraded int) {
+func (m *Metrics) addPulses(filtered, degraded, unjudged int) {
 	m.PulsesFiltered.Add(int64(filtered))
 	m.PulsesDegraded.Add(int64(degraded))
+	m.PulsesUnjudged.Add(int64(unjudged))
 }
 
 // observePhases folds one analysis's phase timings in. The per-call phases
@@ -324,8 +328,8 @@ func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int)
 	fmt.Fprintf(b, ` "vectors": %s, "gatesEvaluated": %s, "proximityEvals": %s, "singleArcEvals": %s,`+"\n",
 		m.Vectors.String(), m.GatesEvaluated.String(), m.ProximityEvals.String(), m.SingleArcEvals.String())
 	fmt.Fprintf(b, ` "mcRuns": %s, "mcSamples": %s,`+"\n", m.MCRuns.String(), m.MCSamples.String())
-	fmt.Fprintf(b, ` "pulsesFiltered": %s, "pulsesDegraded": %s,`+"\n",
-		m.PulsesFiltered.String(), m.PulsesDegraded.String())
+	fmt.Fprintf(b, ` "pulsesFiltered": %s, "pulsesDegraded": %s, "pulsesUnjudged": %s,`+"\n",
+		m.PulsesFiltered.String(), m.PulsesDegraded.String(), m.PulsesUnjudged.String())
 	fmt.Fprintf(b, ` "modelCache": {"hits":%d,"misses":%d,"evictions":%d,"loadErrors":%d,"resident":%d},`+"\n",
 		reg.Hits, reg.Misses, reg.Evictions, reg.LoadErrors, reg.Resident)
 	fmt.Fprintf(b, ` "netlistsResident": %d,`+"\n", netlists)
@@ -392,6 +396,7 @@ func (m *Metrics) writeProm(b *strings.Builder, reg RegistryStats, netlists int)
 		{"stad_mc_samples_total", "Monte-Carlo samples drawn.", m.MCSamples.Value()},
 		{"stad_pulses_filtered_total", "Runt pulses absorbed by Section-6 filtering.", m.PulsesFiltered.Value()},
 		{"stad_pulses_degraded_total", "Runt pulses propagated with degraded transition time.", m.PulsesDegraded.Value()},
+		{"stad_pulses_unjudged_total", "Runt pulses with no glitch model to judge them (propagated untouched).", m.PulsesUnjudged.Value()},
 		{"stad_model_cache_hits_total", "Model registry cache hits.", reg.Hits},
 		{"stad_model_cache_misses_total", "Model registry cache misses.", reg.Misses},
 		{"stad_model_cache_evictions_total", "Model registry evictions.", reg.Evictions},

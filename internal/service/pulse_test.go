@@ -95,18 +95,118 @@ func TestAnalyzePulseFilter(t *testing.T) {
 	}
 }
 
-func TestAnalyzePulseFilterKeepBaselineRejected(t *testing.T) {
+// TestDeltaPulseFilterChain drives the filtered edit loop end to end:
+// a filtered baseline is kept, a widening delta resurrects the absorbed pair
+// as a degraded one, and a narrowing delta against the chained baseline
+// absorbs it again — each reply carrying the Section-6 counters.
+func TestDeltaPulseFilterChain(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	up := uploadTestNetlist(t, ts.URL)
-	var er ErrorResponse
-	code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+	minSep := pulseMinSepPs(t)
+
+	var base AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Netlist: up.ID, Nets: "all", Vector: pulseVector(minSep - 50),
+		PulseFilter: true, KeepBaseline: true,
+	}, &base); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	if base.BaselineID == "" || base.PulsesFiltered != 1 {
+		t.Fatalf("filtered baseline not kept: %+v", base)
+	}
+
+	var widened DeltaResponse
+	if code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{
+		Baseline: base.BaselineID, Nets: "all",
+		Set:          []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: minSep + 30}},
+		PulseFilter:  true,
+		KeepBaseline: true,
+	}, &widened); code != 200 {
+		t.Fatalf("delta status %d", code)
+	}
+	if widened.PulsesFiltered != 0 || widened.PulsesDegraded != 1 {
+		t.Fatalf("widened delta counters %d filtered / %d degraded, want 0 / 1",
+			widened.PulsesFiltered, widened.PulsesDegraded)
+	}
+	resurrected := 0
+	for _, a := range widened.Arrivals {
+		if a.Net == "x" {
+			resurrected++
+		}
+	}
+	if resurrected != 2 {
+		t.Fatalf("widening resurrected %d arrivals on x, want the full pair", resurrected)
+	}
+	if widened.BaselineID == "" {
+		t.Fatal("filtered delta did not keep its own baseline for chaining")
+	}
+
+	var narrowed DeltaResponse
+	if code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{
+		Baseline: widened.BaselineID, Nets: "all",
+		Set:         []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: minSep - 50}},
+		PulseFilter: true,
+	}, &narrowed); code != 200 {
+		t.Fatalf("chained delta status %d", code)
+	}
+	if narrowed.PulsesFiltered != 1 || narrowed.PulsesDegraded != 0 {
+		t.Fatalf("narrowed delta counters %d filtered / %d degraded, want 1 / 0",
+			narrowed.PulsesFiltered, narrowed.PulsesDegraded)
+	}
+	for _, a := range narrowed.Arrivals {
+		if a.Net == "x" {
+			t.Fatalf("re-absorbed pulse still on the wire: %+v", a)
+		}
+	}
+}
+
+// TestDeltaPulseFilterMismatch400: filtering is an analysis semantic the
+// baseline fixes; a delta stating the opposite must 400, not silently
+// re-interpret the baseline.
+func TestDeltaPulseFilterMismatch400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	var base AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{
 		Netlist: up.ID, Vector: pulseVector(500), PulseFilter: true, KeepBaseline: true,
+	}, &base); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	var er ErrorResponse
+	code := post(t, ts.URL+"/v1/analyze:delta", DeltaRequest{
+		Baseline: base.BaselineID,
+		Set:      []Event{{Net: "a", Dir: "fall", TTPs: 300, TimePs: 700}},
 	}, &er)
 	if code != 400 {
 		t.Fatalf("status %d, want 400", code)
 	}
-	if !strings.Contains(er.Error, "pulseFilter") || !strings.Contains(er.Error, "keepBaseline") {
-		t.Fatalf("error %q does not name both conflicting fields", er.Error)
+	if !strings.Contains(er.Error, "PulseFiltering") {
+		t.Fatalf("error %q does not name the filtering mismatch", er.Error)
+	}
+}
+
+// TestMCPulseFilterWire: a sigma-0 filtered Monte-Carlo run reports the
+// summed pulse counters and a unanimous glitch-criticality vote for the
+// judged gate.
+func TestMCPulseFilterWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	var resp MCResponse
+	if code := post(t, ts.URL+"/v1/analyze:mc", MCRequest{
+		Netlist: up.ID, Vector: pulseVector(pulseMinSepPs(t) - 50),
+		Samples: 3, Sigma: 0, PulseFilter: true,
+	}, &resp); code != 200 {
+		t.Fatalf("mc status %d", code)
+	}
+	if resp.PulsesFiltered != 3 {
+		t.Fatalf("pulsesFiltered = %d, want 3 (one absorbed pair per sample)", resp.PulsesFiltered)
+	}
+	if len(resp.GlitchCriticality) != 1 {
+		t.Fatalf("glitchCriticality has %d entries, want 1: %+v", len(resp.GlitchCriticality), resp.GlitchCriticality)
+	}
+	gc := resp.GlitchCriticality[0]
+	if gc.Gate != "g1" || gc.Out != "x" || gc.Absorbed != 3 || gc.PAbsorbed != 1 || gc.Degraded != 0 {
+		t.Fatalf("glitch criticality %+v, want g1/x absorbed in all 3 samples", gc)
 	}
 }
 

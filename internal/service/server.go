@@ -218,9 +218,9 @@ type AnalyzeRequest struct {
 	KeepBaseline bool    `json:"keepBaseline,omitempty"`
 	// PulseFilter applies the Section-6 inertial-delay model to opposite-edge
 	// output pairs: runt pulses below the pair's minimum separation are
-	// absorbed, survivors propagate a degraded transition time. Incompatible
-	// with KeepBaseline — delta re-analysis propagates full-swing transitions
-	// only.
+	// absorbed, survivors propagate a degraded transition time. Composes with
+	// KeepBaseline — /v1/analyze:delta re-judges edited cones under the same
+	// filtering and inherits every untouched verdict.
 	PulseFilter bool `json:"pulseFilter,omitempty"`
 }
 
@@ -243,6 +243,10 @@ type DeltaRequest struct {
 	Set          []Event       `json:"set,omitempty"`
 	Remove       []RemoveEvent `json:"remove,omitempty"`
 	KeepBaseline bool          `json:"keepBaseline,omitempty"`
+	// PulseFilter must state how the baseline was analyzed: filtering is an
+	// analysis semantic the delta inherits, so a mismatch is a 4xx rather
+	// than a silent re-interpretation of the baseline.
+	PulseFilter bool `json:"pulseFilter,omitempty"`
 }
 
 // BatchRequest fans a vector set through AnalyzeBatch.
@@ -265,9 +269,10 @@ type Arrival struct {
 }
 
 // VectorResult is one vector's arrivals plus its workload counters.
-// PulsesFiltered/PulsesDegraded are non-zero only for pulseFilter requests:
-// how many opposite-edge output pairs Section-6 filtering absorbed outright
-// and how many survived with a degraded transition time.
+// The pulse counters are non-zero only for pulseFilter requests: how many
+// opposite-edge output pairs Section-6 filtering absorbed outright, how many
+// survived with a degraded transition time, and how many carried no glitch
+// model to judge them (propagated untouched — a model-coverage gap).
 type VectorResult struct {
 	Arrivals       []Arrival `json:"arrivals"`
 	GatesEvaluated int       `json:"gatesEvaluated"`
@@ -275,6 +280,7 @@ type VectorResult struct {
 	SingleArcEvals int       `json:"singleArcEvals"`
 	PulsesFiltered int       `json:"pulsesFiltered,omitempty"`
 	PulsesDegraded int       `json:"pulsesDegraded,omitempty"`
+	PulsesUnjudged int       `json:"pulsesUnjudged,omitempty"`
 }
 
 // AnalyzeResponse answers /v1/analyze. Trace is present only when the
@@ -346,6 +352,10 @@ type PulseWire struct {
 	ExtremeV float64 `json:"extremeV,omitempty"`
 	Factor   float64 `json:"factor"`
 	Filtered bool    `json:"filtered"`
+	// Unjudged marks a runt-pulse-shaped pair the library carries no glitch
+	// model for: it propagated untouched (factor 1), and sepPs is the
+	// observed output pulse width rather than an input separation.
+	Unjudged bool `json:"unjudged,omitempty"`
 }
 
 // ExplainDirWire is one explained output direction.
@@ -413,6 +423,11 @@ type MCRequest struct {
 	Sigma   float64  `json:"sigma,omitempty"`
 	Corners []string `json:"corners,omitempty"`
 	Bins    int      `json:"bins,omitempty"` // histogram bins (<= 0 picks 16)
+	// PulseFilter applies Section-6 pulse filtering inside every sample and
+	// corner; the response then reports glitch criticality — per gate, the
+	// probability across samples that its runt pulse was absorbed or
+	// propagated degraded.
+	PulseFilter bool `json:"pulseFilter,omitempty"`
 }
 
 // MCHistWire is one output distribution's fixed-bin histogram (picoseconds).
@@ -448,6 +463,20 @@ type MCCriticality struct {
 	Probability float64 `json:"probability"`
 }
 
+// MCGlitchCriticality is one gate's Section-6 verdict distribution over the
+// samples: in how many (and what fraction of) samples process variation left
+// its opposite-edge pair absorbed versus propagated degraded. Present only
+// for pulseFilter requests.
+type MCGlitchCriticality struct {
+	Gate      string  `json:"gate"`
+	Type      string  `json:"type"`
+	Out       string  `json:"out"`
+	Absorbed  int     `json:"absorbed"`
+	Degraded  int     `json:"degraded"`
+	PAbsorbed float64 `json:"pAbsorbed"`
+	PDegraded float64 `json:"pDegraded"`
+}
+
 // MCCornerWire is one corner preset's deterministic arrivals.
 type MCCornerWire struct {
 	Name       string    `json:"name"`
@@ -455,16 +484,21 @@ type MCCornerWire struct {
 	Arrivals   []Arrival `json:"arrivals"`
 }
 
-// MCResponse answers /v1/analyze:mc.
+// MCResponse answers /v1/analyze:mc. The pulse counters sum the Section-6
+// verdicts across every sample (corners excluded) for pulseFilter requests.
 type MCResponse struct {
-	Mode           string          `json:"mode"`
-	Samples        int             `json:"samples"`
-	Seed           uint64          `json:"seed"`
-	Sigma          float64         `json:"sigma"`
-	Outputs        []MCOutputDist  `json:"outputs"`
-	Criticality    []MCCriticality `json:"criticality"`
-	Corners        []MCCornerWire  `json:"corners,omitempty"`
-	GatesEvaluated int             `json:"gatesEvaluated"`
+	Mode              string                `json:"mode"`
+	Samples           int                   `json:"samples"`
+	Seed              uint64                `json:"seed"`
+	Sigma             float64               `json:"sigma"`
+	Outputs           []MCOutputDist        `json:"outputs"`
+	Criticality       []MCCriticality       `json:"criticality"`
+	GlitchCriticality []MCGlitchCriticality `json:"glitchCriticality,omitempty"`
+	Corners           []MCCornerWire        `json:"corners,omitempty"`
+	GatesEvaluated    int                   `json:"gatesEvaluated"`
+	PulsesFiltered    int                   `json:"pulsesFiltered,omitempty"`
+	PulsesDegraded    int                   `json:"pulsesDegraded,omitempty"`
+	PulsesUnjudged    int                   `json:"pulsesUnjudged,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.
@@ -783,10 +817,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.PulseFilter && req.KeepBaseline {
-		writeError(w, http.StatusBadRequest, "pulseFilter cannot combine with keepBaseline (delta re-analysis propagates full-swing transitions only)")
-		return
-	}
 	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter}
 	var tr *obs.Trace
 	if wantTrace(r) {
@@ -800,7 +830,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
-	s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded)
+	s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded, vr.PulsesUnjudged)
 	s.metrics.observePhases(res.Stats.Phases)
 	resp := AnalyzeResponse{Mode: mode.String(), VectorResult: vr, Trace: tr}
 	if req.KeepBaseline {
@@ -845,7 +875,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense}
+	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter}
 	var tr *obs.Trace
 	if wantTrace(r) {
 		tr = obs.NewTrace()
@@ -858,6 +888,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	}
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
+	s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded, vr.PulsesUnjudged)
 	s.metrics.observeNonzeroPhases(res.Stats.Phases)
 	resp := DeltaResponse{
 		Mode:             res.Mode.String(),
@@ -916,7 +947,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.observePhases(res.Stats.Phases)
-	s.metrics.addPulses(res.Stats.PulsesFiltered, res.Stats.PulsesDegraded)
+	s.metrics.addPulses(res.Stats.PulsesFiltered, res.Stats.PulsesDegraded, res.Stats.PulsesUnjudged)
 	nes, err := sta.ExplainNets(compiled.Circuit(), res, req.Nets)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -947,12 +978,12 @@ func netExplainWire(ne *sta.NetExplain) NetExplainResult {
 	if p := ne.Pulse; p != nil {
 		pw := &PulseWire{
 			FallPin: p.FallPin, RisePin: p.RisePin, LeadDir: p.LeadDir.String(),
-			SepPs: p.Sep * 1e12, Factor: p.Factor, Filtered: p.Filtered,
+			SepPs: p.Sep * 1e12, Factor: p.Factor, Filtered: p.Filtered, Unjudged: p.Unjudged,
 		}
 		if p.MinSepOK {
 			pw.MinSepPs = p.MinSep * 1e12
 		}
-		if !p.Filtered {
+		if !p.Filtered && !p.Unjudged {
 			pw.ExtremeV = p.Extreme
 		}
 		out.Pulse = pw
@@ -1015,7 +1046,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		vr := buildVectorResult(compiled.Circuit(), res, nets)
 		s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
-		s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded)
+		s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded, vr.PulsesUnjudged)
 		s.metrics.observePhases(res.Stats.Phases)
 		resp.Results[i] = vr
 	}
@@ -1102,6 +1133,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 	}
 	opt.Workers = s.cfg.Workers
 	opt.Dense = s.cfg.Dense
+	opt.PulseFiltering = req.PulseFilter
 	res, err := compiled.AnalyzeMC(ctx, evs, mode, opt)
 	if err != nil {
 		analysisError(w, err)
@@ -1112,6 +1144,7 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 	s.metrics.GatesEvaluated.Add(int64(res.Stats.GatesEvaluated))
 	s.metrics.ProximityEvals.Add(int64(res.Stats.ProximityEvals))
 	s.metrics.SingleArcEvals.Add(int64(res.Stats.SingleArcEvals))
+	s.metrics.addPulses(res.Stats.PulsesFiltered, res.Stats.PulsesDegraded, res.Stats.PulsesUnjudged)
 	s.metrics.observeNonzeroPhases(res.Stats.Phases)
 
 	resp := MCResponse{
@@ -1119,6 +1152,9 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		Outputs:        make([]MCOutputDist, 0, len(res.Outputs)),
 		Criticality:    make([]MCCriticality, 0, len(res.Criticality)),
 		GatesEvaluated: res.Stats.GatesEvaluated,
+		PulsesFiltered: res.Stats.PulsesFiltered,
+		PulsesDegraded: res.Stats.PulsesDegraded,
+		PulsesUnjudged: res.Stats.PulsesUnjudged,
 	}
 	for _, od := range res.Outputs {
 		wd := MCOutputDist{
@@ -1136,6 +1172,13 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		resp.Criticality = append(resp.Criticality, MCCriticality{
 			Gate: gc.Gate.Name, Type: gc.Gate.Type, Out: gc.Gate.Out.Name,
 			Count: gc.Count, Probability: gc.Probability,
+		})
+	}
+	for _, gc := range res.GlitchCriticality {
+		resp.GlitchCriticality = append(resp.GlitchCriticality, MCGlitchCriticality{
+			Gate: gc.Gate.Name, Type: gc.Gate.Type, Out: gc.Gate.Out.Name,
+			Absorbed: gc.Absorbed, Degraded: gc.Degraded,
+			PAbsorbed: gc.PAbsorbed, PDegraded: gc.PDegraded,
 		})
 	}
 	for _, cr := range res.Corners {
@@ -1321,6 +1364,7 @@ func buildVectorResult(c *sta.Circuit, res *sta.Result, nets netScope) VectorRes
 		SingleArcEvals: res.Stats.SingleArcEvals,
 		PulsesFiltered: res.Stats.PulsesFiltered,
 		PulsesDegraded: res.Stats.PulsesDegraded,
+		PulsesUnjudged: res.Stats.PulsesUnjudged,
 	}
 	appendNet := func(n *sta.Net) {
 		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {

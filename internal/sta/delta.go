@@ -19,6 +19,7 @@ package sta
 import (
 	"context"
 	"fmt"
+	"maps"
 	"math"
 	"slices"
 	"time"
@@ -44,12 +45,17 @@ type Delta struct {
 
 // cloneForDelta copies a result's arrival store so the delta walk can
 // overwrite in place while the baseline stays immutable (and reusable as
-// the baseline of further deltas).
+// the baseline of further deltas). The pulse state rides along: the verdict
+// map and the absorbed pairs' raw shapes are part of what "bit-identical to
+// a fresh filtered analysis" means, and the walk mutates both in place.
 func cloneForDelta(baseline *Result) *Result {
 	return &Result{
-		Mode: baseline.Mode,
-		idx:  append([]int32(nil), baseline.idx...),
-		arr:  append([]dirArrivals(nil), baseline.arr...),
+		Mode:           baseline.Mode,
+		idx:            append([]int32(nil), baseline.idx...),
+		arr:            append([]dirArrivals(nil), baseline.arr...),
+		pulseFiltering: baseline.pulseFiltering,
+		pulses:         maps.Clone(baseline.pulses),
+		pulseRaw:       maps.Clone(baseline.pulseRaw),
 	}
 }
 
@@ -64,11 +70,15 @@ func slotValue(r *Result, id int32) dirArrivals {
 // AnalyzeDelta re-times a perturbed stimulus vector against a baseline
 // result previously produced by this handle (any of Analyze, AnalyzeBatch
 // or a prior AnalyzeDelta — delta chains compose). The analysis mode is the
-// baseline's. Only gates whose input arrivals actually change are
-// re-evaluated; the returned result is bit-identical to a full analysis of
-// the edited vector, with Stats.GatesReevaluated/GatesReused reporting how
-// much of the baseline survived. The baseline must come from this compiled
-// handle — a baseline from before a structural edit is rejected.
+// baseline's, and so is pulse filtering: Options.PulseFiltering must agree
+// with how the baseline was produced, and under filtering every re-evaluated
+// gate's opposite-edge pair is re-judged (verdicts of untouched gates are
+// inherited). Only gates whose input arrivals actually change propagate; the
+// returned result is bit-identical to a full analysis of the edited vector —
+// arrivals, transition times, PulseInfo records and pulse counters — with
+// Stats.GatesReevaluated/GatesReused reporting how much of the baseline
+// survived. The baseline must come from this compiled handle — a baseline
+// from before a structural edit is rejected.
 func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Delta, opt Options) (*Result, error) {
 	wallStart := time.Now()
 	if baseline == nil {
@@ -80,15 +90,15 @@ func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Del
 	if len(delta.Set) == 0 && len(delta.Remove) == 0 {
 		return nil, fmt.Errorf("sta: empty delta (no events set or removed)")
 	}
-	// Pulse filtering couples a gate's committed arrivals to the presence of
-	// its opposite-direction twin, which breaks the delta walk's per-arrival
-	// bit-equal cutoff — reject both the option and a filtered baseline
-	// instead of silently re-timing with different semantics.
-	if opt.PulseFiltering {
-		return nil, fmt.Errorf("sta: delta options: PulseFiltering must be off (delta re-analysis propagates full-swing transitions only)")
-	}
-	if baseline.pulseFiltering {
-		return nil, fmt.Errorf("sta: delta baseline was analyzed with PulseFiltering (delta re-analysis propagates full-swing transitions only)")
+	// Pulse filtering is inherited from the baseline like the analysis mode
+	// is — a delta re-times the same analysis, it cannot change its
+	// semantics. Require the option to agree so a caller who thinks they
+	// are toggling the filter gets an error, not a silent mismatch.
+	if opt.PulseFiltering != baseline.pulseFiltering {
+		if baseline.pulseFiltering {
+			return nil, fmt.Errorf("sta: delta options: PulseFiltering is off but the baseline was analyzed with it on (a delta cannot change analysis semantics — run a full analysis instead)")
+		}
+		return nil, fmt.Errorf("sta: delta options: PulseFiltering is on but the baseline was analyzed without it (a delta cannot change analysis semantics — run a full analysis instead)")
 	}
 	tr := opt.Trace
 	deltaSpan := tr.Begin(0, 0, "sta", "delta").
@@ -104,6 +114,9 @@ func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Del
 	res.Stats.ProximityEvals = baseline.Stats.ProximityEvals
 	res.Stats.SingleArcEvals = baseline.Stats.SingleArcEvals
 	res.Stats.GatesEvaluated = baseline.Stats.GatesEvaluated
+	res.Stats.PulsesFiltered = baseline.Stats.PulsesFiltered
+	res.Stats.PulsesDegraded = baseline.Stats.PulsesDegraded
+	res.Stats.PulsesUnjudged = baseline.Stats.PulsesUnjudged
 
 	// Apply the edit at the primary inputs: removes first, then sets, each
 	// with the same validation the full-analysis seed performs. touched
@@ -244,6 +257,17 @@ func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Del
 		for _, gi := range bucket {
 			g := p.gateList[gi]
 			prev := slotValue(res, g.Out.id)
+			// prevRaw is the baseline evaluation's pre-filter shape. For an
+			// absorbed pair the committed store is empty while the evaluation
+			// work happened (and was counted), so the raw pair — kept by
+			// applyPulseFilter exactly for this — stands in for prev wherever
+			// the walk accounts for work rather than committed influence.
+			prevRaw := prev
+			if res.pulseFiltering {
+				if pi, ok := res.pulses[g.Out.id]; ok && pi.Filtered {
+					prevRaw = res.pulseRaw[g.Out.id]
+				}
+			}
 			mult := 1.0
 			if opt.Perturb != nil {
 				mult = opt.Perturb(gi)
@@ -253,35 +277,52 @@ func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Del
 				return nil, out.err
 			}
 			reevaluated++
-			if prev.has[0] || prev.has[1] {
+			if prevRaw.has[0] || prevRaw.has[1] {
 				reevalWithBaseline++
 			}
-			next := dirArrivals{a: out.a, has: out.has}
-			if next == prev {
-				continue // influence died out: downstream keeps the baseline
+			nextRaw := dirArrivals{a: out.a, has: out.has}
+			if res.pulseFiltering {
+				// Re-judge from a clean slate: withdraw the baseline's
+				// verdict (and its counter contribution), then let the filter
+				// record the fresh one — an unchanged verdict nets out to
+				// zero. This must happen even when the committed arrivals end
+				// up bit-equal: a gate with no baseline arrivals (absorbed
+				// pair) can still change its verdict, which is why arrival
+				// bit-equality alone is not a sound cutoff under filtering.
+				res.dropPulse(g.Out.id)
+				if out.has[0] && out.has[1] {
+					applyPulseFilter(g, &out, res)
+				}
 			}
-			for d := range next.a {
-				if prev.has[d] {
+			// Evaluation counters diff the RAW shapes — the work performed —
+			// not the committed arrivals: a filtered pair clears the latter
+			// while the full path still counts the evaluation.
+			for d := range nextRaw.a {
+				if prevRaw.has[d] {
 					res.Stats.Evaluations--
-					if prev.a[d].UsedInputs > 1 {
+					if prevRaw.a[d].UsedInputs > 1 {
 						res.Stats.ProximityEvals--
 					} else {
 						res.Stats.SingleArcEvals--
 					}
 				}
-				if next.has[d] {
+				if nextRaw.has[d] {
 					res.Stats.Evaluations++
-					if next.a[d].UsedInputs > 1 {
+					if nextRaw.a[d].UsedInputs > 1 {
 						res.Stats.ProximityEvals++
 					} else {
 						res.Stats.SingleArcEvals++
 					}
 				}
 			}
-			if (prev.has[0] || prev.has[1]) && !(next.has[0] || next.has[1]) {
+			if (prevRaw.has[0] || prevRaw.has[1]) && !(nextRaw.has[0] || nextRaw.has[1]) {
 				res.Stats.GatesEvaluated--
-			} else if !(prev.has[0] || prev.has[1]) && (next.has[0] || next.has[1]) {
+			} else if !(prevRaw.has[0] || prevRaw.has[1]) && (nextRaw.has[0] || nextRaw.has[1]) {
 				res.Stats.GatesEvaluated++
+			}
+			next := dirArrivals{a: out.a, has: out.has}
+			if next == prev {
+				continue // committed influence died out: downstream keeps the baseline
 			}
 			*res.slot(g.Out) = next
 			enqueue(g.Out.id)

@@ -33,9 +33,10 @@ type NetExplain struct {
 	Dirs []*DirExplain
 	// Pulse is the Section-6 verdict pulse filtering applied to this net's
 	// opposite-edge output pair, when the analysis ran with
-	// Options.PulseFiltering and judged one here: either the pair was
-	// absorbed (Dirs is then empty — nothing committed) or its leading edge
-	// carries a degraded transition time. Nil otherwise.
+	// Options.PulseFiltering and recorded one here: the pair was absorbed
+	// (Dirs is then empty — nothing committed), its leading edge carries a
+	// degraded transition time, or the pair was Unjudged (no glitch model
+	// for the causing pin pair — it propagated untouched). Nil otherwise.
 	Pulse *PulseInfo
 }
 
@@ -188,9 +189,15 @@ func (ne *NetExplain) Format(w io.Writer) {
 	}
 	if p := ne.Pulse; p != nil {
 		switch {
+		case p.Unjudged:
+			fmt.Fprintf(w, "  runt pulse unjudged: opposite-edge pair %.2fps wide, but the library has no glitch model for pin pair (fall pin %d, rise pin %d) — the pulse propagated full-swing, unfiltered\n",
+				p.Sep*1e12, p.FallPin, p.RisePin)
 		case p.Filtered && p.MinSepOK:
-			fmt.Fprintf(w, "  runt pulse absorbed: opposite-edge pair (fall pin %d, rise pin %d) separated by %.2fps, below the pair's inertial delay %.2fps (margin %.2fps)\n",
-				p.FallPin, p.RisePin, p.Sep*1e12, p.MinSep*1e12, (p.Sep-p.MinSep)*1e12)
+			// The pair sits BELOW the inertial delay, so report how far below
+			// as a positive shortfall (MinSep − Sep); the old Sep − MinSep
+			// "margin" read negative while the prose said "below".
+			fmt.Fprintf(w, "  runt pulse absorbed: opposite-edge pair (fall pin %d, rise pin %d) separated by %.2fps, below the pair's inertial delay %.2fps (shortfall %.2fps)\n",
+				p.FallPin, p.RisePin, p.Sep*1e12, p.MinSep*1e12, (p.MinSep-p.Sep)*1e12)
 		case p.Filtered:
 			fmt.Fprintf(w, "  runt pulse absorbed: opposite-edge pair (fall pin %d, rise pin %d) separated by %.2fps — no separation in the characterized range completes a transition\n",
 				p.FallPin, p.RisePin, p.Sep*1e12)

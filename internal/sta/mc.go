@@ -44,8 +44,10 @@ type MCOptions struct {
 	// Bins sets the per-output histogram resolution (<= 0 picks 16).
 	Bins int
 	// Options carries the execution knobs (Workers bounds the sample-level
-	// parallelism; Dense disables cone pruning inside each sample). Perturb
-	// must be nil — AnalyzeMC owns the perturbation hook.
+	// parallelism; Dense disables cone pruning inside each sample;
+	// PulseFiltering makes every sample judge its own runt-pulse
+	// separations, feeding MCResult.GlitchCriticality). Perturb must be
+	// nil — AnalyzeMC owns the perturbation hook.
 	Options
 }
 
@@ -63,6 +65,20 @@ type GateCriticality struct {
 	Gate        *Gate
 	Count       int
 	Probability float64 // Count / Samples
+}
+
+// GateGlitchCriticality reports how often pulse filtering judged a gate's
+// opposite-edge output pair across the samples: the probability the pair
+// was absorbed outright and the probability it survived with a degraded
+// leading edge. Variation moves the pair's separation across the inertial
+// boundary, so these probabilities are the glitch risk a single
+// deterministic filtered analysis cannot see.
+type GateGlitchCriticality struct {
+	Gate      *Gate
+	Absorbed  int     // samples whose verdict absorbed the pair
+	Degraded  int     // samples whose pair survived degraded
+	PAbsorbed float64 // Absorbed / Samples
+	PDegraded float64 // Degraded / Samples
 }
 
 // CornerResult is one named corner's deterministic analysis.
@@ -87,6 +103,11 @@ type MCResult struct {
 	// Criticality lists every gate that appeared on at least one sample's
 	// critical path, most critical first (ties broken by netlist order).
 	Criticality []GateCriticality
+	// GlitchCriticality lists every gate whose output pair pulse filtering
+	// judged (absorbed or degraded) in at least one sample, most judged
+	// first (ties broken by netlist order). Empty unless
+	// Options.PulseFiltering was on.
+	GlitchCriticality []GateGlitchCriticality
 	// Corners holds the requested corner runs, in request order.
 	Corners []CornerResult
 	// Stats aggregates over all samples: the evaluation counters are sums,
@@ -151,9 +172,6 @@ func (p *Compiled) AnalyzeMC(ctx context.Context, events []PIEvent, mode Mode, o
 	if opt.Perturb != nil {
 		return nil, fmt.Errorf("sta: mc options: Perturb must be nil (AnalyzeMC owns the perturbation hook)")
 	}
-	if opt.PulseFiltering {
-		return nil, fmt.Errorf("sta: mc options: PulseFiltering must be off (statistical analysis re-times full-swing transitions only)")
-	}
 	// Resolve corner names before spending any sample work.
 	cornerMults := make([]float64, len(opt.Corners))
 	for i, name := range opt.Corners {
@@ -180,9 +198,30 @@ func (p *Compiled) AnalyzeMC(ctx context.Context, events []PIEvent, mode Mode, o
 	}
 	critCount := make([]int64, p.gates)
 	var gatesEvaluated, evaluations, proximityEvals, singleArcEvals, gatesScheduled atomic.Int64
+	var pulsesFiltered, pulsesDegraded, pulsesUnjudged atomic.Int64
+
+	// Glitch-criticality votes, indexed by gate. The per-sample verdicts
+	// live in a map keyed by output net ID, so a net-ID -> gate-index table
+	// turns each into a vote; map iteration order does not matter because
+	// the counters only ever accumulate.
+	var glitchAbsorbed, glitchDegraded []int64
+	var outGate []int32
+	if opt.PulseFiltering {
+		glitchAbsorbed = make([]int64, p.gates)
+		glitchDegraded = make([]int64, p.gates)
+		outGate = make([]int32, p.numNets)
+		for i := range outGate {
+			outGate[i] = -1
+		}
+		for gi, g := range p.gateList {
+			if int(g.Out.id) < p.numNets {
+				outGate[g.Out.id] = int32(gi)
+			}
+		}
+	}
 
 	runSample := func(si int) error {
-		pv := Options{Workers: 1, Dense: opt.Dense}
+		pv := Options{Workers: 1, Dense: opt.Dense, PulseFiltering: opt.PulseFiltering}
 		if opt.Sigma != 0 {
 			// Capture si by value: the closure is the whole perturbation
 			// state, so any sample is reproducible in isolation.
@@ -197,6 +236,27 @@ func (p *Compiled) AnalyzeMC(ctx context.Context, events []PIEvent, mode Mode, o
 		proximityEvals.Add(int64(res.Stats.ProximityEvals))
 		singleArcEvals.Add(int64(res.Stats.SingleArcEvals))
 		gatesScheduled.Add(int64(res.Stats.GatesScheduled))
+		pulsesFiltered.Add(int64(res.Stats.PulsesFiltered))
+		pulsesDegraded.Add(int64(res.Stats.PulsesDegraded))
+		pulsesUnjudged.Add(int64(res.Stats.PulsesUnjudged))
+		if opt.PulseFiltering {
+			for netID, pi := range res.pulses {
+				gi := outGate[netID]
+				if gi < 0 {
+					continue
+				}
+				switch {
+				case pi.Filtered:
+					atomic.AddInt64(&glitchAbsorbed[gi], 1)
+				case pi.Unjudged:
+					// An unjudged pair is a blind spot, not a verdict — it
+					// counts in Stats.PulsesUnjudged, not in the criticality
+					// vote.
+				default:
+					atomic.AddInt64(&glitchDegraded[gi], 1)
+				}
+			}
+		}
 
 		base := si * stride
 		worst := math.Inf(-1)
@@ -297,11 +357,30 @@ func (p *Compiled) AnalyzeMC(ctx context.Context, events []PIEvent, mode Mode, o
 	sort.SliceStable(out.Criticality, func(i, j int) bool {
 		return out.Criticality[i].Count > out.Criticality[j].Count
 	})
+	if opt.PulseFiltering {
+		for gi := range glitchAbsorbed {
+			abs, deg := glitchAbsorbed[gi], glitchDegraded[gi]
+			if abs == 0 && deg == 0 {
+				continue
+			}
+			out.GlitchCriticality = append(out.GlitchCriticality, GateGlitchCriticality{
+				Gate:      p.gateList[gi],
+				Absorbed:  int(abs),
+				Degraded:  int(deg),
+				PAbsorbed: float64(abs) / float64(opt.Samples),
+				PDegraded: float64(deg) / float64(opt.Samples),
+			})
+		}
+		sort.SliceStable(out.GlitchCriticality, func(i, j int) bool {
+			return out.GlitchCriticality[i].Absorbed+out.GlitchCriticality[i].Degraded >
+				out.GlitchCriticality[j].Absorbed+out.GlitchCriticality[j].Degraded
+		})
+	}
 
 	// Corner presets: degenerate one-sample runs with a constant global
 	// multiplier (the typ corner's 1.0 takes the unperturbed hot path).
 	for i, name := range opt.Corners {
-		pv := Options{Workers: opt.Workers, Dense: opt.Dense}
+		pv := Options{Workers: opt.Workers, Dense: opt.Dense, PulseFiltering: opt.PulseFiltering}
 		if cornerMults[i] != 1 {
 			m := cornerMults[i]
 			pv.Perturb = func(int32) float64 { return m }
@@ -320,6 +399,9 @@ func (p *Compiled) AnalyzeMC(ctx context.Context, events []PIEvent, mode Mode, o
 	out.Stats.ProximityEvals = int(proximityEvals.Load())
 	out.Stats.SingleArcEvals = int(singleArcEvals.Load())
 	out.Stats.GatesScheduled = int(gatesScheduled.Load())
+	out.Stats.PulsesFiltered = int(pulsesFiltered.Load())
+	out.Stats.PulsesDegraded = int(pulsesDegraded.Load())
+	out.Stats.PulsesUnjudged = int(pulsesUnjudged.Load())
 	out.Stats.Phases.Add(obs.PhaseMC, time.Since(mcStart))
 	out.Stats.Wall = time.Since(wallStart)
 	return out, nil

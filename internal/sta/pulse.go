@@ -1,15 +1,19 @@
 package sta
 
 import (
+	"math"
+
 	"repro/internal/core"
 	"repro/internal/waveform"
 )
 
 // PulseInfo records the Section-6 verdict applied to one gate output whose
 // analysis produced BOTH transition directions — an opposite-edge pair, the
-// engine's signature of a runt pulse. Only judged pairs (absorbed or
-// degraded) leave a record; pairs that propagate untouched (no glitch model
-// for the pin pair, or polarity mismatch) do not.
+// engine's signature of a runt pulse. Judged pairs (absorbed or degraded)
+// leave a record, as do pairs the library could not judge at all (no glitch
+// model for the causing pin pair — Unjudged). Pairs a characterized model
+// passes through untouched (full-swing, or polarity mismatch against the
+// characterized glitch shape) do not.
 type PulseInfo struct {
 	// FallPin and RisePin are the causing input pins of the absorbed pair:
 	// the falling input that produced the rising output edge and the rising
@@ -37,6 +41,13 @@ type PulseInfo struct {
 	// Filtered reports the pulse was absorbed: neither output arrival
 	// committed.
 	Filtered bool
+	// Unjudged reports the pair had the runt-pulse shape but no glitch
+	// model exists for (FallPin, RisePin), so it propagated untouched with
+	// Factor 1 and Sep holding the observed output pulse width. The
+	// canonical producer is multi-level chaining: a surviving degraded
+	// pulse arrives downstream as an opposite-edge pair on a single input
+	// pin, and Glitch(p, p) is never characterized.
+	Unjudged bool
 }
 
 // Pulse returns the Section-6 verdict recorded for a net's driving gate, if
@@ -76,7 +87,21 @@ func applyPulseFilter(g *Gate, o *gateEval, res *Result) {
 	m := g.Calc.Model
 	gm := m.Glitch(fallPin, risePin)
 	if gm == nil {
-		return // pair not characterized: propagate untouched
+		// Pair not characterized: the pulse propagates untouched, but not
+		// silently — count it and record the pin pair so Explain can name
+		// the blind spot. Sep here is the observed output pulse width
+		// (trailing edge minus leading edge); there is no model to supply a
+		// MinSep, and Factor 1 keeps Explain's filter-aware re-run exact.
+		res.Stats.PulsesUnjudged++
+		res.setPulse(g.Out.id, PulseInfo{
+			FallPin:  fallPin,
+			RisePin:  risePin,
+			LeadDir:  leadDir,
+			Sep:      math.Abs(af.Time - ar.Time),
+			Factor:   1,
+			Unjudged: true,
+		})
+		return
 	}
 	// The characterized glitch has a polarity: a negative-going dip is an
 	// output that falls first and recovers, so the falling edge must lead.
@@ -94,6 +119,13 @@ func applyPulseFilter(g *Gate, o *gateEval, res *Result) {
 	}
 	switch {
 	case v.Filtered:
+		// Keep the pre-clear shape: delta re-analysis reconstructs the
+		// absorbed gate's evaluation counters from it when an edit
+		// resurrects or re-judges the pair.
+		if res.pulseRaw == nil {
+			res.pulseRaw = map[int32]dirArrivals{}
+		}
+		res.pulseRaw[g.Out.id] = dirArrivals{a: o.a, has: o.has}
 		o.has[waveform.Rising] = false
 		o.has[waveform.Falling] = false
 		res.Stats.PulsesFiltered++
@@ -103,10 +135,7 @@ func applyPulseFilter(g *Gate, o *gateEval, res *Result) {
 	default:
 		return // full-swing pulse: propagate untouched, no record
 	}
-	if res.pulses == nil {
-		res.pulses = map[int32]PulseInfo{}
-	}
-	res.pulses[g.Out.id] = PulseInfo{
+	res.setPulse(g.Out.id, PulseInfo{
 		FallPin:  fallPin,
 		RisePin:  risePin,
 		LeadDir:  leadDir,
@@ -116,5 +145,35 @@ func applyPulseFilter(g *Gate, o *gateEval, res *Result) {
 		Extreme:  v.Extreme,
 		Factor:   v.Factor,
 		Filtered: v.Filtered,
+	})
+}
+
+// setPulse records a verdict for an output net.
+func (r *Result) setPulse(netID int32, pi PulseInfo) {
+	if r.pulses == nil {
+		r.pulses = map[int32]PulseInfo{}
 	}
+	r.pulses[netID] = pi
+}
+
+// dropPulse withdraws a previously recorded verdict for an output net,
+// reversing its Stats contribution and clearing the absorbed pair's raw
+// shape. The delta walk calls it before re-judging a re-evaluated gate, so
+// applyPulseFilter can re-record from a clean slate; a gate whose verdict is
+// unchanged nets out to zero.
+func (r *Result) dropPulse(netID int32) {
+	pi, ok := r.pulses[netID]
+	if !ok {
+		return
+	}
+	switch {
+	case pi.Filtered:
+		r.Stats.PulsesFiltered--
+		delete(r.pulseRaw, netID)
+	case pi.Unjudged:
+		r.Stats.PulsesUnjudged--
+	default:
+		r.Stats.PulsesDegraded--
+	}
+	delete(r.pulses, netID)
 }

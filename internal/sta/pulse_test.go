@@ -1,6 +1,7 @@
 package sta_test
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -381,7 +382,10 @@ func TestPulseFilterBatchPropagates(t *testing.T) {
 	}
 }
 
-func TestPulseFilterDeltaRejected(t *testing.T) {
+// TestPulseFilterDeltaMismatchRejected: pulse filtering is inherited from
+// the baseline like the analysis mode — the delta option must agree in BOTH
+// directions, because a delta cannot change the analysis semantics midway.
+func TestPulseFilterDeltaMismatchRejected(t *testing.T) {
 	c, a, b, _ := pulsePair(t)
 	evs := pulseVector(a, b, pulseTTFall, pulseTTRise, 5e-9)
 	base, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{})
@@ -391,7 +395,7 @@ func TestPulseFilterDeltaRejected(t *testing.T) {
 	d := sta.Delta{Set: []sta.PIEvent{{Net: a, Dir: waveform.Falling, TT: pulseTTFall, Time: 6e-9}}}
 	if _, err := c.AnalyzeDelta(base, d, sta.Options{PulseFiltering: true}); err == nil ||
 		!strings.Contains(err.Error(), "PulseFiltering") {
-		t.Errorf("delta with PulseFiltering option accepted (err=%v)", err)
+		t.Errorf("delta with PulseFiltering over an unfiltered baseline accepted (err=%v)", err)
 	}
 	filtered, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{PulseFiltering: true})
 	if err != nil {
@@ -399,18 +403,222 @@ func TestPulseFilterDeltaRejected(t *testing.T) {
 	}
 	if _, err := c.AnalyzeDelta(filtered, d, sta.Options{}); err == nil ||
 		!strings.Contains(err.Error(), "PulseFiltering") {
-		t.Errorf("delta over a pulse-filtered baseline accepted (err=%v)", err)
+		t.Errorf("unfiltered delta over a pulse-filtered baseline accepted (err=%v)", err)
 	}
 }
 
-func TestPulseFilterMCRejected(t *testing.T) {
-	c, a, b, _ := pulsePair(t)
-	evs := pulseVector(a, b, pulseTTFall, pulseTTRise, 5e-9)
-	opt := sta.MCOptions{Samples: 4, Sigma: 0.05}
+// TestPulseFilterMCSigmaZero: a sigma-0 filtered MC run must be bit-identical
+// to the deterministic filtered Analyze — absorbed pairs absent from every
+// sample's distributions, pulse counters summed across samples, and the
+// glitch-criticality vote unanimous.
+func TestPulseFilterMCSigmaZero(t *testing.T) {
+	c, err := sta.SynthRandom(40, 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := runtPulseStimulus(c, 7)
+	ref, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.PulsesFiltered == 0 || ref.Stats.PulsesDegraded == 0 {
+		t.Fatalf("stimulus judged %d filtered / %d degraded pulses — MC identity check is vacuous",
+			ref.Stats.PulsesFiltered, ref.Stats.PulsesDegraded)
+	}
+	opt := sta.MCOptions{Samples: 3, Sigma: 0}
 	opt.PulseFiltering = true
-	if _, err := c.AnalyzeMC(evs, sta.Proximity, opt); err == nil ||
-		!strings.Contains(err.Error(), "PulseFiltering") {
-		t.Errorf("mc with PulseFiltering accepted (err=%v)", err)
+	opt.Workers = 2
+	res, err := c.AnalyzeMC(evs, sta.Proximity, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PulsesFiltered != 3*ref.Stats.PulsesFiltered ||
+		res.Stats.PulsesDegraded != 3*ref.Stats.PulsesDegraded ||
+		res.Stats.PulsesUnjudged != 3*ref.Stats.PulsesUnjudged {
+		t.Fatalf("sigma-0 pulse counters %d/%d/%d, want 3x the deterministic %d/%d/%d",
+			res.Stats.PulsesFiltered, res.Stats.PulsesDegraded, res.Stats.PulsesUnjudged,
+			ref.Stats.PulsesFiltered, ref.Stats.PulsesDegraded, ref.Stats.PulsesUnjudged)
+	}
+	for _, od := range res.Outputs {
+		a, ok := ref.Arrival(od.Net, od.Dir)
+		if !ok {
+			t.Fatalf("MC reports %s %v but filtered deterministic analysis has no arrival (absorbed pair leaked into a sample?)",
+				od.Net.Name, od.Dir)
+		}
+		if od.Dist.N != 3 || od.Dist.Min != a.Time || od.Dist.Max != a.Time {
+			t.Fatalf("%s %v: sigma-0 dist %+v != filtered deterministic arrival %v",
+				od.Net.Name, od.Dir, od.Dist, a.Time)
+		}
+	}
+	if len(res.GlitchCriticality) == 0 {
+		t.Fatal("no glitch-criticality entries despite judged pulses")
+	}
+	absorbedGates, degradedGates := 0, 0
+	for _, gc := range res.GlitchCriticality {
+		// Every sample is identical, so each judged gate's vote is unanimous.
+		switch {
+		case gc.Absorbed == res.Samples && gc.Degraded == 0 && gc.PAbsorbed == 1:
+			absorbedGates++
+		case gc.Degraded == res.Samples && gc.Absorbed == 0 && gc.PDegraded == 1:
+			degradedGates++
+		default:
+			t.Fatalf("sigma-0 glitch criticality for %s not unanimous: %+v", gc.Gate.Name, gc)
+		}
+	}
+	if absorbedGates != ref.Stats.PulsesFiltered || degradedGates != ref.Stats.PulsesDegraded {
+		t.Fatalf("glitch criticality covers %d absorbed / %d degraded gates, deterministic run judged %d / %d",
+			absorbedGates, degradedGates, ref.Stats.PulsesFiltered, ref.Stats.PulsesDegraded)
+	}
+}
+
+// TestPulseFilterMCWorkerInvariance: at fixed seed and nonzero sigma the
+// glitch-criticality aggregate (and the summed pulse counters) must be
+// bit-identical at every worker count — the votes are atomic accumulations
+// of per-sample verdicts that are pure functions of (seed, sample, gate).
+func TestPulseFilterMCWorkerInvariance(t *testing.T) {
+	c, err := sta.SynthRandom(40, 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := runtPulseStimulus(c, 7)
+	base := sta.MCOptions{Samples: 24, Seed: 1234, Sigma: 0.06}
+	base.PulseFiltering = true
+	base.Workers = 1
+	ref, err := c.AnalyzeMC(evs, sta.Proximity, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.PulsesFiltered == 0 || ref.Stats.PulsesDegraded == 0 {
+		t.Fatalf("perturbed samples judged %d filtered / %d degraded pulses — invariance check is vacuous",
+			ref.Stats.PulsesFiltered, ref.Stats.PulsesDegraded)
+	}
+	flips := 0
+	for _, gc := range ref.GlitchCriticality {
+		if n := gc.Absorbed + gc.Degraded; n > 0 && (gc.Absorbed < n || gc.Degraded < n) && n < ref.Samples {
+			flips++
+		}
+		if gc.Absorbed > 0 && gc.Degraded > 0 {
+			flips++ // variation moved the pair across the inertial boundary
+		}
+	}
+	for _, workers := range []int{3, 5} {
+		opt := base
+		opt.Workers = workers
+		got, err := c.AnalyzeMC(evs, sta.Proximity, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stats.PulsesFiltered != ref.Stats.PulsesFiltered ||
+			got.Stats.PulsesDegraded != ref.Stats.PulsesDegraded ||
+			got.Stats.PulsesUnjudged != ref.Stats.PulsesUnjudged {
+			t.Fatalf("workers=%d: pulse counters %d/%d/%d, want %d/%d/%d", workers,
+				got.Stats.PulsesFiltered, got.Stats.PulsesDegraded, got.Stats.PulsesUnjudged,
+				ref.Stats.PulsesFiltered, ref.Stats.PulsesDegraded, ref.Stats.PulsesUnjudged)
+		}
+		if len(got.GlitchCriticality) != len(ref.GlitchCriticality) {
+			t.Fatalf("workers=%d: %d glitch-criticality entries, want %d",
+				workers, len(got.GlitchCriticality), len(ref.GlitchCriticality))
+		}
+		for i, gc := range got.GlitchCriticality {
+			rg := ref.GlitchCriticality[i]
+			if gc.Gate != rg.Gate || gc.Absorbed != rg.Absorbed || gc.Degraded != rg.Degraded ||
+				gc.PAbsorbed != rg.PAbsorbed || gc.PDegraded != rg.PDegraded {
+				t.Fatalf("workers=%d: glitch criticality %d differs: %+v vs %+v", workers, i, gc, rg)
+			}
+		}
+	}
+}
+
+// TestPulseFilterUnjudgedChain: the multi-level chaining blind spot made
+// observable. A degraded pulse survives the nand and arrives at a downstream
+// inverter as an opposite-edge pair on its single input pin; Glitch(0, 0) is
+// never characterized, so the pair propagates untouched — but now counted
+// (Stats.PulsesUnjudged) and recorded, with Explain naming the pin pair.
+func TestPulseFilterUnjudgedChain(t *testing.T) {
+	c, a, b, out := pulsePair(t)
+	out2, err := c.AddGate("g2", "inv", "n2", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(out2)
+	minSep := pulseMinSep(t, pulseTTFall, pulseTTRise)
+	res, err := c.AnalyzeOpts(pulseVector(a, b, pulseTTFall, pulseTTRise, minSep+30e-12),
+		sta.Proximity, sta.Options{PulseFiltering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PulsesDegraded != 1 || res.Stats.PulsesUnjudged != 1 {
+		t.Fatalf("want 1 degraded (nand) + 1 unjudged (inv), got %d degraded / %d unjudged",
+			res.Stats.PulsesDegraded, res.Stats.PulsesUnjudged)
+	}
+	pi, ok := res.Pulse(out2)
+	if !ok || !pi.Unjudged {
+		t.Fatalf("inverter output carries no unjudged record: %+v (recorded=%v)", pi, ok)
+	}
+	if pi.FallPin != 0 || pi.RisePin != 0 {
+		t.Fatalf("unjudged record names pin pair (fall=%d, rise=%d), want the single pin (0, 0)", pi.FallPin, pi.RisePin)
+	}
+	if pi.Factor != 1 || pi.Filtered {
+		t.Fatalf("unjudged record must be untouched (factor 1, not filtered): %+v", pi)
+	}
+	for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+		if _, ok := res.Arrival(out2, dir); !ok {
+			t.Fatalf("unjudged pair lost its %v arrival", dir)
+		}
+	}
+	ne, err := sta.Explain(res, out2)
+	if err != nil {
+		t.Fatalf("explain of an unjudged output reported staleness: %v", err)
+	}
+	var sb strings.Builder
+	ne.Format(&sb)
+	if !strings.Contains(sb.String(), "runt pulse unjudged") || !strings.Contains(sb.String(), "fall pin 0, rise pin 0") {
+		t.Errorf("unjudged report missing the blind-spot note:\n%s", sb.String())
+	}
+}
+
+// TestBatchPerturbPropagates mirrors TestPulseFilterBatchPropagates for the
+// perturbation hook: AnalyzeBatch used to rebuild the per-vector Options
+// field-by-field and silently dropped Perturb, returning unperturbed results
+// with no error.
+func TestBatchPerturbPropagates(t *testing.T) {
+	c, err := sta.SynthRandom(12, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := sta.SynthEvents(c, 3)
+	perturb := func(gi int32) float64 { return 1 + 0.01*float64(gi%7+1) }
+	want, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: 1, Perturb: perturb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.AnalyzeOpts(evs, sta.Proximity, sta.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.AnalyzeBatch([][]sta.PIEvent{evs, evs}, sta.Proximity, sta.Options{Perturb: perturb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vacuous := true
+	for _, name := range c.NetsByName() {
+		n := c.Net(name)
+		for _, dir := range []waveform.Direction{waveform.Rising, waveform.Falling} {
+			wantA, okW := want.Arrival(n, dir)
+			if pa, okP := plain.Arrival(n, dir); okP != okW || pa != wantA {
+				vacuous = false
+			}
+			for vi, res := range results {
+				got, okG := res.Arrival(n, dir)
+				if okG != okW || got != wantA {
+					t.Fatalf("batch vector %d: net %s %v: %+v (present=%v), want %+v (present=%v) — Perturb dropped on the per-vector options?",
+						vi, name, dir, got, okG, wantA, okW)
+				}
+			}
+		}
+	}
+	if vacuous {
+		t.Fatal("perturbation changed nothing — the regression check is vacuous")
 	}
 }
 
@@ -441,6 +649,10 @@ func TestPulseFilterExplain(t *testing.T) {
 	if !strings.Contains(sb.String(), "runt pulse degraded") {
 		t.Errorf("degraded report missing the pulse story:\n%s", sb.String())
 	}
+	if past := (ne.Pulse.Sep - ne.Pulse.MinSep) * 1e12; past <= 0 ||
+		!strings.Contains(sb.String(), fmt.Sprintf("%.2fps past the pair's inertial delay", past)) {
+		t.Errorf("degraded report does not state how far past the inertial delay (%.2fps):\n%s", past, sb.String())
+	}
 
 	filtered, err := c.AnalyzeOpts(pulseVector(a, b, pulseTTFall, pulseTTRise, minSep-50e-12),
 		sta.Proximity, sta.Options{PulseFiltering: true})
@@ -465,6 +677,15 @@ func TestPulseFilterExplain(t *testing.T) {
 	report := sb.String()
 	if !strings.Contains(report, "runt pulse absorbed") {
 		t.Errorf("filtered report missing the absorption story:\n%s", report)
+	}
+	// The pair is BELOW the inertial delay, so the distance must read as a
+	// positive shortfall — the old "margin" (Sep − MinSep) printed negative.
+	if short := (ne.Pulse.MinSep - ne.Pulse.Sep) * 1e12; short <= 0 ||
+		!strings.Contains(report, fmt.Sprintf("shortfall %.2fps", short)) {
+		t.Errorf("absorbed report missing positive shortfall %.2fps:\n%s", short, report)
+	}
+	if strings.Contains(report, "shortfall -") || strings.Contains(report, "margin") {
+		t.Errorf("absorbed report still phrases the distance as a (negative) margin:\n%s", report)
 	}
 	if strings.Contains(report, "no arrivals in this analysis") {
 		t.Errorf("filtered report claims no arrivals (the pulse was judged, not absent):\n%s", report)

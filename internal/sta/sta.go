@@ -370,6 +370,13 @@ type Stats struct {
 	// survived with a degraded transition time. Zero when filtering is off.
 	PulsesFiltered int
 	PulsesDegraded int
+	// PulsesUnjudged counts opposite-edge output pairs the filter saw but
+	// could not judge because the library carries no glitch model for the
+	// causing pin pair — notably both edges caused by the SAME input pin,
+	// the shape a surviving degraded pulse takes one level downstream
+	// (Glitch(p, p) is never characterized). The pair propagates untouched;
+	// the counter makes the multi-level chaining blind spot observable.
+	PulsesUnjudged int
 	// PerLevel has one entry per topological level; Gates is the number of
 	// gates scheduled at that level (in sparse mode, levels outside the
 	// active cones record zero).
@@ -409,9 +416,18 @@ type Result struct {
 	// evaluations (Explain) apply the same filter the commit did.
 	pulseFiltering bool
 	// pulses maps output net ID -> the Section-6 verdict applied there
-	// (filtered or degraded pairs only; untouched pairs leave no record).
-	// nil unless filtering ran and judged at least one pair.
+	// (filtered, degraded or unjudged pairs; pairs the characterized model
+	// passes through untouched leave no record). nil unless filtering ran
+	// and recorded at least one pair.
 	pulses map[int32]PulseInfo
+	// pulseRaw maps output net ID -> the pre-filter arrival pair of an
+	// ABSORBED opposite-edge pair: the evaluation's output before the
+	// verdict cleared it. The committed store can no longer say how much
+	// evaluation work the absorbed gate did (UsedInputs per direction), and
+	// delta re-analysis must adjust those counters exactly when an edit
+	// resurrects or re-absorbs the pair — so the raw shape is kept here.
+	// nil unless filtering absorbed at least one pair.
+	pulseRaw map[int32]dirArrivals
 }
 
 // slot returns (creating if needed) the net's arrival store.
@@ -709,7 +725,13 @@ func (p *Compiled) AnalyzeBatch(ctx context.Context, batch [][]PIEvent, mode Mod
 	}
 	results := make([]*Result, len(batch))
 	errs := make([]error, len(batch))
-	perVector := Options{Workers: 1, Dense: opt.Dense, Trace: opt.Trace, PulseFiltering: opt.PulseFiltering}
+	// Copy the caller's options wholesale and override only the concurrency:
+	// each vector runs the serial per-gate path so the worker budget is
+	// spent across vectors, not inside them. Rebuilding the struct
+	// field-by-field here silently dropped Perturb (and before that,
+	// PulseFiltering) every time Options grew a knob.
+	perVector := opt
+	perVector.Workers = 1
 	if workers <= 1 {
 		for i, events := range batch {
 			results[i], errs[i] = p.analyze(ctx, events, mode, perVector, int64(i))
