@@ -8,9 +8,18 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
+
+// cliTraceContext mints one W3C trace context per CLI run, lazily on the
+// first daemon request. Every request the run makes (upload, baseline,
+// delta, each batch) carries the same trace id, so the whole run shows up
+// as one distributed trace in the daemon's flight recorder — and the user
+// can pull every server-side record with a single id.
+var cliTraceContext = sync.OnceValue(obs.NewTraceContext)
 
 // runRemote ships the analysis to a stad daemon: upload the netlist once,
 // push every stimulus vector through /v1/analyze:batch, print the per-vector
@@ -55,6 +64,8 @@ func runRemote(baseURL, netPath, eventSpec, mode, deltaSet, deltaRemove string, 
 	}
 	fmt.Fprintf(os.Stderr, "sta: uploaded %s as %s (%d gates, %d levels)\n",
 		netPath, up.ID, up.Gates, up.Levels)
+	fmt.Fprintf(os.Stderr, "sta: trace id %s (query the daemon's /v1/debug/requests for this run's records)\n",
+		cliTraceContext().TraceID)
 
 	if mc != nil {
 		return runRemoteMC(base, up.ID, vectors[0], modes, mc, pulseFilter)
@@ -206,7 +217,13 @@ func postJSON(url string, req, resp any) error {
 	if err != nil {
 		return err
 	}
-	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("traceparent", cliTraceContext().Header())
+	r, err := http.DefaultClient.Do(hreq)
 	if err != nil {
 		return err
 	}

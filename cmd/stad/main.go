@@ -14,9 +14,21 @@
 //	                        (analyze with keepBaseline:true returns the
 //	                        baselineId; -max-baselines bounds the cache)
 //	POST /v1/explain        per-net proximity decision traces
-//	GET  /healthz           liveness
+//	GET  /healthz           liveness + cache/admission/flight occupancy
 //	GET  /metrics           counters, cache stats, latency + phase
 //	                        histograms (?format=prom for Prometheus text)
+//	GET  /v1/debug/requests       the flight recorder: one wide event per
+//	                              recent request (filters: slowest=N,
+//	                              status=, endpoint=, since=)
+//	GET  /v1/debug/requests/{id}  one request's full record + its retained
+//	                              engine trace, when tail sampling kept one
+//
+// Every request carries a W3C traceparent (honored or minted, echoed in the
+// response) alongside X-Request-Id; engine spans are recorded for every
+// request and the Chrome trace artifact is retained when the request was
+// slow (-tail-threshold), errored, or asked ?trace=1. -wide-log appends one
+// JSON line per request; -top renders a live terminal dashboard by polling
+// a running daemon.
 //
 // With -ops 127.0.0.1:6060 a second listener serves net/http/pprof under
 // /debug/pprof/ plus /metrics and /healthz, so profiling and scraping stay
@@ -70,6 +82,15 @@ func main() {
 		drain       = flag.Duration("drain", 15*time.Second, "graceful shutdown budget on SIGTERM")
 		opsAddr     = flag.String("ops", "", "ops listener address (pprof + metrics; keep off the service port and firewalled), e.g. 127.0.0.1:6060")
 
+		flightSize = flag.Int("flight", 0, "flight-recorder ring capacity in wide events (0 = 1024; negative disables the recorder, per-request span recording, and the /v1/debug surface)")
+		tailThresh = flag.Duration("tail-threshold", 0, "retain a request's full engine trace when it ran at least this long (0 = 250ms; negative retains only errored or ?trace=1 requests)")
+		maxTraces  = flag.Int("max-retained-traces", 32, "tail-sampled Chrome trace artifacts kept (FIFO beyond)")
+		traceCap   = flag.Int("trace-event-cap", 0, "span events recorded per request before dropping (0 = 8192; negative = unlimited)")
+		wideLog    = flag.String("wide-log", "", "append one JSON line per request (the full wide event) to this file")
+
+		top         = flag.String("top", "", "live terminal view: poll a running stad at this base URL (e.g. http://127.0.0.1:8080) instead of serving")
+		topInterval = flag.Duration("top-interval", time.Second, "refresh period for -top")
+
 		bench        = flag.Int("bench", 0, "benchmark mode: push N vectors through a synthetic service and exit")
 		benchGates   = flag.Int("bench-gates", 4000, "benchmark netlist size (gates)")
 		benchClients = flag.Int("bench-clients", 8, "benchmark concurrent clients")
@@ -78,13 +99,34 @@ func main() {
 	)
 	flag.Parse()
 
+	if *top != "" {
+		if err := runTop(*top, *topInterval); err != nil {
+			fmt.Fprintf(os.Stderr, "stad: top: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	cfg := service.Config{
-		Workers:        *workers,
-		Dense:          !*sparse,
-		MaxInflight:    *maxInflight,
-		RequestTimeout: *timeout,
-		MaxNetlists:    *maxNetlists,
-		MaxBaselines:   *maxBase,
+		Workers:            *workers,
+		Dense:              !*sparse,
+		MaxInflight:        *maxInflight,
+		RequestTimeout:     *timeout,
+		MaxNetlists:        *maxNetlists,
+		MaxBaselines:       *maxBase,
+		FlightRecorderSize: *flightSize,
+		TailThreshold:      *tailThresh,
+		MaxRetainedTraces:  *maxTraces,
+		TraceEventCap:      *traceCap,
+	}
+	if *wideLog != "" {
+		f, err := os.OpenFile(*wideLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stad: wide-log: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.WideLog = f
 	}
 	if *bench > 0 {
 		if err := runBench(cfg, *bench, *benchGates, *benchClients, *benchBatch, *benchOut); err != nil {
@@ -140,6 +182,8 @@ func serveListeners(ln, opsLn net.Listener, cfg service.Config, drain time.Durat
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	bi := service.ReadBuildInfo()
+	logger.Info("build", "version", bi.Version, "goVersion", bi.GoVersion, "gomaxprocs", bi.GOMAXPROCS)
 	logger.Info("listening", "addr", ln.Addr().String(),
 		"workers", cfg.Workers, "dense", cfg.Dense, "maxInflight", cfg.MaxInflight)
 	select {

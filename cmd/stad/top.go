@@ -1,0 +1,182 @@
+// The stad -top live terminal view: a zero-dependency dashboard over a
+// running daemon, polling /metrics, /healthz and the flight-recorder debug
+// surface and redrawing in place. It is a read-only client — everything it
+// shows is served by endpoints any operator could curl; -top just makes the
+// polling loop and the layout someone else's problem.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// topLatency mirrors one endpoint's histogram summary from /metrics JSON.
+type topLatency struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// topMetrics is the subset of the /metrics document -top renders.
+type topMetrics struct {
+	Requests  map[string]int64      `json:"requests"`
+	Status2xx int64                 `json:"status2xx"`
+	Status4xx int64                 `json:"status4xx"`
+	Status5xx int64                 `json:"status5xx"`
+	Canceled  int64                 `json:"statusCanceled"`
+	Latencies map[string]topLatency `json:"latencies"`
+}
+
+// topHealth is the subset of /healthz -top renders.
+type topHealth struct {
+	InFlight       int `json:"inFlight"`
+	MaxInflight    int `json:"maxInflight"`
+	FlightEvents   int `json:"flightEvents"`
+	FlightCap      int `json:"flightCap"`
+	RetainedTraces int `json:"retainedTraces"`
+	MaxRetained    int `json:"maxRetainedTraces"`
+}
+
+// topWideEvent is the slice of a wide event the error strip needs.
+type topWideEvent struct {
+	ID       string    `json:"id"`
+	Endpoint string    `json:"endpoint"`
+	Status   int       `json:"status"`
+	Start    time.Time `json:"start"`
+	WallMs   float64   `json:"wallMs"`
+	Error    string    `json:"error"`
+}
+
+type topDebugList struct {
+	Requests []topWideEvent `json:"requests"`
+}
+
+// qpsHistoryLen bounds the sparkline history (one sample per refresh).
+const qpsHistoryLen = 48
+
+// runTop polls the daemon at base every interval and redraws until
+// interrupted. Errors reaching the daemon are drawn, not fatal — the view
+// outliving a daemon restart is the point of a dashboard.
+func runTop(base string, interval time.Duration) error {
+	base = strings.TrimRight(base, "/")
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	var (
+		prev     map[string]int64
+		prevAt   time.Time
+		history  []float64
+		firstErr string
+	)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		var m topMetrics
+		var h topHealth
+		var dbg topDebugList
+		firstErr = ""
+		if err := getJSON(base+"/metrics", &m); err != nil {
+			firstErr = fmt.Sprintf("metrics: %v", err)
+		}
+		if err := getJSON(base+"/healthz", &h); err != nil && firstErr == "" {
+			firstErr = fmt.Sprintf("healthz: %v", err)
+		}
+		// Flight recorder may be disabled server-side; the view degrades to
+		// metrics-only rather than erroring out.
+		getJSON(base+"/v1/debug/requests?limit=100", &dbg)
+
+		now := time.Now()
+		qps := map[string]float64{}
+		var totalQPS float64
+		if prev != nil {
+			dt := now.Sub(prevAt).Seconds()
+			if dt > 0 {
+				for ep, n := range m.Requests {
+					if d := n - prev[ep]; d > 0 {
+						qps[ep] = float64(d) / dt
+						totalQPS += float64(d) / dt
+					}
+				}
+			}
+		}
+		prev = m.Requests
+		prevAt = now
+		history = append(history, totalQPS)
+		if len(history) > qpsHistoryLen {
+			history = history[len(history)-qpsHistoryLen:]
+		}
+
+		drawTop(base, now, m, h, dbg, qps, totalQPS, history, firstErr)
+
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-ticker.C:
+		}
+	}
+}
+
+// drawTop renders one frame: clear screen, header, per-endpoint table,
+// recent errors.
+func drawTop(base string, now time.Time, m topMetrics, h topHealth, dbg topDebugList,
+	qps map[string]float64, totalQPS float64, history []float64, errLine string) {
+	var b strings.Builder
+	b.WriteString("\x1b[H\x1b[2J") // home + clear
+	fmt.Fprintf(&b, "stad -top  %s  %s\n", base, now.Format("15:04:05"))
+	if errLine != "" {
+		fmt.Fprintf(&b, "!! %s\n", errLine)
+	}
+	fmt.Fprintf(&b, "in-flight %d/%d   flight ring %d/%d   retained traces %d/%d\n",
+		h.InFlight, h.MaxInflight, h.FlightEvents, h.FlightCap, h.RetainedTraces, h.MaxRetained)
+	fmt.Fprintf(&b, "responses 2xx %d  4xx %d  5xx %d  499 %d\n",
+		m.Status2xx, m.Status4xx, m.Status5xx, m.Canceled)
+	fmt.Fprintf(&b, "qps %7.1f  %s\n\n", totalQPS, stats.Sparkline(history))
+
+	fmt.Fprintf(&b, "%-16s %10s %8s %9s %9s %9s\n", "ENDPOINT", "COUNT", "QPS", "P50ms", "P95ms", "P99ms")
+	eps := make([]string, 0, len(m.Latencies))
+	for ep := range m.Latencies {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		l := m.Latencies[ep]
+		fmt.Fprintf(&b, "%-16s %10d %8.1f %9.2f %9.2f %9.2f\n",
+			ep, l.Count, qps[ep], l.P50Ms, l.P95Ms, l.P99Ms)
+	}
+
+	var errs []topWideEvent
+	for _, ev := range dbg.Requests { // newest first already
+		if ev.Status >= 400 {
+			errs = append(errs, ev)
+			if len(errs) == 5 {
+				break
+			}
+		}
+	}
+	if len(errs) > 0 {
+		b.WriteString("\nRECENT ERRORS\n")
+		for _, ev := range errs {
+			msg := strings.TrimSpace(ev.Error)
+			if len(msg) > 64 {
+				msg = msg[:64] + "…"
+			}
+			fmt.Fprintf(&b, "%s  %-20s %-14s %3d  %6.1fms  %s\n",
+				ev.Start.Format("15:04:05"), ev.ID, ev.Endpoint, ev.Status, ev.WallMs, msg)
+		}
+	}
+	os.Stdout.WriteString(b.String())
+}

@@ -1,0 +1,279 @@
+// Flight recorder: the per-request wide-event ring that makes a single
+// production request explainable after the fact.
+//
+// Aggregate telemetry (histograms, counters) answers "how is the service
+// doing"; it cannot answer "request abc123 took 900ms at 02:14 — why?". The
+// flight recorder answers that question by keeping, for the last N requests,
+// one WideEvent each: identifiers (request id, W3C trace id), the endpoint
+// and status, the full engine phase breakdown, and every workload counter
+// the engine reported. The ring is fixed-size and lock-cheap — an atomic
+// cursor claims a slot, a per-slot mutex serializes the (rare) same-slot
+// collision under wraparound, and recording copies a flat struct into
+// preallocated storage, so the hot path allocates nothing.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WideEvent is one request's complete flight record: everything the service
+// knew about the request when it finished, flattened into a single struct.
+// It is the unit of the wide-event logging pattern — one record per request
+// carrying all dimensions, so any slice (endpoint, status, phase, counter)
+// can be queried after the fact without having pre-aggregated it.
+//
+// The struct is flat and pointer-light on purpose: recording it into the
+// ring is a struct copy (string fields copy headers, not bytes), and a
+// half-written record can be detected by the per-slot sequence discipline
+// rather than by chasing pointers.
+type WideEvent struct {
+	// Seq is the recorder-assigned monotone sequence number (1-based).
+	// Within one ring slot, successive occupants carry strictly increasing
+	// Seq — the torn-write test's invariant.
+	Seq uint64 `json:"seq"`
+	// ID is the request id (X-Request-Id, honored or minted).
+	ID string `json:"id"`
+	// TraceID is the W3C trace-context trace id (32 lowercase hex) the
+	// request carried or was minted; engine spans recorded for the request
+	// carry the same id.
+	TraceID string `json:"traceId,omitempty"`
+	// Endpoint is the logical endpoint name ("analyze", "analyze:batch", …).
+	Endpoint string `json:"endpoint"`
+	Method   string `json:"method,omitempty"`
+	Path     string `json:"path,omitempty"`
+	Status   int    `json:"status"`
+	// Start is when the request entered instrumentation.
+	Start time.Time `json:"start"`
+	// Wall is the full request latency.
+	Wall time.Duration `json:"wallNs"`
+	// AdmissionWait is time spent acquiring admission tokens before the
+	// handler proper ran.
+	AdmissionWait time.Duration `json:"admissionWaitNs"`
+
+	// Netlist is the compiled-handle id the request named, when it named one.
+	Netlist string `json:"netlist,omitempty"`
+	// CacheHit reports whether the named netlist handle was resident (a miss
+	// is a 404 — the client must re-upload).
+	CacheHit bool `json:"cacheHit,omitempty"`
+
+	// Phases is the engine's per-phase wall breakdown summed over every
+	// analysis the request ran (batch requests fold all vectors in).
+	Phases PhaseTimes `json:"-"`
+
+	// Engine workload counters, summed across the request's analyses.
+	Vectors          int `json:"vectors,omitempty"`
+	GatesScheduled   int `json:"gatesScheduled,omitempty"`
+	GatesEvaluated   int `json:"gatesEvaluated,omitempty"`
+	GatesReused      int `json:"gatesReused,omitempty"`
+	GatesReevaluated int `json:"gatesReevaluated,omitempty"`
+	ProximityEvals   int `json:"proximityEvals,omitempty"`
+	SingleArcEvals   int `json:"singleArcEvals,omitempty"`
+	PulsesFiltered   int `json:"pulsesFiltered,omitempty"`
+	PulsesDegraded   int `json:"pulsesDegraded,omitempty"`
+	PulsesUnjudged   int `json:"pulsesUnjudged,omitempty"`
+	MCSamples        int `json:"mcSamples,omitempty"`
+
+	// TraceRetained reports that the request's full span trace was kept
+	// (tail sampling: slow, errored, or explicitly flagged) and is servable
+	// from the debug endpoint; RetainReason says which rule fired.
+	TraceRetained bool   `json:"traceRetained,omitempty"`
+	RetainReason  string `json:"retainReason,omitempty"`
+	// TraceDropped counts span events the bounded per-request recorder had
+	// to drop (0 = the retained trace is complete).
+	TraceDropped int `json:"traceDropped,omitempty"`
+	// Error is the leading bytes of a non-2xx response body — enough to
+	// reconstruct what the client was told without scraping logs.
+	Error string `json:"error,omitempty"`
+}
+
+// wideEventAlias avoids MarshalJSON recursion.
+type wideEventAlias WideEvent
+
+// MarshalJSON renders the event with the phase breakdown as a compact
+// {"phase":ms} map (zero phases elided) and the durations additionally in
+// milliseconds — the shape both the wide log and the debug endpoint serve.
+func (ev WideEvent) MarshalJSON() ([]byte, error) {
+	phases := map[string]float64{}
+	for _, p := range Phases() {
+		if d := ev.Phases[p]; d > 0 {
+			phases[p.String()] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	return json.Marshal(struct {
+		wideEventAlias
+		WallMs          float64            `json:"wallMs"`
+		AdmissionWaitMs float64            `json:"admissionWaitMs,omitempty"`
+		PhasesMs        map[string]float64 `json:"phasesMs,omitempty"`
+	}{
+		wideEventAlias:  wideEventAlias(ev),
+		WallMs:          float64(ev.Wall) / float64(time.Millisecond),
+		AdmissionWaitMs: float64(ev.AdmissionWait) / float64(time.Millisecond),
+		PhasesMs:        phases,
+	})
+}
+
+// UnmarshalJSON restores an event from the MarshalJSON shape (the ring never
+// round-trips through JSON; this exists for wide-log consumers and tests).
+func (ev *WideEvent) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		wideEventAlias
+		PhasesMs map[string]float64 `json:"phasesMs"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	*ev = WideEvent(aux.wideEventAlias)
+	for _, p := range Phases() {
+		if ms, ok := aux.PhasesMs[p.String()]; ok {
+			ev.Phases[p] = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// FlightRecorder is the fixed-size wide-event ring. Writers never block each
+// other except on the same slot under wraparound (ring-size writes apart);
+// readers copy slots under the per-slot lock, so a snapshot never observes a
+// torn record.
+//
+// A nil *FlightRecorder is the disabled recorder: Record and the query
+// methods no-op, mirroring the nil *Trace convention.
+type FlightRecorder struct {
+	cursor atomic.Uint64
+	slots  []flightSlot
+}
+
+type flightSlot struct {
+	mu sync.Mutex
+	ev WideEvent // ev.Seq == 0 marks a never-written slot
+}
+
+// DefaultFlightSize is the ring capacity when the caller does not choose one:
+// enough to cover minutes of busy traffic without mattering for memory.
+const DefaultFlightSize = 1024
+
+// NewFlightRecorder builds a ring holding the last size wide events
+// (size <= 0 picks DefaultFlightSize).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightSize
+	}
+	return &FlightRecorder{slots: make([]flightSlot, size)}
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Len returns how many events the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	n := f.cursor.Load()
+	if n > uint64(len(f.slots)) {
+		return len(f.slots)
+	}
+	return int(n)
+}
+
+// Record assigns the event its sequence number and stores it, overwriting
+// the oldest record once the ring is full. Returns the assigned sequence.
+// Safe for any number of concurrent callers; a slower writer that lost the
+// wraparound race never clobbers a newer record (Seq is compared under the
+// slot lock), which keeps per-slot sequences strictly increasing.
+func (f *FlightRecorder) Record(ev WideEvent) uint64 {
+	if f == nil {
+		return 0
+	}
+	seq := f.cursor.Add(1)
+	ev.Seq = seq
+	s := &f.slots[(seq-1)%uint64(len(f.slots))]
+	s.mu.Lock()
+	if ev.Seq > s.ev.Seq {
+		s.ev = ev
+	}
+	s.mu.Unlock()
+	return seq
+}
+
+// Snapshot copies every live record, newest first.
+func (f *FlightRecorder) Snapshot() []WideEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]WideEvent, 0, len(f.slots))
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		if s.ev.Seq != 0 {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// Get returns the record for a request id, if the ring still holds it. When
+// a client re-sent the same X-Request-Id, the newest record wins.
+func (f *FlightRecorder) Get(id string) (WideEvent, bool) {
+	if f == nil {
+		return WideEvent{}, false
+	}
+	var best WideEvent
+	for i := range f.slots {
+		s := &f.slots[i]
+		s.mu.Lock()
+		if s.ev.Seq != 0 && s.ev.ID == id && s.ev.Seq > best.Seq {
+			best = s.ev
+		}
+		s.mu.Unlock()
+	}
+	return best, best.Seq != 0
+}
+
+// ---- wide-event log ---------------------------------------------------------
+
+// WideLog appends one JSON line per wide event to a writer (the -wide-log
+// file): the durable, grep-able twin of the in-memory ring. A nil *WideLog
+// discards, mirroring the nil-recorder convention.
+type WideLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWideLog wraps an append-only writer. The caller owns closing it.
+func NewWideLog(w io.Writer) *WideLog {
+	if w == nil {
+		return nil
+	}
+	return &WideLog{w: w}
+}
+
+// Write appends one event as a single JSON line. Serialized under a mutex so
+// concurrent requests never interleave bytes mid-line.
+func (l *WideLog) Write(ev *WideEvent) error {
+	if l == nil {
+		return nil
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("obs: wide event marshal: %w", err)
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(data)
+	return err
+}

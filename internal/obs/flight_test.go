@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// wideEventFor derives a wide event whose fields are all functions of one
+// integer, so a torn record (fields from two different writers) is
+// detectable by re-deriving from the ID.
+func wideEventFor(k int) WideEvent {
+	return WideEvent{
+		ID:             fmt.Sprintf("req-%08d", k),
+		TraceID:        fmt.Sprintf("%032x", k),
+		Endpoint:       fmt.Sprintf("ep-%d", k%5),
+		Status:         200 + k%300,
+		Wall:           time.Duration(k) * time.Microsecond,
+		GatesEvaluated: k,
+		Vectors:        k % 17,
+	}
+}
+
+// checkConsistent reports whether ev's fields all derive from the same k.
+// Errors go through t.Errorf (never FailNow), so it is safe from reader
+// goroutines.
+func checkConsistent(t *testing.T, ev WideEvent) bool {
+	t.Helper()
+	var k int
+	if _, err := fmt.Sscanf(ev.ID, "req-%d", &k); err != nil {
+		t.Errorf("unparseable event id %q", ev.ID)
+		return false
+	}
+	want := wideEventFor(k)
+	want.Seq = ev.Seq
+	if ev != want {
+		t.Errorf("torn wide event: got %+v, want %+v", ev, want)
+		return false
+	}
+	return true
+}
+
+// TestFlightRecorderConcurrentWraparound races many writers around a tiny
+// ring while readers snapshot continuously: no torn records, and sequence
+// numbers stay unique and within range. Run under -race in CI.
+func TestFlightRecorderConcurrentWraparound(t *testing.T) {
+	const (
+		ringSize  = 8 // tiny: every writer collides on wraparound constantly
+		writers   = 8
+		perWriter = 2000
+	)
+	f := NewFlightRecorder(ringSize)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Concurrent readers: every snapshot must be internally consistent even
+	// mid-race.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seen := map[uint64]bool{}
+				for _, ev := range f.Snapshot() {
+					if !checkConsistent(t, ev) {
+						return
+					}
+					if seen[ev.Seq] {
+						t.Errorf("duplicate seq %d in one snapshot", ev.Seq)
+						return
+					}
+					seen[ev.Seq] = true
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(wideEventFor(w*perWriter + i))
+			}
+		}(w)
+	}
+	// Release the readers once every write has landed, then join everyone.
+	for f.cursor.Load() < uint64(writers*perWriter) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := f.Len(); got != ringSize {
+		t.Fatalf("Len() = %d, want full ring %d", got, ringSize)
+	}
+	snap := f.Snapshot()
+	if len(snap) != ringSize {
+		t.Fatalf("snapshot has %d events, want %d", len(snap), ringSize)
+	}
+	// Newest-first ordering with strictly decreasing seq; every slot's final
+	// occupant must carry a seq from the final wraparound generation — a
+	// stale writer that lost the race must not have clobbered a newer record.
+	prev := snap[0].Seq
+	for _, ev := range snap[1:] {
+		if ev.Seq >= prev {
+			t.Fatalf("snapshot not strictly newest-first: %d then %d", prev, ev.Seq)
+		}
+		prev = ev.Seq
+	}
+	// Every writer finished, so each slot must hold the largest seq that
+	// mapped to it — one of the final ringSize sequence numbers. Anything
+	// older means a stale writer clobbered a newer record.
+	total := uint64(writers * perWriter)
+	for _, ev := range snap {
+		checkConsistent(t, ev)
+		if ev.Seq <= total-uint64(ringSize) {
+			t.Errorf("slot kept stale seq %d (total %d, ring %d): an old writer clobbered a newer record",
+				ev.Seq, total, ringSize)
+		}
+	}
+}
+
+// TestFlightRecorderGet: id lookup returns the record, newest wins on a
+// re-sent id, misses report false.
+func TestFlightRecorderGet(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record(WideEvent{ID: "a", Status: 200})
+	f.Record(WideEvent{ID: "b", Status: 404})
+	f.Record(WideEvent{ID: "a", Status: 500}) // client re-sent the id
+
+	ev, ok := f.Get("a")
+	if !ok || ev.Status != 500 {
+		t.Fatalf("Get(a) = %+v, %v; want newest (status 500)", ev, ok)
+	}
+	if _, ok := f.Get("nope"); ok {
+		t.Fatal("Get(nope) reported a record")
+	}
+	if ev, ok := f.Get("b"); !ok || ev.Status != 404 {
+		t.Fatalf("Get(b) = %+v, %v", ev, ok)
+	}
+}
+
+// TestFlightRecorderNil: the disabled recorder no-ops everywhere.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	if seq := f.Record(WideEvent{ID: "x"}); seq != 0 {
+		t.Fatalf("nil Record returned %d", seq)
+	}
+	if f.Len() != 0 || f.Cap() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	if _, ok := f.Get("x"); ok {
+		t.Fatal("nil Get reported a record")
+	}
+}
+
+// TestWideEventJSONRoundTrip: the marshal shape (wallMs + phasesMs map)
+// restores losslessly, including the PhaseTimes that json:"-" hides from the
+// default marshaler.
+func TestWideEventJSONRoundTrip(t *testing.T) {
+	ev := wideEventFor(42)
+	ev.Seq = 7
+	ev.AdmissionWait = 250 * time.Microsecond
+	ev.Phases[PhaseEval] = 3 * time.Millisecond
+	ev.Phases[PhaseSchedule] = 10 * time.Microsecond
+	ev.TraceRetained = true
+	ev.RetainReason = "slow"
+
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"wallMs"`)) || !bytes.Contains(data, []byte(`"phasesMs"`)) {
+		t.Fatalf("marshal missing wallMs/phasesMs: %s", data)
+	}
+	var back WideEvent
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", back, ev)
+	}
+}
+
+// TestWideLog: one JSON line per event, parseable, in write order; nil log
+// discards.
+func TestWideLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWideLog(&buf)
+	for k := 0; k < 3; k++ {
+		ev := wideEventFor(k)
+		if err := l.Write(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev WideEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		checkConsistent(t, ev)
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("wide log has %d lines, want 3", n)
+	}
+	if nl := NewWideLog(nil); nl != nil {
+		t.Fatal("NewWideLog(nil) should return the nil discarding log")
+	}
+	var nilLog *WideLog
+	ev := wideEventFor(0)
+	if err := nilLog.Write(&ev); err != nil {
+		t.Fatalf("nil wide log Write: %v", err)
+	}
+}
+
+// TestBoundedTrace: the event cap drops beyond the limit and counts the
+// drops; the trace id marker event makes artifacts self-identifying.
+func TestBoundedTrace(t *testing.T) {
+	tr := NewBoundedTrace(3)
+	tr.SetTraceID("0af7651916cd43dd8448eb211c80319c")
+	if got := tr.ID(); got != "0af7651916cd43dd8448eb211c80319c" {
+		t.Fatalf("ID() = %q", got)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Begin(0, 0, "t", "span").End()
+	}
+	if tr.Dropped() != 3 { // 1 marker + 2 spans stored, 3 spans dropped
+		t.Fatalf("Dropped() = %d, want 3", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("bounded trace invalid: %v", err)
+	}
+	found := false
+	for _, e := range evs {
+		if e.Name == "trace_id" && e.Args["traceId"] == "0af7651916cd43dd8448eb211c80319c" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trace artifact does not carry its trace id marker")
+	}
+}

@@ -133,29 +133,184 @@ type TraceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+// maxRecArgs bounds the inline argument storage of a recorded event. Spans
+// carry at most a handful of scalars (the widest today is three); anything
+// beyond the bound is dropped rather than heap-spilled, because the hot
+// path must not allocate — and the arrays ride inside every record, so the
+// bound is also the record's footprint.
+const maxRecArgs = 4
+
+// traceRec is the internal, allocation-free representation of one event.
+// It differs from TraceEvent only in how args are held: fixed inline arrays
+// instead of a map, so recording a span costs a struct copy and nothing
+// else. Records are materialized into TraceEvents (maps and all) only when
+// a trace is actually read — which, under tail sampling, is the rare path.
+type traceRec struct {
+	name, cat, ph string
+	ts, dur       float64
+	pid, tid      int64
+	nargs         int
+	argk          [maxRecArgs]string
+	argv          [maxRecArgs]any
+}
+
+// event materializes the wire-format TraceEvent (building the Args map).
+func (r *traceRec) event() TraceEvent {
+	e := TraceEvent{Name: r.name, Cat: r.cat, Ph: r.ph, TS: r.ts, Dur: r.dur, PID: r.pid, TID: r.tid}
+	if r.nargs > 0 {
+		e.Args = make(map[string]any, r.nargs)
+		for i := 0; i < r.nargs; i++ {
+			e.Args[r.argk[i]] = r.argv[i]
+		}
+	}
+	return e
+}
+
 // Trace records spans for one logical operation (a request, a CLI run). A
 // nil *Trace is the disabled recorder: every method no-ops, so callers
 // thread it through without branching. A non-nil Trace is safe for
 // concurrent use — worker goroutines record their spans under one mutex
 // (contention is irrelevant: spans are per level, not per gate).
 type Trace struct {
-	mu     sync.Mutex
-	t0     time.Time
-	events []TraceEvent
+	mu   sync.Mutex
+	t0   time.Time
+	recs []traceRec
+	// limit bounds the recorded events (0 = unlimited); beyond it new spans
+	// are counted in dropped instead of stored, so an always-on per-request
+	// recorder cannot grow without bound under a million-vector batch.
+	limit   int
+	dropped int
+	// detail opts the trace into fine-grained spans (per level, per worker).
+	// Passive tail-sampling recorders leave it off: they ride along on every
+	// request, so they get the coarse per-vector phase spans only. Explicitly
+	// requested traces (?trace=1, CLI -trace) turn it on.
+	detail bool
+	// traceID is the W3C trace id this recorder belongs to ("" when the
+	// trace is not tied to a propagated request context).
+	traceID string
 }
 
-// NewTrace starts an empty trace; its clock zero is now.
-func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+// NewTrace starts an empty trace; its clock zero is now. Traces made for an
+// explicit consumer default to full detail; use SetDetail(false) — or
+// NewBoundedTrace, which defaults coarse — for always-on recorders.
+func NewTrace() *Trace { return &Trace{t0: time.Now(), detail: true} }
+
+// NewBoundedTrace starts a trace that stores at most limit events (<= 0
+// behaves like NewTrace, minus the detail default). The bound is the
+// tail-sampling safety valve: every request records spans, so the recorder
+// must have a worst case. Bounded traces start coarse (no per-level/worker
+// spans) because they are the always-on kind; SetDetail(true) upgrades one
+// that a caller explicitly asked for.
+func NewBoundedTrace(limit int) *Trace {
+	t := NewTrace()
+	t.limit = limit
+	t.detail = false
+	if limit > 0 {
+		// Recycle record storage from traces that already came and went
+		// (Release): in steady state an always-on per-request recorder
+		// allocates nothing but the Trace header itself.
+		if v := recsPool.Get(); v != nil {
+			t.recs = (*v.(*[]traceRec))[:0]
+		} else {
+			// Pre-size for a typical coarse request (a few events per
+			// vector) so the first uses don't churn through the
+			// append-doubling sizes; bounded by limit so tiny caps stay
+			// tiny.
+			t.recs = make([]traceRec, 0, min(limit, 192))
+		}
+	}
+	return t
+}
+
+// recsPool recycles record buffers between bounded traces. Entries are
+// *[]traceRec (pointer, so Put doesn't allocate a slice-header box).
+var recsPool sync.Pool
+
+// Release returns the trace's record storage to the shared pool and leaves
+// the trace empty. Call it when the trace is finished — after any
+// serialization — and never touch the trace's events again afterwards. A
+// post-Release append is safe (it starts a fresh buffer) but wasted.
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	recs := t.recs
+	t.recs = nil
+	t.mu.Unlock()
+	if cap(recs) == 0 {
+		return
+	}
+	// Zero the used prefix so pooled buffers don't pin strings or boxed
+	// values from dead requests.
+	clear(recs[:len(recs)])
+	empty := recs[:0]
+	recsPool.Put(&empty)
+}
 
 // Enabled reports whether the recorder actually records.
 func (t *Trace) Enabled() bool { return t != nil }
+
+// SetDetail opts the trace in or out of fine-grained (per-level, per-worker)
+// spans. Must be set before recording starts; not synchronized.
+func (t *Trace) SetDetail(d bool) {
+	if t != nil {
+		t.detail = d
+	}
+}
+
+// Detail reports whether producers should record fine-grained spans. A nil
+// trace reports false, so `tr.Detail()` composes with the nil-no-op pattern.
+func (t *Trace) Detail() bool { return t != nil && t.detail }
+
+// SetTraceID ties the recorder to a propagated W3C trace id and records a
+// marker event carrying it, so the serialized artifact is self-identifying:
+// anyone holding the trace file can read which distributed trace it belongs
+// to without the surrounding wide event. Like SetDetail, it must be called
+// before recording starts (it is read without a lock on the hot path).
+func (t *Trace) SetTraceID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.traceID = id
+	t.Instant(0, 0, "meta", "trace_id", map[string]any{"traceId": id})
+}
+
+// ID returns the trace id set by SetTraceID ("" for an untied or nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Dropped reports how many events the bound discarded (0 = complete trace).
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// appendLocked stores a record, enforcing the bound. Caller holds t.mu.
+func (t *Trace) appendLocked(r traceRec) {
+	if t.limit > 0 && len(t.recs) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.recs = append(t.recs, r)
+}
 
 func (t *Trace) since(at time.Time) float64 {
 	return float64(at.Sub(t.t0)) / float64(time.Microsecond)
 }
 
 // Span is an open interval created by Begin. End closes it and records a
-// complete ("X") event. The zero Span (from a nil Trace) is inert.
+// complete ("X") event. The zero Span (from a nil Trace) is inert. Args live
+// in fixed inline arrays — recording a span never touches the heap (values
+// that don't fit maxRecArgs are dropped, not spilled).
 type Span struct {
 	tr    *Trace
 	name  string
@@ -163,7 +318,9 @@ type Span struct {
 	pid   int64
 	tid   int64
 	start time.Time
-	args  map[string]any
+	nargs int
+	argk  [maxRecArgs]string
+	argv  [maxRecArgs]any
 }
 
 // Begin opens a span on (pid, tid). pid groups rows in the viewer (one
@@ -178,13 +335,11 @@ func (t *Trace) Begin(pid, tid int64, cat, name string) Span {
 // Arg attaches a key/value shown in the viewer's detail pane. Returns the
 // span for chaining.
 func (s Span) Arg(key string, value any) Span {
-	if s.tr == nil {
+	if s.tr == nil || s.nargs == maxRecArgs {
 		return s
 	}
-	if s.args == nil {
-		s.args = map[string]any{}
-	}
-	s.args[key] = value
+	s.argk[s.nargs], s.argv[s.nargs] = key, value
+	s.nargs++
 	return s
 }
 
@@ -195,15 +350,12 @@ func (s Span) End() {
 	}
 	end := time.Now()
 	s.tr.mu.Lock()
-	s.tr.events = append(s.tr.events, TraceEvent{
-		Name: s.name,
-		Cat:  s.cat,
-		Ph:   "X",
-		TS:   s.tr.since(s.start),
-		Dur:  float64(end.Sub(s.start)) / float64(time.Microsecond),
-		PID:  s.pid,
-		TID:  s.tid,
-		Args: s.args,
+	s.tr.appendLocked(traceRec{
+		name: s.name, cat: s.cat, ph: "X",
+		ts:  s.tr.since(s.start),
+		dur: float64(end.Sub(s.start)) / float64(time.Microsecond),
+		pid: s.pid, tid: s.tid,
+		nargs: s.nargs, argk: s.argk, argv: s.argv,
 	})
 	s.tr.mu.Unlock()
 }
@@ -214,10 +366,16 @@ func (t *Trace) Instant(pid, tid int64, cat, name string, args map[string]any) {
 		return
 	}
 	now := time.Now()
+	r := traceRec{name: name, cat: cat, ph: "i", ts: t.since(now), pid: pid, tid: tid}
+	for k, v := range args {
+		if r.nargs == maxRecArgs {
+			break
+		}
+		r.argk[r.nargs], r.argv[r.nargs] = k, v
+		r.nargs++
+	}
 	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
-		Name: name, Cat: cat, Ph: "i", TS: t.since(now), PID: pid, TID: tid, Args: args,
-	})
+	t.appendLocked(r)
 	t.mu.Unlock()
 }
 
@@ -231,25 +389,68 @@ func (t *Trace) NameThread(pid, tid int64, name string) {
 	t.meta("thread_name", pid, tid, name)
 }
 
+// cachedNames precomputes "prefix N" row labels so the per-vector
+// NameProcess call in a traced analyze costs a table lookup, not a Sprintf
+// plus a fresh string. 512 covers any realistic batch/worker fan-out; the
+// overflow falls back to formatting.
+const cachedNameCount = 512
+
+func cachedNames(prefix string) [cachedNameCount]string {
+	var names [cachedNameCount]string
+	for i := range names {
+		names[i] = prefix + " " + strconv.Itoa(i)
+	}
+	return names
+}
+
+var (
+	vectorNames = cachedNames("vector")
+	workerNames = cachedNames("worker")
+)
+
+// VectorName returns the canonical viewer row label for vector i.
+func VectorName(i int64) string {
+	if i >= 0 && i < cachedNameCount {
+		return vectorNames[i]
+	}
+	return fmt.Sprintf("vector %d", i)
+}
+
+// WorkerName returns the canonical viewer row label for worker i.
+func WorkerName(i int64) string {
+	if i >= 0 && i < cachedNameCount {
+		return workerNames[i]
+	}
+	return fmt.Sprintf("worker %d", i)
+}
+
 func (t *Trace) meta(kind string, pid, tid int64, name string) {
 	if t == nil {
 		return
 	}
+	r := traceRec{name: kind, ph: "M", pid: pid, tid: tid, nargs: 1}
+	r.argk[0], r.argv[0] = "name", name
 	t.mu.Lock()
-	t.events = append(t.events, TraceEvent{
-		Name: kind, Ph: "M", PID: pid, TID: tid, Args: map[string]any{"name": name},
-	})
+	t.appendLocked(r)
 	t.mu.Unlock()
 }
 
-// Events returns a snapshot copy of the recorded events (for validation).
+// Events materializes the recorded events (args maps built here, on the
+// read path — never during recording).
 func (t *Trace) Events() []TraceEvent {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return append([]TraceEvent(nil), t.events...)
+	if len(t.recs) == 0 {
+		return nil
+	}
+	evs := make([]TraceEvent, len(t.recs))
+	for i := range t.recs {
+		evs[i] = t.recs[i].event()
+	}
+	return evs
 }
 
 // Len returns the number of recorded events.
@@ -259,7 +460,7 @@ func (t *Trace) Len() int {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.events)
+	return len(t.recs)
 }
 
 // WriteJSON emits the trace in the Chrome trace_event JSON Object Format:
@@ -270,10 +471,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`)
 		return err
 	}
-	t.mu.Lock()
-	evs := append([]TraceEvent(nil), t.events...)
-	t.mu.Unlock()
-	return writeTraceJSON(w, evs)
+	return writeTraceJSON(w, t.Events())
 }
 
 // MarshalJSON renders the same document as WriteJSON, so a *Trace can be

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkTraceVectorShape(b *testing.B) {
+	b.ReportAllocs()
+	tr := NewBoundedTrace(8192)
+	for i := 0; i < b.N; i++ {
+		pid := int64(i % 32)
+		tr.NameProcess(pid, fmt.Sprintf("vector %d", pid))
+		tr.NameThread(pid, 0, "schedule")
+		sp := tr.Begin(pid, 0, "sta", "analyze").Arg("mode", "prox").Arg("events", 4)
+		c := tr.Begin(pid, 0, "sta", "cones")
+		c.End()
+		s := tr.Begin(pid, 0, "sta", "schedule")
+		s.End()
+		for li := 0; li < 3; li++ {
+			name := fmt.Sprintf("level %d", li)
+			l := tr.Begin(pid, 0, "sta", name).Arg("gates", 1)
+			l.End()
+			cm := tr.Begin(pid, 0, "sta", "commit")
+			cm.End()
+		}
+		sp.End()
+		if tr.Len() >= 8000 {
+			tr = NewBoundedTrace(8192)
+		}
+	}
+}

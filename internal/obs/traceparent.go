@@ -1,0 +1,107 @@
+// W3C Trace Context (traceparent) support: parse what a caller sends, mint
+// fresh contexts when it sends nothing, and derive child contexts so the
+// service's own span id differs from its caller's while the trace id — the
+// value every hop of a distributed request shares — propagates untouched.
+// Zero-dependency by design, like the rest of the package: the header
+// grammar is 55 fixed bytes, not worth a vendored SDK.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// TraceContext is a parsed W3C traceparent header:
+// version 00, a 16-byte trace id, an 8-byte parent span id, and the sampled
+// flag. https://www.w3.org/TR/trace-context/
+type TraceContext struct {
+	TraceID string // 32 lowercase hex chars, not all zero
+	SpanID  string // 16 lowercase hex chars, not all zero
+	Sampled bool
+}
+
+// ParseTraceparent parses a traceparent header value. ok=false on any
+// malformation — the caller should then mint a fresh context rather than
+// propagate garbage. Per spec, an unknown version is accepted as long as the
+// version-00 prefix fields parse (forward compatibility), but version "ff"
+// is invalid.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	h = strings.TrimSpace(h)
+	if len(h) < 55 {
+		return TraceContext{}, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	if !isLowerHex(version) || version == "ff" {
+		return TraceContext{}, false
+	}
+	if version == "00" && len(h) != 55 {
+		return TraceContext{}, false
+	}
+	if !isLowerHex(traceID) || traceID == strings.Repeat("0", 32) {
+		return TraceContext{}, false
+	}
+	if !isLowerHex(spanID) || spanID == strings.Repeat("0", 16) {
+		return TraceContext{}, false
+	}
+	if !isLowerHex(flags) {
+		return TraceContext{}, false
+	}
+	var f byte
+	b, _ := hex.DecodeString(flags)
+	f = b[0]
+	return TraceContext{TraceID: traceID, SpanID: spanID, Sampled: f&0x01 != 0}, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// NewTraceContext mints a fresh sampled context with random ids.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: randHex(8), Sampled: true}
+}
+
+// Child derives the context this process should propagate downstream and
+// stamp on its own spans: same trace id, fresh span id, same sampled flag.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: randHex(8), Sampled: tc.Sampled}
+}
+
+// Header renders the context as a version-00 traceparent value.
+func (tc TraceContext) Header() string {
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// randHex returns 2n lowercase hex chars of cryptographic randomness.
+// crypto/rand.Read never fails on the platforms we run on; a zero id would
+// be invalid per spec, so the impossible error path flips one byte.
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil || allZero(b) {
+		b[0] = 1
+	}
+	return hex.EncodeToString(b)
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	tc, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if !ok {
+		t.Fatal("valid header rejected")
+	}
+	if tc.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id %q", tc.TraceID)
+	}
+	if tc.SpanID != "b7ad6b7169203331" {
+		t.Errorf("span id %q", tc.SpanID)
+	}
+	if !tc.Sampled {
+		t.Error("sampled flag lost")
+	}
+	// Unsampled flag and surrounding whitespace.
+	tc, ok = ParseTraceparent("  00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00\t")
+	if !ok || tc.Sampled {
+		t.Errorf("unsampled parse = %+v, %v", tc, ok)
+	}
+	// Future version with trailing fields is accepted (forward compat).
+	if _, ok := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !ok {
+		t.Error("future-version header rejected")
+	}
+}
+
+func TestParseTraceparentInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"00",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",      // missing flags
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // all-zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // all-zero span id
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // version ff invalid
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01",   // uppercase hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-x", // version 00 must be exactly 55 chars
+		"0z-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // non-hex version
+		"00_0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // wrong separator
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("accepted malformed header %q", h)
+		}
+	}
+}
+
+func TestTraceContextMintChildHeader(t *testing.T) {
+	tc := NewTraceContext()
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 || !tc.Sampled {
+		t.Fatalf("minted context malformed: %+v", tc)
+	}
+	// Header round-trips through the parser.
+	back, ok := ParseTraceparent(tc.Header())
+	if !ok || back != tc {
+		t.Fatalf("header %q did not round-trip: %+v, %v", tc.Header(), back, ok)
+	}
+	// Child keeps the trace id, changes the span id.
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Error("child changed the trace id")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Error("child kept the parent span id")
+	}
+	if !strings.HasPrefix(tc.Header(), "00-") {
+		t.Errorf("header version: %q", tc.Header())
+	}
+	// Two mints never collide (probabilistically certain; a deterministic
+	// failure here means the randomness is broken).
+	if other := NewTraceContext(); other.TraceID == tc.TraceID {
+		t.Error("two minted contexts share a trace id")
+	}
+}

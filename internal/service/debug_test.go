@@ -1,0 +1,503 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// postTraced posts JSON with explicit request-id and traceparent headers,
+// returning the status and response headers.
+func postTraced(t *testing.T, url string, body any, reqID, traceparent string, out any) (int, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-Id", reqID)
+	}
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s answer: %v", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+// getStatus GETs a URL, decoding JSON into out when 200.
+func getStatus(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// debugRecord mirrors the /v1/debug/requests/{id} response shape.
+type debugRecord struct {
+	Request obs.WideEvent   `json:"request"`
+	Trace   json.RawMessage `json:"trace"`
+}
+
+// TestDebugSlowRequestEndToEnd is the acceptance path: a traceparent-carrying
+// analyze lands in the flight recorder, its trace is tail-sampled as slow,
+// and /v1/debug/requests/{id} reproduces the phase breakdown plus a
+// ValidateChromeTrace-clean artifact carrying the propagated trace id.
+func TestDebugSlowRequestEndToEnd(t *testing.T) {
+	// Nanosecond threshold: every request is in the "slow tail".
+	_, ts := newTestServer(t, Config{TailThreshold: time.Nanosecond})
+	up := uploadTestNetlist(t, ts.URL)
+
+	const (
+		callerTrace = "0af7651916cd43dd8448eb211c80319c"
+		callerSpan  = "b7ad6b7169203331"
+		reqID       = "debug-e2e-1"
+	)
+	var ar AnalyzeResponse
+	code, hdr := postTraced(t, ts.URL+"/v1/analyze",
+		AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)},
+		reqID, "00-"+callerTrace+"-"+callerSpan+"-01", &ar)
+	if code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	if got := hdr.Get("X-Request-Id"); got != reqID {
+		t.Errorf("X-Request-Id = %q, want %q", got, reqID)
+	}
+	tc, ok := obs.ParseTraceparent(hdr.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q does not parse", hdr.Get("traceparent"))
+	}
+	if tc.TraceID != callerTrace {
+		t.Errorf("trace id not propagated: %q", tc.TraceID)
+	}
+	if tc.SpanID == callerSpan {
+		t.Error("server echoed the caller's span id instead of minting its own")
+	}
+	if ar.Trace != nil {
+		t.Error("untraced request got an inline trace (tail sampling must not leak into responses)")
+	}
+
+	var rec debugRecord
+	if code := getStatus(t, ts.URL+"/v1/debug/requests/"+reqID, &rec); code != 200 {
+		t.Fatalf("debug fetch status %d", code)
+	}
+	ev := rec.Request
+	if ev.ID != reqID || ev.Endpoint != "analyze" || ev.Status != 200 {
+		t.Fatalf("wide event identity: %+v", ev)
+	}
+	if ev.TraceID != callerTrace {
+		t.Errorf("wide event trace id %q, want %q", ev.TraceID, callerTrace)
+	}
+	if ev.Netlist != up.ID || !ev.CacheHit {
+		t.Errorf("netlist attribution: netlist=%q hit=%v", ev.Netlist, ev.CacheHit)
+	}
+	if ev.Wall <= 0 || ev.Vectors != 1 || ev.GatesEvaluated == 0 {
+		t.Errorf("workload counters: wall=%v vectors=%d gates=%d", ev.Wall, ev.Vectors, ev.GatesEvaluated)
+	}
+	if ev.Phases[obs.PhaseEval] <= 0 {
+		t.Errorf("phase breakdown missing eval time: %+v", ev.Phases)
+	}
+	if !ev.TraceRetained || ev.RetainReason != "slow" {
+		t.Fatalf("tail sampling: retained=%v reason=%q, want slow retention", ev.TraceRetained, ev.RetainReason)
+	}
+
+	if len(rec.Trace) == 0 {
+		t.Fatal("retained trace missing from debug response")
+	}
+	evs, err := obs.ValidateChromeTrace(rec.Trace)
+	if err != nil {
+		t.Fatalf("retained trace invalid: %v", err)
+	}
+	var marker, analyzeSpan bool
+	for _, e := range evs {
+		if e.Name == "trace_id" && e.Args["traceId"] == callerTrace {
+			marker = true
+		}
+		if e.Name == "analyze" && e.Args["traceId"] == callerTrace {
+			analyzeSpan = true
+		}
+	}
+	if !marker {
+		t.Error("trace artifact lacks the trace_id marker with the propagated id")
+	}
+	if !analyzeSpan {
+		t.Error("engine analyze span does not carry the request's trace id")
+	}
+
+	// The list view finds it under the slow filter.
+	var list struct {
+		Total    int             `json:"total"`
+		Count    int             `json:"count"`
+		Requests []obs.WideEvent `json:"requests"`
+	}
+	if code := getStatus(t, ts.URL+"/v1/debug/requests?slowest=5", &list); code != 200 {
+		t.Fatalf("debug list status %d", code)
+	}
+	found := false
+	for _, ev := range list.Requests {
+		if ev.ID == reqID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slowest=5 does not contain %s: %+v", reqID, list.Requests)
+	}
+}
+
+// TestDebugRequestsFilters drives every documented filter plus the rejection
+// of malformed ones.
+func TestDebugRequestsFilters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+
+	for i := 0; i < 2; i++ {
+		var ar AnalyzeResponse
+		if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: up.ID, Vector: testVector(float64(i))}, &ar); code != 200 {
+			t.Fatalf("analyze %d status %d", i, code)
+		}
+	}
+	var er ErrorResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: "nope", Vector: testVector(0)}, &er); code != 404 {
+		t.Fatalf("missing-netlist status %d", code)
+	}
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: up.ID, Mode: "bogus", Vector: testVector(0)}, &er); code != 400 {
+		t.Fatalf("bad-mode status %d", code)
+	}
+
+	type list struct {
+		Total    int             `json:"total"`
+		Count    int             `json:"count"`
+		Requests []obs.WideEvent `json:"requests"`
+	}
+	fetch := func(query string) list {
+		t.Helper()
+		var l list
+		if code := getStatus(t, ts.URL+"/v1/debug/requests"+query, &l); code != 200 {
+			t.Fatalf("debug list %q status %d", query, code)
+		}
+		return l
+	}
+
+	all := fetch("")
+	if all.Total != 5 { // upload + 2 analyzes + 404 + 400
+		t.Fatalf("ring holds %d events, want 5", all.Total)
+	}
+	if l := fetch("?status=4xx"); l.Count != 2 {
+		t.Errorf("status=4xx count %d, want 2 (got %+v)", l.Count, l.Requests)
+	} else {
+		for _, ev := range l.Requests {
+			if ev.Error == "" {
+				t.Errorf("4xx wide event %s lacks the error body prefix", ev.ID)
+			}
+		}
+	}
+	if l := fetch("?status=404"); l.Count != 1 {
+		t.Errorf("status=404 count %d, want 1", l.Count)
+	}
+	if l := fetch("?endpoint=analyze&status=2xx"); l.Count != 2 {
+		t.Errorf("endpoint+status count %d, want 2", l.Count)
+	}
+	if l := fetch("?endpoint=netlists"); l.Count != 1 {
+		t.Errorf("endpoint=netlists count %d, want 1", l.Count)
+	}
+	if l := fetch("?slowest=1"); l.Count != 1 {
+		t.Errorf("slowest=1 count %d, want 1", l.Count)
+	}
+	if l := fetch("?limit=2"); l.Count != 2 || l.Total != 5 {
+		t.Errorf("limit=2: count %d total %d", l.Count, l.Total)
+	}
+	future := time.Now().Add(time.Hour).UTC().Format(time.RFC3339)
+	if l := fetch("?since=" + future); l.Count != 0 {
+		t.Errorf("since=<future> count %d, want 0", l.Count)
+	}
+	if l := fetch("?since=1h"); l.Count != 5 {
+		t.Errorf("since=1h count %d, want 5", l.Count)
+	}
+
+	for _, bad := range []string{"?status=9xx", "?status=banana", "?slowest=x", "?slowest=-1", "?since=bogus", "?limit=0"} {
+		if code := getStatus(t, ts.URL+"/v1/debug/requests"+bad, nil); code != 400 {
+			t.Errorf("filter %q status %d, want 400", bad, code)
+		}
+	}
+	if code := getStatus(t, ts.URL+"/v1/debug/requests/no-such-id", nil); code != 404 {
+		t.Errorf("unknown id status %d, want 404", code)
+	}
+}
+
+// TestDebugDisabled: a negative FlightRecorderSize turns the subsystem off —
+// debug endpoints 404, analysis still works, and explicit ?trace=1 still
+// returns the inline trace (the pre-existing contract).
+func TestDebugDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{FlightRecorderSize: -1})
+	up := uploadTestNetlist(t, ts.URL)
+
+	var ar AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}, &ar); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+	if ar.Trace != nil {
+		t.Error("recorder-off analyze returned a trace")
+	}
+	if code := getStatus(t, ts.URL+"/v1/debug/requests", nil); code != 404 {
+		t.Errorf("debug list status %d, want 404", code)
+	}
+	if code := getStatus(t, ts.URL+"/v1/debug/requests/x", nil); code != 404 {
+		t.Errorf("debug get status %d, want 404", code)
+	}
+	// ?trace=1 still works: the per-request recorder is created on demand.
+	if code := post(t, ts.URL+"/v1/analyze?trace=1", AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}, &ar); code != 200 {
+		t.Fatalf("traced analyze status %d", code)
+	}
+	if ar.Trace == nil {
+		t.Fatal("?trace=1 lost its inline trace with the recorder off")
+	}
+}
+
+// TestFlaggedAndErrorRetention: ?trace=1 and 4xx responses are retained
+// regardless of latency; a plain fast request is not.
+func TestFlaggedAndErrorRetention(t *testing.T) {
+	// Negative threshold: nothing is "slow", only flagged/errored retain.
+	_, ts := newTestServer(t, Config{TailThreshold: -1})
+	up := uploadTestNetlist(t, ts.URL)
+
+	var ar AnalyzeResponse
+	postTraced(t, ts.URL+"/v1/analyze?trace=1", AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}, "flagged-1", "", &ar)
+	var er ErrorResponse
+	postTraced(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: "nope", Vector: testVector(0)}, "errored-1", "", &er)
+	postTraced(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}, "plain-1", "", &ar)
+
+	check := func(id, wantReason string, wantTrace bool) {
+		t.Helper()
+		var rec debugRecord
+		if code := getStatus(t, ts.URL+"/v1/debug/requests/"+id, &rec); code != 200 {
+			t.Fatalf("fetch %s: status %d", id, code)
+		}
+		if rec.Request.RetainReason != wantReason {
+			t.Errorf("%s retain reason %q, want %q", id, rec.Request.RetainReason, wantReason)
+		}
+		if (len(rec.Trace) > 0) != wantTrace {
+			t.Errorf("%s trace present=%v, want %v", id, len(rec.Trace) > 0, wantTrace)
+		}
+	}
+	check("flagged-1", "flagged", true)
+	check("errored-1", "error", true)
+	check("plain-1", "", false)
+}
+
+// TestServiceWideLog: the -wide-log sink receives one parseable JSON line
+// per request.
+func TestServiceWideLog(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	lockedWriter := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	_, ts := newTestServer(t, Config{WideLog: lockedWriter})
+	up := uploadTestNetlist(t, ts.URL)
+	var ar AnalyzeResponse
+	if code := post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}, &ar); code != 200 {
+		t.Fatalf("analyze status %d", code)
+	}
+
+	// finishRequest runs after the response is written, so poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		mu.Unlock()
+		if len(lines) >= 2 && lines[0] != "" {
+			byEndpoint := map[string]obs.WideEvent{}
+			for i, line := range lines {
+				var ev obs.WideEvent
+				if err := json.Unmarshal([]byte(line), &ev); err != nil {
+					t.Fatalf("wide log line %d: %v (%s)", i, err, line)
+				}
+				byEndpoint[ev.Endpoint] = ev
+			}
+			an, ok := byEndpoint["analyze"]
+			if !ok {
+				t.Fatalf("no analyze line in wide log: %v", lines)
+			}
+			if an.Status != 200 || an.GatesEvaluated == 0 {
+				t.Fatalf("analyze wide event: %+v", an)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wide log never got 2 lines: %q", buf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+// TestHistogramSnapshotConsistent: with every observation the same duration,
+// a consistent snapshot must report sum == count*d exactly — the invariant
+// the pre-seqlock implementation violated (count could include observations
+// whose sum had not landed).
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	h := newHistogram(histBounds)
+	const (
+		d         = 3 * time.Millisecond
+		writers   = 4
+		perWriter = 20000
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(d)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+			runtime.Gosched() // single-CPU friendly: let the writers in
+		}
+		counts, total, sum := h.snapshot()
+		var bucketSum int64
+		for _, c := range counts {
+			bucketSum += c
+		}
+		if bucketSum != total {
+			t.Fatalf("buckets sum to %d, reported total %d", bucketSum, total)
+		}
+		if sum != time.Duration(total)*d {
+			t.Fatalf("inconsistent snapshot: count %d but sum %v (want %v)", total, sum, time.Duration(total)*d)
+		}
+	}
+	if _, total, _ := h.snapshot(); total != writers*perWriter {
+		t.Fatalf("final count %d, want %d", total, writers*perWriter)
+	}
+}
+
+// TestHealthzFlightOccupancy: the black-box gauges surface on /healthz.
+func TestHealthzFlightOccupancy(t *testing.T) {
+	_, ts := newTestServer(t, Config{TailThreshold: time.Nanosecond})
+	up := uploadTestNetlist(t, ts.URL)
+	var ar AnalyzeResponse
+	post(t, ts.URL+"/v1/analyze", AnalyzeRequest{Netlist: up.ID, Vector: testVector(0)}, &ar)
+
+	var hz struct {
+		FlightEvents   int `json:"flightEvents"`
+		FlightCap      int `json:"flightCap"`
+		RetainedTraces int `json:"retainedTraces"`
+	}
+	if code := getStatus(t, ts.URL+"/healthz", &hz); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if hz.FlightEvents < 2 || hz.FlightCap != obs.DefaultFlightSize {
+		t.Errorf("flight occupancy %d/%d", hz.FlightEvents, hz.FlightCap)
+	}
+	if hz.RetainedTraces < 1 {
+		t.Errorf("retainedTraces = %d, want >= 1 (nanosecond threshold retains everything)", hz.RetainedTraces)
+	}
+}
+
+// TestBuildInfoExposed: stad_build_info appears in both metrics formats.
+func TestBuildInfoExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var prom bytes.Buffer
+	prom.ReadFrom(resp.Body)
+	if !strings.Contains(prom.String(), "stad_build_info{") || !strings.Contains(prom.String(), "goversion=") {
+		t.Errorf("prom exposition lacks stad_build_info: %s", firstLines(prom.String(), 5))
+	}
+
+	var js struct {
+		BuildInfo struct {
+			Version    string `json:"version"`
+			GoVersion  string `json:"goVersion"`
+			GOMAXPROCS int    `json:"gomaxprocs"`
+		} `json:"buildInfo"`
+	}
+	if code := getStatus(t, ts.URL+"/metrics", &js); code != 200 {
+		t.Fatalf("metrics status %d", code)
+	}
+	if js.BuildInfo.GoVersion == "" || js.BuildInfo.GOMAXPROCS < 1 {
+		t.Errorf("json buildInfo incomplete: %+v", js.BuildInfo)
+	}
+	bi := ReadBuildInfo()
+	if bi.Version == "" || bi.GoVersion == "" {
+		t.Errorf("ReadBuildInfo incomplete: %+v", bi)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestMCWideEvent: the Monte-Carlo endpoint attributes samples and admission
+// wait to its wide event.
+func TestMCWideEvent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	up := uploadTestNetlist(t, ts.URL)
+	var mr MCResponse
+	code, _ := postTraced(t, ts.URL+"/v1/analyze:mc",
+		MCRequest{Netlist: up.ID, Vector: testVector(0), Samples: 64, Seed: 1},
+		"mc-req-1", "", &mr)
+	if code != 200 {
+		t.Fatalf("mc status %d", code)
+	}
+	var rec debugRecord
+	if code := getStatus(t, ts.URL+"/v1/debug/requests/mc-req-1", &rec); code != 200 {
+		t.Fatalf("debug fetch status %d", code)
+	}
+	if rec.Request.MCSamples != 64 {
+		t.Errorf("wide event mcSamples = %d, want 64", rec.Request.MCSamples)
+	}
+	if rec.Request.Endpoint != "analyze:mc" || rec.Request.Netlist != up.ID {
+		t.Errorf("mc wide event: %+v", rec.Request)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported if assertions above change

@@ -4,6 +4,7 @@ import (
 	"expvar"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -14,6 +15,59 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// BuildInfo identifies the running binary: the module version (or VCS
+// revision when built from a checkout) and the Go toolchain, plus the
+// GOMAXPROCS the process runs with. Served as stad_build_info on /metrics
+// and logged once at startup, so every metrics scrape and every log file
+// says exactly which build produced it.
+type BuildInfo struct {
+	Version    string `json:"version"`
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// readBuildIdentity resolves the static part of BuildInfo once.
+var readBuildIdentity = sync.OnceValues(func() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, goVersion
+	}
+	if bi.GoVersion != "" {
+		goVersion = bi.GoVersion
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		version = v
+		return version, goVersion
+	}
+	// A checkout build: identify by VCS revision (short) + dirty marker.
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		version = rev + dirty
+	}
+	return version, goVersion
+})
+
+// ReadBuildInfo returns the binary's identity (GOMAXPROCS read live — it can
+// be lowered at runtime).
+func ReadBuildInfo() BuildInfo {
+	v, gv := readBuildIdentity()
+	return BuildInfo{Version: v, GoVersion: gv, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
 
 // histBounds are the latency histogram bucket upper bounds. Doubling from
 // 250µs covers sub-millisecond cache-hit analyzes up to multi-second batch
@@ -60,12 +114,11 @@ var phaseBounds = []time.Duration{
 // Histogram is a fixed-bucket duration histogram implementing expvar.Var:
 // String renders the JSON that /metrics embeds directly.
 //
-// Observe is lock-free: each observation is three independent atomic adds
-// (bucket, sum, n). A concurrent reader can therefore see a bucket
-// increment whose sum/n adds have not landed yet. Renderers take the count
-// from the bucket totals — so the buckets always sum to the reported count
-// — and accept that the mean may lag by the handful of in-flight
-// observations. Totals are monotone; nothing is ever lost.
+// Observe never blocks and writers never wait on each other: an observation
+// is three atomic adds (bucket, sum, n) bracketed by a write-intent counter
+// pair. Readers use that pair as a seqlock — snapshot retries until it
+// observed a window with no observation in flight — so a rendered count and
+// its sum always belong to the same set of observations.
 type Histogram struct {
 	bounds []time.Duration
 	// boundsNs mirrors bounds as float64 nanoseconds, the coordinate system
@@ -74,6 +127,12 @@ type Histogram struct {
 	counts   []atomic.Int64 // len(bounds)+1; last bucket is overflow
 	sum      atomic.Int64   // nanoseconds
 	n        atomic.Int64
+	// writeBegin/writeEnd bracket every observation (begin incremented
+	// before the adds, end after). A reader that sees begin == end across
+	// its loads saw no observation mid-flight: writers that would tear the
+	// snapshot had either fully landed or not yet begun.
+	writeBegin atomic.Int64
+	writeEnd   atomic.Int64
 }
 
 func newHistogram(bounds []time.Duration) *Histogram {
@@ -85,26 +144,48 @@ func newHistogram(bounds []time.Duration) *Histogram {
 }
 
 // Observe records one duration. Safe for any number of concurrent callers;
-// never blocks.
+// never blocks (the seqlock counters are plain atomic adds — only readers
+// retry).
 func (h *Histogram) Observe(d time.Duration) {
 	i := 0
 	for i < len(h.bounds) && d > h.bounds[i] {
 		i++
 	}
+	h.writeBegin.Add(1)
 	h.counts[i].Add(1)
 	h.sum.Add(int64(d))
 	h.n.Add(1)
+	h.writeEnd.Add(1)
 }
 
-// snapshot loads the buckets once. total is the sum of the loaded buckets,
-// not the n counter, so one snapshot is internally consistent.
+// snapshotAttempts bounds the seqlock retry loop: under a sustained write
+// storm the reader eventually takes its best read rather than spinning
+// forever (buckets still sum to the reported total by construction; only the
+// mean can be off by the observations in flight during that final read).
+const snapshotAttempts = 64
+
+// snapshot takes a consistent read of the histogram: counts, their total,
+// and the matching sum. The seqlock discipline (read end, load everything,
+// check begin caught up to that end) guarantees no observation was mid-
+// flight across the loads, so the sum belongs to exactly the counted
+// observations. total is the sum of the loaded buckets, never the n counter,
+// so buckets always add up to the reported count.
 func (h *Histogram) snapshot() (counts []int64, total int64, sum time.Duration) {
 	counts = make([]int64, len(h.counts))
-	for i := range h.counts {
-		counts[i] = h.counts[i].Load()
-		total += counts[i]
+	var s int64
+	for attempt := 0; attempt < snapshotAttempts; attempt++ {
+		end := h.writeEnd.Load()
+		total = 0
+		for i := range h.counts {
+			counts[i] = h.counts[i].Load()
+			total += counts[i]
+		}
+		s = h.sum.Load()
+		if h.writeBegin.Load() == end {
+			break
+		}
 	}
-	return counts, total, time.Duration(h.sum.Load())
+	return counts, total, time.Duration(s)
 }
 
 // quantile estimates the q-quantile (0 < q < 1) through the shared
@@ -321,7 +402,10 @@ func (m *Metrics) observeNonzeroPhases(pt obs.PhaseTimes) {
 func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+	bi := ReadBuildInfo()
 	b.WriteString("{\n")
+	fmt.Fprintf(b, ` "buildInfo": {"version":%q,"goVersion":%q,"gomaxprocs":%d},`+"\n",
+		bi.Version, bi.GoVersion, bi.GOMAXPROCS)
 	fmt.Fprintf(b, ` "requests": %s,`+"\n", m.Requests.String())
 	fmt.Fprintf(b, ` "status2xx": %s, "status4xx": %s, "status5xx": %s, "statusCanceled": %s,`+"\n",
 		m.Status2xx.String(), m.Status4xx.String(), m.Status5xx.String(), m.Canceled.String())
@@ -365,6 +449,11 @@ func (m *Metrics) writeJSON(b *strings.Builder, reg RegistryStats, netlists int)
 func (m *Metrics) writeProm(b *strings.Builder, reg RegistryStats, netlists int) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
+
+	bi := ReadBuildInfo()
+	b.WriteString("# HELP stad_build_info Build identity; value is always 1, the labels carry the information.\n# TYPE stad_build_info gauge\n")
+	fmt.Fprintf(b, "stad_build_info{version=%q,goversion=%q,gomaxprocs=\"%d\"} 1\n",
+		bi.Version, bi.GoVersion, bi.GOMAXPROCS)
 
 	b.WriteString("# HELP stad_requests_total Requests served, by endpoint.\n# TYPE stad_requests_total counter\n")
 	type kv struct {

@@ -11,6 +11,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,9 +57,31 @@ type Config struct {
 	// vector that names it.
 	Dense bool
 	// Logger receives one structured line per request (id, method, path,
-	// status, duration) plus admission rejections. Nil discards the logs —
-	// tests and embedded uses stay silent by default.
+	// status, duration, engine cost) plus admission rejections. Nil discards
+	// the logs — tests and embedded uses stay silent by default.
 	Logger *slog.Logger
+	// FlightRecorderSize bounds the wide-event ring behind /v1/debug/requests
+	// (one record per request: ids, status, phase breakdown, engine
+	// counters). 0 picks obs.DefaultFlightSize; negative disables the flight
+	// recorder entirely — no ring, no per-request span recording, no debug
+	// query surface (the recorder-off reference the bench guard measures).
+	FlightRecorderSize int
+	// TailThreshold is the latency above which a request's full span trace
+	// is retained after the fact (tail sampling). Requests that error or ask
+	// ?trace=1 are retained regardless. 0 picks 250ms; negative retains only
+	// errored/flagged requests.
+	TailThreshold time.Duration
+	// MaxRetainedTraces bounds the retained Chrome trace artifacts (FIFO
+	// beyond it). Default 32 — the black box keeps the recent anomalies, not
+	// an archive.
+	MaxRetainedTraces int
+	// TraceEventCap bounds span events recorded per request; beyond it spans
+	// are dropped and counted in the wide event's traceDropped. 0 picks
+	// 8192; negative means unlimited.
+	TraceEventCap int
+	// WideLog, when non-nil, additionally receives every wide event as one
+	// JSON line (stad -wide-log): the durable twin of the in-memory ring.
+	WideLog io.Writer
 }
 
 // Server is the timing-analysis HTTP service. It implements http.Handler;
@@ -84,6 +107,13 @@ type Server struct {
 	mux     *http.ServeMux
 	sem     chan struct{}
 	log     *slog.Logger
+
+	// flight is the wide-event ring (nil when disabled); traces holds the
+	// tail-sampled Chrome trace artifacts keyed by request id; wideLog
+	// mirrors every wide event to the configured writer (nil discards).
+	flight  *obs.FlightRecorder
+	traces  *traceStore
+	wideLog *obs.WideLog
 
 	// instance is a random token distinguishing this server's generated
 	// request IDs from another instance's; reqSeq numbers requests within it.
@@ -137,6 +167,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxBaselines <= 0 {
 		cfg.MaxBaselines = 128
 	}
+	if cfg.TailThreshold == 0 {
+		cfg.TailThreshold = 250 * time.Millisecond
+	}
+	if cfg.MaxRetainedTraces <= 0 {
+		cfg.MaxRetainedTraces = 32
+	}
+	if cfg.TraceEventCap == 0 {
+		cfg.TraceEventCap = 8192
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -155,6 +194,11 @@ func New(cfg Config) *Server {
 		baselines: map[string]*baselineEntry{},
 		blOrder:   list.New(),
 	}
+	if cfg.FlightRecorderSize >= 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightRecorderSize)
+		s.traces = newTraceStore(cfg.MaxRetainedTraces)
+	}
+	s.wideLog = obs.NewWideLog(cfg.WideLog)
 	s.mux.HandleFunc("POST /v1/netlists", s.guard("netlists", s.handleUpload))
 	s.mux.HandleFunc("POST /v1/analyze", s.guard("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/analyze:delta", s.guard("analyze:delta", s.handleDelta))
@@ -165,6 +209,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/explain", s.guard("explain", s.handleExplain))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The debug surface is deliberately outside the admission guard and the
+	// flight recorder itself: reading the black box must work (and leave no
+	// record) even when the service is saturated — that is exactly when an
+	// operator reaches for it.
+	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /v1/debug/requests/{id}", s.handleDebugRequest)
 	return s
 }
 
@@ -513,11 +563,17 @@ type ErrorResponse struct {
 // must be recorded on the first Write, not left at the zero value (which
 // would skew the per-class status counters and latency-by-status), and a
 // later out-of-order WriteHeader must not overwrite it (net/http ignores
-// the second header, so the metrics must too).
+// the second header, so the metrics must too). For error responses the
+// leading body bytes are kept, so the wide event can say what the client
+// was actually told.
 type statusWriter struct {
 	http.ResponseWriter
-	status int // 0 until the handler commits a status
+	status  int // 0 until the handler commits a status
+	errBody []byte
 }
+
+// errBodyCap bounds the error-body prefix retained per request.
+const errBodyCap = 256
 
 func (w *statusWriter) WriteHeader(code int) {
 	if w.status == 0 {
@@ -530,17 +586,114 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
+	if w.status >= 400 && len(w.errBody) < errBodyCap {
+		take := errBodyCap - len(w.errBody)
+		if take > len(b) {
+			take = len(b)
+		}
+		w.errBody = append(w.errBody, b[:take]...)
+	}
 	return w.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with request identification, status capture,
-// metrics and the per-request log line — everything except admission, which
+// reqState travels down the handler chain in the request context: the
+// request's identity (id + trace context), its always-on span recorder, and
+// the wide-event fields the handler fills as it learns them. One goroutine
+// (the handler's) writes it; instrument reads it after the handler returns.
+type reqState struct {
+	id            string
+	tc            obs.TraceContext
+	tr            *obs.Trace // nil when the flight recorder is disabled and ?trace=1 absent
+	forceTrace    bool       // ?trace=1: inline trace in the response + unconditional retention
+	admissionWait time.Duration
+	wide          obs.WideEvent
+}
+
+type reqStateKey struct{}
+
+// reqStateFrom returns the request's state (nil outside instrument, which
+// every note helper tolerates).
+func reqStateFrom(r *http.Request) *reqState {
+	st, _ := r.Context().Value(reqStateKey{}).(*reqState)
+	return st
+}
+
+// trace returns the request's span recorder (nil-safe).
+func (st *reqState) trace() *obs.Trace {
+	if st == nil {
+		return nil
+	}
+	return st.tr
+}
+
+// noteNetlist records which compiled handle the request named and whether
+// it was resident.
+func (st *reqState) noteNetlist(id string, hit bool) {
+	if st == nil {
+		return
+	}
+	st.wide.Netlist = id
+	st.wide.CacheHit = hit
+}
+
+// noteStats folds one analysis result's counters and phase breakdown into
+// the request's wide event (batch requests call it once per vector).
+func (st *reqState) noteStats(stats *sta.Stats) {
+	if st == nil {
+		return
+	}
+	w := &st.wide
+	w.Vectors++
+	w.GatesScheduled += stats.GatesScheduled
+	w.GatesEvaluated += stats.GatesEvaluated
+	w.GatesReused += stats.GatesReused
+	w.GatesReevaluated += stats.GatesReevaluated
+	w.ProximityEvals += stats.ProximityEvals
+	w.SingleArcEvals += stats.SingleArcEvals
+	w.PulsesFiltered += stats.PulsesFiltered
+	w.PulsesDegraded += stats.PulsesDegraded
+	w.PulsesUnjudged += stats.PulsesUnjudged
+	for _, p := range obs.Phases() {
+		w.Phases.Add(p, stats.Phases[p])
+	}
+}
+
+// noteMCSamples records the Monte-Carlo sample count the request drew.
+func (st *reqState) noteMCSamples(n int) {
+	if st == nil {
+		return
+	}
+	st.wide.MCSamples += n
+}
+
+// instrument wraps a handler with request identification (id + W3C trace
+// context, both honored or minted and both echoed in the response headers),
+// status capture, the always-on bounded span recorder, metrics, the wide
+// event, and the per-request log line — everything except admission, which
 // weighted endpoints (Monte-Carlo) decide after reading the request body.
 func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := s.requestID(r)
+		tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if ok {
+			// Same trace id as the caller, our own span id downstream.
+			tc = tc.Child()
+		} else {
+			tc = obs.NewTraceContext()
+		}
 		w.Header().Set("X-Request-Id", id)
+		w.Header().Set("traceparent", tc.Header())
+		st := &reqState{id: id, tc: tc, forceTrace: wantTrace(r)}
+		if s.flight != nil || st.forceTrace {
+			st.tr = obs.NewBoundedTrace(s.cfg.TraceEventCap)
+			// Fine-grained (per-level, per-worker) spans only when the
+			// caller asked for the trace: the passive tail-sampling
+			// recorder rides along on every request and must stay cheap.
+			st.tr.SetDetail(st.forceTrace)
+			st.tr.SetTraceID(tc.TraceID)
+		}
+		r = r.WithContext(context.WithValue(r.Context(), reqStateKey{}, st))
 		sw := &statusWriter{ResponseWriter: w}
 		h(sw, r)
 		status := sw.status
@@ -550,9 +703,14 @@ func (s *Server) instrument(name string, h func(http.ResponseWriter, *http.Reque
 		}
 		d := time.Since(start)
 		s.metrics.observe(name, status, d)
-		s.log.Info("request", "id", id, "endpoint", name,
+		ev := s.finishRequest(st, name, r, sw, status, start, d)
+		s.log.Info("request", "id", id, "traceId", tc.TraceID, "endpoint", name,
 			"method", r.Method, "path", r.URL.Path,
-			"status", status, "durMs", float64(d.Microseconds())/1e3)
+			"status", status, "durMs", float64(d.Microseconds())/1e3,
+			"gatesEvaluated", ev.GatesEvaluated,
+			"pulsesFiltered", ev.PulsesFiltered, "pulsesDegraded", ev.PulsesDegraded,
+			"mcSamples", ev.MCSamples,
+			"admissionWaitMs", float64(ev.AdmissionWait.Microseconds())/1e3)
 	}
 }
 
@@ -596,7 +754,12 @@ func (s *Server) reject(w http.ResponseWriter, r *http.Request, name string, wei
 // a request-declared knob uses this.
 func (s *Server) guard(name string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return s.instrument(name, func(w http.ResponseWriter, r *http.Request) {
-		if !s.admit(1) {
+		t0 := time.Now()
+		admitted := s.admit(1)
+		if st := reqStateFrom(r); st != nil {
+			st.admissionWait = time.Since(t0)
+		}
+		if !admitted {
 			s.reject(w, r, name, 1)
 			return
 		}
@@ -614,7 +777,7 @@ func (s *Server) requestID(r *http.Request) string {
 	if id := strings.TrimSpace(r.Header.Get("X-Request-Id")); id != "" && len(id) <= 128 {
 		return id
 	}
-	return fmt.Sprintf("%s-%06d", s.instance, s.reqSeq.Add(1))
+	return s.instance + "-" + strconv.FormatInt(s.reqSeq.Add(1), 10)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -718,6 +881,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
+	// The upload's wide event names the handle it created.
+	reqStateFrom(r).noteNetlist(e.id, true)
+
 	// Empty slices marshal as [] rather than null — clients iterating the
 	// field must never have to special-case a missing array.
 	resp := UploadResponse{
@@ -797,7 +963,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	st := reqStateFrom(r)
 	compiled, ok := s.lookupNetlist(req.Netlist)
+	st.noteNetlist(req.Netlist, ok)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
 		return
@@ -817,22 +985,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter}
-	var tr *obs.Trace
-	if wantTrace(r) {
-		tr = obs.NewTrace()
-		opt.Trace = tr
-	}
+	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter,
+		Trace: st.trace()}
 	res, err := compiled.Analyze(r.Context(), evs, mode, opt)
 	if err != nil {
 		analysisError(w, err)
 		return
 	}
+	st.noteStats(&res.Stats)
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
 	s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded, vr.PulsesUnjudged)
 	s.metrics.observePhases(res.Stats.Phases)
-	resp := AnalyzeResponse{Mode: mode.String(), VectorResult: vr, Trace: tr}
+	resp := AnalyzeResponse{Mode: mode.String(), VectorResult: vr}
+	if st != nil && st.forceTrace {
+		resp.Trace = st.tr
+	}
 	if req.KeepBaseline {
 		resp.BaselineID = s.storeBaseline(req.Netlist, res)
 	}
@@ -848,6 +1016,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	st := reqStateFrom(r)
 	bl, ok := s.lookupBaseline(req.Baseline)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown baseline %q (expired or never kept)", req.Baseline)
@@ -859,6 +1028,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	compiled, ok := s.lookupNetlist(bl.netlistID)
+	st.noteNetlist(bl.netlistID, ok)
 	if !ok {
 		// The netlist was evicted between the two lookups; its baselines
 		// are gone with it, the client re-uploads and re-baselines.
@@ -875,17 +1045,14 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter}
-	var tr *obs.Trace
-	if wantTrace(r) {
-		tr = obs.NewTrace()
-		opt.Trace = tr
-	}
+	opt := sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter,
+		Trace: st.trace()}
 	res, err := compiled.AnalyzeDelta(r.Context(), bl.res, delta, opt)
 	if err != nil {
 		analysisError(w, err)
 		return
 	}
+	st.noteStats(&res.Stats)
 	vr := buildVectorResult(compiled.Circuit(), res, nets)
 	s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
 	s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded, vr.PulsesUnjudged)
@@ -895,7 +1062,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		VectorResult:     vr,
 		GatesReevaluated: res.Stats.GatesReevaluated,
 		GatesReused:      res.Stats.GatesReused,
-		Trace:            tr,
+	}
+	if st != nil && st.forceTrace {
+		resp.Trace = st.tr
 	}
 	if req.KeepBaseline {
 		resp.BaselineID = s.storeBaseline(bl.netlistID, res)
@@ -925,7 +1094,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no nets requested")
 		return
 	}
+	st := reqStateFrom(r)
 	compiled, ok := s.lookupNetlist(req.Netlist)
+	st.noteNetlist(req.Netlist, ok)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
 		return
@@ -941,11 +1112,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := compiled.Analyze(r.Context(), evs, mode,
-		sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter})
+		sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter,
+			Trace: st.trace()})
 	if err != nil {
 		analysisError(w, err)
 		return
 	}
+	st.noteStats(&res.Stats)
 	s.metrics.observePhases(res.Stats.Phases)
 	s.metrics.addPulses(res.Stats.PulsesFiltered, res.Stats.PulsesDegraded, res.Stats.PulsesUnjudged)
 	nes, err := sta.ExplainNets(compiled.Circuit(), res, req.Nets)
@@ -1014,7 +1187,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty vector set")
 		return
 	}
+	st := reqStateFrom(r)
 	compiled, ok := s.lookupNetlist(req.Netlist)
+	st.noteNetlist(req.Netlist, ok)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
 		return
@@ -1037,13 +1212,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	results, err := compiled.AnalyzeBatch(r.Context(), batch, mode,
-		sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter})
+		sta.Options{Workers: s.cfg.Workers, Dense: s.cfg.Dense, PulseFiltering: req.PulseFilter,
+			Trace: st.trace()})
 	if err != nil {
 		analysisError(w, err)
 		return
 	}
 	resp := BatchResponse{Mode: mode.String(), Results: make([]VectorResult, len(results))}
 	for i, res := range results {
+		st.noteStats(&res.Stats)
 		vr := buildVectorResult(compiled.Circuit(), res, nets)
 		s.metrics.addStats(vr.GatesEvaluated, vr.ProximityEvals, vr.SingleArcEvals)
 		s.metrics.addPulses(vr.PulsesFiltered, vr.PulsesDegraded, vr.PulsesUnjudged)
@@ -1102,7 +1279,9 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bins must be non-negative (got %d)", req.Bins)
 		return
 	}
+	st := reqStateFrom(r)
 	compiled, ok := s.lookupNetlist(req.Netlist)
+	st.noteNetlist(req.Netlist, ok)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown netlist %q (expired or never uploaded)", req.Netlist)
 		return
@@ -1119,7 +1298,12 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 	}
 
 	weight := s.mcWeight(req.Samples)
-	if !s.admit(weight) {
+	t0 := time.Now()
+	admitted := s.admit(weight)
+	if st != nil {
+		st.admissionWait = time.Since(t0)
+	}
+	if !admitted {
 		s.reject(w, r, "analyze:mc", weight)
 		return
 	}
@@ -1134,11 +1318,14 @@ func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
 	opt.Workers = s.cfg.Workers
 	opt.Dense = s.cfg.Dense
 	opt.PulseFiltering = req.PulseFilter
+	opt.Trace = st.trace()
 	res, err := compiled.AnalyzeMC(ctx, evs, mode, opt)
 	if err != nil {
 		analysisError(w, err)
 		return
 	}
+	st.noteStats(&res.Stats)
+	st.noteMCSamples(res.Samples)
 	s.metrics.MCRuns.Add(1)
 	s.metrics.MCSamples.Add(int64(res.Samples))
 	s.metrics.GatesEvaluated.Add(int64(res.Stats.GatesEvaluated))
@@ -1207,6 +1394,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"models":       s.cfg.Registry.Stats().Resident,
 		"inFlight":     len(s.sem),
 		"maxInflight":  s.cfg.MaxInflight,
+		// Black-box occupancy: how full the wide-event ring is and how many
+		// tail-sampled trace artifacts are currently retained.
+		"flightEvents":      s.flight.Len(),
+		"flightCap":         s.flight.Cap(),
+		"retainedTraces":    s.traces.len(),
+		"maxRetainedTraces": s.cfg.MaxRetainedTraces,
 	})
 }
 

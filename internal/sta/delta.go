@@ -103,6 +103,10 @@ func (p *Compiled) AnalyzeDelta(ctx context.Context, baseline *Result, delta Del
 	tr := opt.Trace
 	deltaSpan := tr.Begin(0, 0, "sta", "delta").
 		Arg("set", len(delta.Set)).Arg("remove", len(delta.Remove))
+	if id := tr.ID(); id != "" {
+		// Same correlation stamp the full-analysis span carries.
+		deltaSpan = deltaSpan.Arg("traceId", id)
+	}
 	defer deltaSpan.End()
 
 	c := p.c

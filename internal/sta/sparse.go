@@ -228,12 +228,24 @@ func (p *Compiled) sparseSchedule(events []PIEvent, s *evalScratch) (schedule []
 func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt Options, pid int64) (*Result, error) {
 	wallStart := time.Now()
 	tr := opt.Trace
-	if tr.Enabled() {
-		tr.NameProcess(pid, fmt.Sprintf("vector %d", pid))
+	// Fine-grained spans (per phase, per level, per worker) only when the
+	// trace was explicitly requested: an always-on tail-sampling recorder
+	// rides along on every request, so a passive request records just the
+	// per-vector analyze span — its phase breakdown lives in Stats.Phases,
+	// which the wide event carries anyway.
+	detail := tr.Detail()
+	if detail {
+		tr.NameProcess(pid, obs.VectorName(pid))
 		tr.NameThread(pid, 0, "schedule")
 	}
 	analyzeSpan := tr.Begin(pid, 0, "sta", "analyze").
 		Arg("mode", mode.String()).Arg("events", len(events))
+	if id := tr.ID(); id != "" {
+		// The request's W3C trace id on the top-level engine span: a trace
+		// artifact pulled out of the black box remains correlatable with the
+		// distributed trace it belongs to.
+		analyzeSpan = analyzeSpan.Arg("traceId", id)
+	}
 	defer analyzeSpan.End()
 
 	c := p.c
@@ -287,13 +299,19 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 		// The cone tables are built lazily by the first sparse analyze;
 		// what this analyze is charged for is the wait — the build wall on
 		// the first call, ~zero ever after.
-		coneSpan := tr.Begin(pid, 0, "sta", "cones")
+		var coneSpan obs.Span
+		if detail {
+			coneSpan = tr.Begin(pid, 0, "sta", "cones")
+		}
 		coneStart := time.Now()
 		p.ensureCones()
 		res.Stats.Phases.Add(obs.PhaseCones, time.Since(coneStart))
 		coneSpan.End()
 
-		schedSpan := tr.Begin(pid, 0, "sta", "schedule")
+		var schedSpan obs.Span
+		if detail {
+			schedSpan = tr.Begin(pid, 0, "sta", "schedule")
+		}
 		schedStart := time.Now()
 		if sp, ok := p.sparseSchedule(events, s); ok {
 			schedule = sp
@@ -302,9 +320,9 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 		schedSpan.End()
 	}
 
-	if tr.Enabled() {
+	if detail {
 		for w := 1; w <= workers; w++ {
-			tr.NameThread(pid, int64(w), fmt.Sprintf("worker %d", w-1))
+			tr.NameThread(pid, int64(w), obs.WorkerName(int64(w-1)))
 		}
 	}
 
@@ -316,13 +334,14 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 			res.Stats.PerLevel = append(res.Stats.PerLevel, LevelStat{})
 			continue
 		}
-		// The span name is only composed when a recorder is attached — the
-		// hot path must not pay a Sprintf per level.
+		// The span name is only composed for a detailed recorder — the hot
+		// path must not pay a Sprintf per level.
 		var levelName string
-		if tr.Enabled() {
+		var levelSpan obs.Span
+		if detail {
 			levelName = fmt.Sprintf("level %d", li)
+			levelSpan = tr.Begin(pid, 0, "sta", levelName).Arg("gates", len(level))
 		}
-		levelSpan := tr.Begin(pid, 0, "sta", levelName).Arg("gates", len(level))
 		start := time.Now()
 		w := workers
 		if w > len(level) {
@@ -349,7 +368,11 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 					// One span per worker per level, on the worker's own
 					// tid row: the trace viewer shows the level's parallel
 					// shape — who worked, who idled, who straggled.
-					wspan := tr.Begin(pid, tid, "sta", levelName)
+					// Detail-only, like the level span it nests under.
+					var wspan obs.Span
+					if detail {
+						wspan = tr.Begin(pid, tid, "sta", levelName)
+					}
 					gates := 0
 					var evs []core.InputEvent
 					for {
@@ -371,7 +394,10 @@ func (p *Compiled) analyze(ctx context.Context, events []PIEvent, mode Mode, opt
 		}
 		evalWall := time.Since(start)
 		res.Stats.Phases.Add(obs.PhaseEval, evalWall)
-		commitSpan := tr.Begin(pid, 0, "sta", "commit")
+		var commitSpan obs.Span
+		if detail {
+			commitSpan = tr.Begin(pid, 0, "sta", "commit")
+		}
 		commitStart := time.Now()
 		var glitchWall time.Duration
 		// Commit in netlist order: deterministic arrival stores, and the

@@ -170,3 +170,33 @@ func (h *Histogram) Render(label string) string {
 	}
 	return b.String()
 }
+
+// Sparkline renders xs as one row of Unicode block characters (▁▂▃▄▅▆▇█),
+// scaled to the slice's own maximum — the compact trend strip terminal
+// dashboards use. NaNs and negatives clamp to the baseline; an empty or
+// all-zero series renders as all-baseline. ASCII-only environments can still
+// read the shape: the characters are monotone in value.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	max := 0.0
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		i := 0
+		if max > 0 && x > 0 && !math.IsNaN(x) {
+			i = int(x / max * float64(len(blocks)-1))
+			if i >= len(blocks) {
+				i = len(blocks) - 1
+			}
+		}
+		b.WriteRune(blocks[i])
+	}
+	return b.String()
+}
